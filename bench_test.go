@@ -1,0 +1,102 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure of
+// the paper's evaluation (driving the same experiment runners as
+// cmd/dramhit-bench in quick mode), plus the ablations DESIGN.md calls out.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports Mops (or cycles/msg) for the headline series as
+// custom metrics, so `go test -bench` output doubles as a compact
+// reproduction summary.
+package dramhit_test
+
+import (
+	"testing"
+
+	"dramhit/internal/bench"
+	"dramhit/internal/memsim"
+	"dramhit/internal/simtable"
+)
+
+// runExperiment executes a registered experiment once per benchmark
+// iteration and reports the last value of each series as a metric.
+func runExperiment(b *testing.B, id string) {
+	r, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var a *bench.Artifact
+	for i := 0; i < b.N; i++ {
+		a = r(bench.Config{Quick: true, Seed: 42})
+	}
+	for _, s := range a.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		b.ReportMetric(s.Y[len(s.Y)-1], metricName(s.Name))
+	}
+}
+
+func metricName(series string) string {
+	out := make([]rune, 0, len(series))
+	for _, r := range series {
+		switch r {
+		case ' ', '(', ')':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out) + "_last"
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { runExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { runExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { runExperiment(b, "fig6c") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B)  { runExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { runExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)  { runExperiment(b, "fig8c") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10a(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { runExperiment(b, "fig10b") }
+func BenchmarkFig10c(b *testing.B) { runExperiment(b, "fig10c") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12a(b *testing.B) { runExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { runExperiment(b, "fig12b") }
+
+// Ablations (DESIGN.md §6).
+func BenchmarkAblationWindow(b *testing.B)  { runExperiment(b, "ablation-window") }
+func BenchmarkAblationRatio(b *testing.B)   { runExperiment(b, "ablation-ratio") }
+func BenchmarkAblationSection(b *testing.B) { runExperiment(b, "ablation-section") }
+
+// BenchmarkHeadline reproduces the abstract's headline configuration in one
+// number each: large uniform table, 64 Intel threads.
+func BenchmarkHeadline(b *testing.B) {
+	cases := []struct {
+		name string
+		kind simtable.Kind
+		mix  simtable.OpMix
+	}{
+		{"DRAMHiT-reads", simtable.DRAMHiT, simtable.Finds},
+		{"DRAMHiT-writes", simtable.DRAMHiT, simtable.Inserts},
+		{"Folklore-reads", simtable.Folklore, simtable.Finds},
+		{"Folklore-writes", simtable.Folklore, simtable.Inserts},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var mops float64
+			for i := 0; i < b.N; i++ {
+				r := simtable.Run(simtable.Config{
+					Machine: memsim.IntelSkylake(), Kind: c.kind, Threads: 64,
+					Slots: simtable.DefaultLarge, MeasureOps: 60_000, Seed: 42,
+				}, c.mix)
+				mops = r.Mops
+			}
+			b.ReportMetric(mops, "Mops")
+		})
+	}
+}

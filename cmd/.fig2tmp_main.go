@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+	"dramhit/internal/bench"
+)
+
+func main() {
+	r, _ := bench.Get("fig2")
+	a := r(bench.Config{Quick: true, Seed: 1})
+	for _, s := range a.Series {
+		fmt.Printf("%-18s", s.Name)
+		for i := range s.X {
+			fmt.Printf("  %.1f:%.0f", s.X[i], s.Y[i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,164 @@
+// Command loadgen drives the real hash tables with the standard YCSB core
+// workloads (A–F): a load phase inserting the initial dataset, then a
+// timed run phase with per-operation latency percentiles. Use it to compare
+// the designs on your own host the way key-value-store papers are compared.
+//
+//	loadgen -workload A -table dramhit -records 1000000 -ops 2000000
+//	loadgen -workload C -table dramhit-p -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dramhit"
+	"dramhit/internal/latency"
+	"dramhit/internal/ycsb"
+)
+
+func main() {
+	workloadName := flag.String("workload", "A", "YCSB core workload: A-F")
+	backend := flag.String("table", "dramhit", "dramhit | dramhit-p | folklore | resizable")
+	records := flag.Uint64("records", 1_000_000, "rows loaded before the run")
+	ops := flag.Int("ops", 2_000_000, "operations in the timed run")
+	workers := flag.Int("workers", 4, "concurrent client goroutines")
+	flag.Parse()
+
+	mix, err := ycsb.ByName(*workloadName)
+	if err != nil {
+		fail(err)
+	}
+
+	// view is the per-worker synchronous face over whichever backend.
+	type view struct {
+		get func(k uint64) (uint64, bool)
+		put func(k, v uint64)
+		fin func()
+	}
+	var mkView func(w int) view
+	var teardown func()
+
+	slots := nextPow2(*records * 2)
+	switch *backend {
+	case "dramhit":
+		t := dramhit.New(dramhit.Config{Slots: slots})
+		h := t.NewHandle()
+		h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
+		mkView = func(int) view {
+			s := t.NewSync()
+			return view{get: s.Get, put: func(k, v uint64) { s.Put(k, v) }, fin: func() {}}
+		}
+	case "folklore":
+		t := dramhit.NewFolklore(slots)
+		for _, k := range ycsb.LoadKeys(*records, 1) {
+			t.Put(k, 0)
+		}
+		mkView = func(int) view {
+			return view{get: t.Get, put: func(k, v uint64) { t.Put(k, v) }, fin: func() {}}
+		}
+	case "resizable":
+		t := dramhit.NewResizable(slots)
+		for _, k := range ycsb.LoadKeys(*records, 1) {
+			t.Put(k, 0)
+		}
+		mkView = func(int) view {
+			return view{get: t.Get, put: func(k, v uint64) { t.Put(k, v) }, fin: func() {}}
+		}
+	case "dramhit-p":
+		t := dramhit.NewPartitioned(dramhit.PartitionedConfig{
+			Slots: slots, Producers: *workers + 1, Consumers: max(1, *workers/2),
+		})
+		t.Start()
+		teardown = t.Close
+		w := t.NewWriteHandle()
+		for _, k := range ycsb.LoadKeys(*records, 1) {
+			w.Put(k, 0)
+		}
+		w.Barrier()
+		w.Close()
+		mkView = func(int) view {
+			wh := t.NewWriteHandle()
+			rh := t.NewReadHandle()
+			return view{
+				get: rh.Get,
+				put: func(k, v uint64) { wh.Put(k, v) },
+				fin: func() { wh.Flush(); wh.Barrier(); wh.Close() },
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown table %q", *backend))
+	}
+
+	recs := make([]*latency.Recorder, *workers)
+	for i := range recs {
+		recs[i] = latency.NewRecorder(1 << 18)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	perWorker := *ops / *workers
+	for wi := 0; wi < *workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			v := mkView(wi)
+			g := ycsb.NewGenerator(mix, *records, int64(wi+1))
+			rec := recs[wi]
+			for i := 0; i < perWorker; i++ {
+				op := g.Next()
+				t0 := time.Now()
+				switch op.Kind {
+				case ycsb.Read:
+					v.get(op.Key)
+				case ycsb.Update, ycsb.Insert:
+					v.put(op.Key, uint64(i))
+				case ycsb.ReadModifyWrite:
+					if old, ok := v.get(op.Key); ok {
+						v.put(op.Key, old+1)
+					} else {
+						v.put(op.Key, 1)
+					}
+				case ycsb.Scan:
+					for j := 0; j < op.ScanLen; j++ {
+						v.get(op.Key + uint64(j))
+					}
+				}
+				rec.Add(float64(time.Since(t0).Nanoseconds()))
+			}
+			v.fin()
+		}(wi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if teardown != nil {
+		teardown()
+	}
+
+	var total uint64
+	for _, r := range recs {
+		total += r.Count()
+	}
+
+	fmt.Printf("ycsb-%s on %s: %d ops, %d workers, %v (%.2f Mops)\n",
+		mix.Name, *backend, total, *workers, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds()/1e6)
+	for wi, r := range recs {
+		fmt.Printf("  worker %d latency ns: %s\n", wi, r.CDF().String())
+	}
+}
+
+func nextPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command memlat is the repository's stand-in for the Intel Memory Latency
+// Checker: it measures the simulated machine's bandwidth and per-transaction
+// cycle budget for the access mixes of the paper's Table 1, plus raw
+// latencies of each level of the hierarchy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dramhit/internal/bench"
+	"dramhit/internal/memsim"
+)
+
+func main() {
+	machine := flag.String("machine", "intel", "machine model: intel | amd")
+	flag.Parse()
+
+	var m *memsim.Machine
+	switch *machine {
+	case "intel":
+		m = memsim.IntelSkylake()
+	case "amd":
+		m = memsim.AMDMilan()
+	default:
+		fmt.Fprintln(os.Stderr, "memlat: -machine must be intel or amd")
+		os.Exit(2)
+	}
+
+	fmt.Printf("machine: %s (%d sockets x %d cores x %d threads @ %.1f GHz)\n",
+		m.Name, m.Sockets, m.CoresPerSocket, m.ThreadsPerCore, m.FreqGHz)
+	fmt.Printf("memory:  %d channels/socket @ %d MT/s -> %.1f GB/s theoretical per socket\n",
+		m.ChannelsPerSocket, m.MTPerSec, m.TheoreticalGBs())
+	fmt.Printf("         %.2f cycles per line per channel\n\n", m.CyclesPerLine())
+
+	fmt.Println("load-to-use latencies (cycles):")
+	fmt.Printf("  L1 %d, L2 %d, L3 %d, local cache transfer %d, remote cache %d, DRAM %d, remote DRAM %d\n\n",
+		m.L1Lat, m.L2Lat, m.L3Lat, m.LocalCacheLat, m.RemoteCacheLat, m.DRAMLat, m.RemoteDRAMLat)
+
+	if *machine == "intel" {
+		r, _ := bench.Get("table1")
+		fmt.Print(bench.Format(r(bench.Config{Seed: 1})))
+	} else {
+		fmt.Println("(Table 1 is defined for the Intel configuration; AMD numbers: ~167 GB/s random reads, ~144 GB/s 1:1 r/w per the paper)")
+	}
+}

@@ -1,0 +1,62 @@
+// Command simcal prints the simulator's throughput on the paper's anchor
+// configurations next to the published numbers, for calibration work.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dramhit/internal/memsim"
+	"dramhit/internal/simtable"
+)
+
+func main() {
+	ops := flag.Int("ops", 150_000, "measured ops per run")
+	flag.Parse()
+
+	intel := memsim.IntelSkylake()
+	amd := memsim.AMDMilan()
+
+	type anchor struct {
+		name    string
+		machine *memsim.Machine
+		kind    simtable.Kind
+		threads int
+		slots   uint64
+		theta   float64
+		mix     simtable.OpMix
+		paper   float64
+	}
+	anchors := []anchor{
+		{"intel large uni ins folklore", intel, simtable.Folklore, 64, simtable.DefaultLarge, 0, simtable.Inserts, 417},
+		{"intel large uni ins dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultLarge, 0, simtable.Inserts, 792},
+		{"intel large uni ins dramhit-p", intel, simtable.DRAMHiTP, 64, simtable.DefaultLarge, 0, simtable.Inserts, 671},
+		{"intel large uni find folklore", intel, simtable.Folklore, 64, simtable.DefaultLarge, 0, simtable.Finds, 451},
+		{"intel large uni find dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultLarge, 0, simtable.Finds, 973},
+		{"intel large uni find dramhit-p", intel, simtable.DRAMHiTP, 64, simtable.DefaultLarge, 0, simtable.Finds, 951},
+		{"intel small uni ins folklore", intel, simtable.Folklore, 64, simtable.DefaultSmall, 0, simtable.Inserts, 441},
+		{"intel small uni ins dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultSmall, 0, simtable.Inserts, 1180},
+		{"intel small uni find folklore", intel, simtable.Folklore, 64, simtable.DefaultSmall, 0, simtable.Finds, 1616},
+		{"intel small uni find dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultSmall, 0, simtable.Finds, 1513},
+		{"intel large skew ins folklore", intel, simtable.Folklore, 64, simtable.DefaultLarge, 1.09, simtable.Inserts, 137},
+		{"intel large skew ins dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultLarge, 1.09, simtable.Inserts, 143},
+		{"intel large skew ins dramhit-p", intel, simtable.DRAMHiTP, 64, simtable.DefaultLarge, 1.09, simtable.Inserts, 245},
+		{"intel large skew find folklore", intel, simtable.Folklore, 64, simtable.DefaultLarge, 1.09, simtable.Finds, 1499},
+		{"intel large skew find dramhit", intel, simtable.DRAMHiT, 64, simtable.DefaultLarge, 1.09, simtable.Finds, 2820},
+		// The paper's AMD headline numbers (1192 find / 1052 insert) are the
+		// PEAKS, reached near 32 threads; throughput drops sharply beyond
+		// (Figure 10b), while DRAMHiT-P keeps growing.
+		{"amd large uni find dramhit@32", amd, simtable.DRAMHiT, 32, simtable.DefaultLarge, 0, simtable.Finds, 1192},
+		{"amd large uni ins dramhit@32", amd, simtable.DRAMHiT, 32, simtable.DefaultLarge, 0, simtable.Inserts, 1052},
+		{"amd large uni find dramhit@128", amd, simtable.DRAMHiT, 128, simtable.DefaultLarge, 0, simtable.Finds, 700},
+		{"amd large uni ins dramhit-p@128", amd, simtable.DRAMHiTP, 128, simtable.DefaultLarge, 0, simtable.Inserts, 900},
+	}
+	fmt.Printf("%-34s %9s %9s %7s\n", "anchor", "paper", "sim", "ratio")
+	for _, a := range anchors {
+		r := simtable.Run(simtable.Config{
+			Machine: a.machine, Kind: a.kind, Threads: a.threads,
+			Slots: a.slots, Theta: a.theta, MeasureOps: *ops, Seed: 1,
+		}, a.mix)
+		fmt.Printf("%-34s %9.0f %9.0f %7.2f\n", a.name, a.paper, r.Mops, r.Mops/a.paper)
+	}
+}

@@ -1,0 +1,136 @@
+// Package dramhit is a Go implementation of DRAMHiT, the hash table
+// architected for the speed of DRAM (Narayanan, Detweiler, Huang, Burtsev —
+// EuroSys 2023), together with the baselines and substrates of the paper's
+// evaluation.
+//
+// The library treats the memory subsystem the way a distributed system
+// treats its network: requests are submitted in batches through an
+// asynchronous interface, every table access is prefetched before it is
+// touched, completions arrive out of order carrying caller-chosen IDs, and —
+// in the partitioned variant — updates are delegated over explicit message
+// queues to partition-owner threads so contended cache lines never bounce
+// between cores.
+//
+// # The three tables
+//
+//   - New / Table / Handle: the core DRAMHiT table. Per-goroutine Handles
+//     own a prefetch pipeline; Submit/Flush move batches through it.
+//   - NewPartitioned / Partitioned: DRAMHiT-P. Reads execute directly from
+//     any goroutine; writes are delegated (fire-and-forget) to consumer
+//     goroutines, each the single writer of its partitions.
+//   - NewFolklore: the synchronous lock-free baseline (Maier et al.) the
+//     paper builds on and measures against.
+//
+// # Quick start
+//
+//	t := dramhit.New(dramhit.Config{Slots: 1 << 20})
+//	h := t.NewHandle()
+//	h.PutBatch(keys, values)
+//	vals := make([]uint64, len(keys))
+//	found := make([]bool, len(keys))
+//	h.GetBatch(keys, vals, found)
+//
+// Values equal to ReservedValue must not be stored (the claim-then-publish
+// protocol reserves it); every key value, including 0 and ^0, is usable.
+//
+// The full reproduction of the paper's evaluation — the cycle-level memory
+// simulator, the figure harness, the k-mer macrobenchmark — lives under
+// internal/ and is driven by the cmd/ tools; see README.md and DESIGN.md.
+package dramhit
+
+import (
+	idramhit "dramhit/internal/dramhit"
+	"dramhit/internal/dramhitp"
+	"dramhit/internal/folklore"
+	"dramhit/internal/growt"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// Op identifies a hash-table operation in a batched request.
+type Op = table.Op
+
+// Operation kinds for Request.Op.
+const (
+	// Get looks up Key; it is the only operation that produces a Response.
+	Get = table.Get
+	// Put inserts or silently overwrites.
+	Put = table.Put
+	// Upsert inserts Value or atomically adds it to the existing value.
+	Upsert = table.Upsert
+	// Delete tombstones the key (slots are reclaimed on resize only).
+	Delete = table.Delete
+)
+
+// Request is one element of a submitted batch; ID is echoed in the matching
+// Response so out-of-order completions can be matched.
+type Request = table.Request
+
+// Response is one element of a completed batch.
+type Response = table.Response
+
+// ReservedValue is the single value-space sentinel used by the atomicity
+// protocol; storing it is not allowed.
+const ReservedValue = slotarr.InFlightValue
+
+// Config parameterizes the core table.
+type Config = idramhit.Config
+
+// Table is the core DRAMHiT hash table.
+type Table = idramhit.Table
+
+// Handle is a single-goroutine accessor owning a prefetch pipeline.
+type Handle = idramhit.Handle
+
+// Stats carries per-handle observability counters.
+type Stats = idramhit.Stats
+
+// DefaultPrefetchWindow is the default pipeline depth.
+const DefaultPrefetchWindow = idramhit.DefaultPrefetchWindow
+
+// New creates a DRAMHiT table.
+func New(cfg Config) *Table { return idramhit.New(cfg) }
+
+// BigTable stores tuples larger than 16 bytes under the paper's versioned
+// (seqlock) atomicity protocol.
+type BigTable = idramhit.BigTable
+
+// NewBigTable creates a BigTable of n slots with vsize-byte values.
+func NewBigTable(n uint64, vsize int) *BigTable { return idramhit.NewBigTable(n, vsize) }
+
+// PartitionedConfig parameterizes DRAMHiT-P.
+type PartitionedConfig = dramhitp.Config
+
+// Partitioned is the DRAMHiT-P table: partitioned storage, delegated
+// writes, direct reads.
+type Partitioned = dramhitp.Table
+
+// WriteHandle is a per-goroutine delegated-write endpoint.
+type WriteHandle = dramhitp.WriteHandle
+
+// ReadHandle is a per-goroutine direct-read pipeline.
+type ReadHandle = dramhitp.ReadHandle
+
+// NewPartitioned creates a DRAMHiT-P table; call Start before use and Close
+// when done.
+func NewPartitioned(cfg PartitionedConfig) *Partitioned { return dramhitp.New(cfg) }
+
+// Folklore is the synchronous lock-free baseline table.
+type Folklore = folklore.Table
+
+// NewFolklore creates a Folklore table with n slots.
+func NewFolklore(n uint64) *Folklore { return folklore.New(n) }
+
+// Map is the minimal synchronous interface implemented by the baselines and
+// by the Sync adapters of the asynchronous tables.
+type Map = table.Map
+
+// Resizable is an automatically growing table built on the Folklore layout —
+// the capability the paper defers to Growt. Operations take a shared gate
+// (one uncontended atomic each); resizes migrate under the exclusive gate.
+// See internal/growt for the design trade-off discussion.
+type Resizable = growt.Table
+
+// NewResizable creates a resizable table with an initial capacity of n
+// slots; it grows (or compacts tombstones) when fill exceeds 75%.
+func NewResizable(n uint64) *Resizable { return growt.New(n) }

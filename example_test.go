@@ -1,0 +1,96 @@
+package dramhit_test
+
+import (
+	"fmt"
+	"sort"
+
+	"dramhit"
+)
+
+// ExampleNew shows the batch helpers: insert a dataset, read it back.
+func ExampleNew() {
+	t := dramhit.New(dramhit.Config{Slots: 1 << 16})
+	h := t.NewHandle()
+
+	keys := []uint64{10, 20, 30}
+	vals := []uint64{100, 200, 300}
+	h.PutBatch(keys, vals)
+
+	out := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	h.GetBatch(keys, out, found)
+	fmt.Println(out, found)
+	// Output: [100 200 300] [true true true]
+}
+
+// ExampleHandle_Submit demonstrates the raw asynchronous interface with
+// out-of-order completion matched by request ID.
+func ExampleHandle_Submit() {
+	t := dramhit.New(dramhit.Config{Slots: 1 << 12})
+	h := t.NewHandle()
+
+	reqs := []dramhit.Request{
+		{Op: dramhit.Put, Key: 1, Value: 11},
+		{Op: dramhit.Put, Key: 2, Value: 22},
+		{Op: dramhit.Get, Key: 1, ID: 100},
+		{Op: dramhit.Get, Key: 2, ID: 200},
+		{Op: dramhit.Get, Key: 3, ID: 300}, // absent
+	}
+	resps := make([]dramhit.Response, 8)
+	n := 0
+	for len(reqs) > 0 {
+		nreq, nresp := h.Submit(reqs, resps[n:])
+		reqs = reqs[nreq:]
+		n += nresp
+	}
+	for {
+		nresp, done := h.Flush(resps[n:])
+		n += nresp
+		if done {
+			break
+		}
+	}
+
+	// Completions may arrive in any order; sort by ID for stable output.
+	got := resps[:n]
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	for _, r := range got {
+		fmt.Printf("id=%d value=%d found=%v\n", r.ID, r.Value, r.Found)
+	}
+	// Output:
+	// id=100 value=11 found=true
+	// id=200 value=22 found=true
+	// id=300 value=0 found=false
+}
+
+// ExampleNewPartitioned shows delegated counting with DRAMHiT-P.
+func ExampleNewPartitioned() {
+	p := dramhit.NewPartitioned(dramhit.PartitionedConfig{
+		Slots: 1 << 12, Producers: 1, Consumers: 2,
+	})
+	p.Start()
+	defer p.Close()
+
+	w := p.NewWriteHandle()
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		w.Upsert(777, 1) // fire-and-forget, applied by the partition owner
+	}
+	w.Barrier() // read-your-writes point
+
+	r := p.NewReadHandle()
+	v, ok := r.Get(777)
+	fmt.Println(v, ok)
+	// Output: 5 true
+}
+
+// ExampleNewResizable shows the auto-growing variant.
+func ExampleNewResizable() {
+	t := dramhit.NewResizable(16)
+	for k := uint64(0); k < 1000; k++ {
+		t.Put(k, k*2)
+	}
+	v, _ := t.Get(999)
+	fmt.Println(t.Len(), v, t.Grows() > 0)
+	// Output: 1000 1998 true
+}

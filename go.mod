@@ -1,0 +1,3 @@
+module dramhit
+
+go 1.22

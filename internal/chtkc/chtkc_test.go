@@ -1,0 +1,98 @@
+package chtkc
+
+import (
+	"sync"
+	"testing"
+
+	"dramhit/internal/workload"
+)
+
+func TestBasicCounting(t *testing.T) {
+	tbl := New(1024)
+	p := tbl.NewPool()
+	for i := 0; i < 5; i++ {
+		p.Count(42)
+	}
+	p.Count(43)
+	if v, ok := tbl.Get(42); !ok || v != 5 {
+		t.Fatalf("Get(42) = (%d, %v)", v, ok)
+	}
+	if v, ok := tbl.Get(43); !ok || v != 1 {
+		t.Fatalf("Get(43) = (%d, %v)", v, ok)
+	}
+	if _, ok := tbl.Get(44); ok {
+		t.Fatal("absent key found")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestChainsUnderCollisions(t *testing.T) {
+	// A tiny bucket array forces chains; everything must stay countable.
+	tbl := New(1) // clamps to 1024 buckets
+	p := tbl.NewPool()
+	keys := workload.UniqueKeys(1, 5000)
+	for _, k := range keys {
+		p.Count(k)
+		p.Count(k)
+	}
+	for _, k := range keys {
+		if v, ok := tbl.Get(k); !ok || v != 2 {
+			t.Fatalf("count = (%d, %v)", v, ok)
+		}
+	}
+	if mc := tbl.MaxChain(); mc < 2 {
+		t.Errorf("expected chains, MaxChain = %d", mc)
+	}
+}
+
+func TestPoolBlockRollover(t *testing.T) {
+	tbl := New(1 << 16)
+	p := tbl.NewPool()
+	keys := workload.UniqueKeys(2, poolBlock*2+10)
+	for _, k := range keys {
+		p.Count(k)
+	}
+	if tbl.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), len(keys))
+	}
+}
+
+func TestConcurrentExactCounts(t *testing.T) {
+	tbl := New(4096)
+	keys := workload.UniqueKeys(3, 100)
+	const g, rounds = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := tbl.NewPool()
+			for r := 0; r < rounds; r++ {
+				for _, k := range keys {
+					p.Count(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if v, _ := tbl.Get(k); v != g*rounds {
+			t.Fatalf("count = %d, want %d", v, g*rounds)
+		}
+	}
+	if tbl.Len() != len(keys) {
+		t.Fatalf("Len = %d (duplicate chain nodes?)", tbl.Len())
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	tbl := New(1 << 20)
+	p := tbl.NewPool()
+	keys := workload.UniqueKeys(4, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Count(keys[i&(1<<16-1)])
+	}
+}

@@ -1,0 +1,139 @@
+package dramhit
+
+import (
+	"testing"
+
+	"dramhit/internal/table"
+	"dramhit/internal/workload"
+)
+
+// The Layer-1 (real execution) benchmarks measure the Go implementation on
+// the host machine. Absolute numbers reflect the Go runtime and core count,
+// not the paper's testbed; cross-design ratios on one host are the
+// interesting signal. The paper's figures are reproduced by the simulated
+// benchmarks in the repository root (bench_test.go).
+
+func BenchmarkPutBatchPipelined(b *testing.B) {
+	tbl := New(Config{Slots: uint64(b.N)*2 + 4096})
+	h := tbl.NewHandle()
+	keys := workload.UniqueKeys(1, b.N)
+	vals := make([]uint64, b.N)
+	b.ResetTimer()
+	h.PutBatch(keys, vals)
+}
+
+func BenchmarkGetBatchPipelined(b *testing.B) {
+	const size = 1 << 20
+	tbl := New(Config{Slots: size})
+	h := tbl.NewHandle()
+	keys := workload.UniqueKeys(2, size*3/4)
+	vals := make([]uint64, len(keys))
+	h.PutBatch(keys, vals)
+	found := make([]bool, len(keys))
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(keys) {
+		n := len(keys)
+		if b.N-done < n {
+			n = b.N - done
+		}
+		h.GetBatch(keys[:n], vals[:n], found[:n])
+	}
+}
+
+func BenchmarkGetSyncAdapter(b *testing.B) {
+	// The same lookups without the pipeline (window still fills but each
+	// op flushes): quantifies what the batched interface buys on this host.
+	const size = 1 << 20
+	tbl := New(Config{Slots: size})
+	h := tbl.NewHandle()
+	keys := workload.UniqueKeys(3, size*3/4)
+	vals := make([]uint64, len(keys))
+	h.PutBatch(keys, vals)
+	s := tbl.NewSync()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkUpsertBatch(b *testing.B) {
+	const size = 1 << 18
+	tbl := New(Config{Slots: size})
+	h := tbl.NewHandle()
+	keys := workload.UniqueKeys(4, size/2)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(keys) {
+		n := len(keys)
+		if b.N-done < n {
+			n = b.N - done
+		}
+		h.UpsertBatch(keys[:n], 1)
+	}
+}
+
+func BenchmarkWindowSweep(b *testing.B) {
+	// Ablation on real hardware: issuing a window of independent loads
+	// back-to-back exploits the CPU's memory-level parallelism even from
+	// Go; deeper windows overlap more misses.
+	const size = 1 << 22 // 64 MB of slots: larger than typical LLC
+	keys := workload.UniqueKeys(5, size/2)
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	for _, w := range []int{1, 4, 16, 32} {
+		b.Run(byWindow(w), func(b *testing.B) {
+			tbl := New(Config{Slots: size, PrefetchWindow: w})
+			h := tbl.NewHandle()
+			h.PutBatch(keys, vals)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += len(keys) {
+				n := len(keys)
+				if b.N-done < n {
+					n = b.N - done
+				}
+				h.GetBatch(keys[:n], vals[:n], found[:n])
+			}
+		})
+	}
+}
+
+func byWindow(w int) string {
+	return "window" + string(rune('0'+w/10)) + string(rune('0'+w%10))
+}
+
+func BenchmarkBigTablePutGet(b *testing.B) {
+	bt := NewBigTable(1<<16, 32)
+	keys := workload.UniqueKeys(6, 1<<15)
+	v := make([]byte, 32)
+	out := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		bt.Put(k, v)
+		bt.Get(k, out)
+	}
+}
+
+func BenchmarkMixedPipeline(b *testing.B) {
+	tbl := New(Config{Slots: 1 << 18})
+	h := tbl.NewHandle()
+	ms := workload.NewMixedStream(7, 1<<16, 0.9, 0.8)
+	reqs := make([]table.Request, 16)
+	resps := make([]table.Response, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(reqs) {
+		for j := range reqs {
+			op := ms.Next()
+			kind := table.Put
+			if op.Op == workload.Get {
+				kind = table.Get
+			}
+			reqs[j] = table.Request{Op: kind, Key: op.Key, Value: 1, ID: uint64(j)}
+		}
+		rem := reqs[:]
+		for len(rem) > 0 {
+			nreq, _ := h.Submit(rem, resps)
+			rem = rem[nreq:]
+		}
+	}
+	h.Flush(resps)
+}

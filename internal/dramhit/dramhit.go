@@ -1,0 +1,404 @@
+// Package dramhit implements the DRAMHiT hash table (Narayanan et al.,
+// EuroSys 2023): a lock-free open-addressing table with linear probing whose
+// interface is asynchronous — callers submit batches of requests and collect
+// batches of possibly out-of-order responses — and whose execution never
+// touches unprefetched memory.
+//
+// Each accessor goroutine owns a Handle with a bounded FIFO queue of pending
+// requests (the prefetch queue, Algorithm 1 of the paper). Submitting a
+// request hashes the key, computes the home slot, issues a prefetch for its
+// cache line and enqueues. Once PrefetchWindow requests have accumulated,
+// the oldest request's line is guaranteed to be cache-resident, so the
+// handle drains the queue head: it probes only within the already-prefetched
+// line, and a probe that must cross into the next line issues a new prefetch
+// and re-enqueues the request (a reprobe). Requests therefore complete out
+// of order; every response carries the caller's opaque request ID.
+//
+// In Go a "prefetch" is an ordinary load of the line's first word: issuing a
+// window of independent loads back-to-back lets the CPU overlap the misses
+// (memory-level parallelism), which is the same mechanism the paper's
+// prefetcht0-based engine exploits. The cycle-level reproduction of the
+// paper's numbers lives in internal/simtable, where prefetch cost is modeled
+// explicitly.
+package dramhit
+
+import (
+	"time"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+
+	"sync/atomic"
+)
+
+// DefaultPrefetchWindow is the number of in-flight requests a handle
+// accumulates before it starts draining; the paper uses a window sized so
+// that a DRAM-latency miss is fully covered by the submission of the
+// following requests.
+const DefaultPrefetchWindow = 16
+
+// Config parameterizes a Table.
+type Config struct {
+	// Slots is the capacity of the table (number of 16-byte slots).
+	Slots uint64
+	// PrefetchWindow is the pipeline depth per handle; 0 selects
+	// DefaultPrefetchWindow. A window of 1 degenerates to synchronous
+	// operation (used by the batching ablation, Figure 7).
+	PrefetchWindow int
+	// Hash overrides the hash function; nil selects hashfn.City64.
+	// hashfn.CRC64 matches the paper's CRC32 configuration.
+	Hash func(uint64) uint64
+}
+
+// Table is the shared state of a DRAMHiT hash table. Create per-goroutine
+// Handles with NewHandle; the Table itself holds no per-caller state and all
+// slot accesses are safe for concurrent use. Values equal to
+// slotarr.InFlightValue are reserved.
+type Table struct {
+	arr    *slotarr.Array
+	side   slotarr.SidePair
+	hash   func(uint64) uint64
+	size   uint64
+	window int
+	used   atomic.Int64
+	live   atomic.Int64
+}
+
+// New creates a table from cfg.
+func New(cfg Config) *Table {
+	if cfg.Slots == 0 {
+		panic("dramhit: Config.Slots must be positive")
+	}
+	w := cfg.PrefetchWindow
+	if w == 0 {
+		w = DefaultPrefetchWindow
+	}
+	if w < 1 {
+		panic("dramhit: PrefetchWindow must be >= 1")
+	}
+	h := cfg.Hash
+	if h == nil {
+		h = hashfn.City64
+	}
+	return &Table{
+		arr:    slotarr.New(cfg.Slots),
+		hash:   h,
+		size:   cfg.Slots,
+		window: w,
+	}
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return int(t.live.Load()) + t.side.Count() }
+
+// Cap returns the slot capacity.
+func (t *Table) Cap() int { return int(t.size) }
+
+// Fill returns claimed slots (including tombstones) over capacity.
+func (t *Table) Fill() float64 { return float64(t.used.Load()) / float64(t.size) }
+
+// Window returns the configured prefetch window.
+func (t *Table) Window() int { return t.window }
+
+// pending is one in-flight request on a handle's prefetch queue.
+type pending struct {
+	req     table.Request
+	idx     uint64 // next slot to inspect
+	probes  uint64 // slots inspected so far (full-table bound)
+	startNS int64  // submission time, set only when latency tracking is on
+}
+
+// Stats accumulates per-handle observability counters.
+type Stats struct {
+	// Completed counts finished operations by kind.
+	Gets, Puts, Upserts, Deletes uint64
+	// Hits counts Gets that found their key and Deletes that removed one.
+	Hits uint64
+	// Failed counts Puts/Upserts rejected because the table was full.
+	Failed uint64
+	// Reprobes counts line crossings (requests re-enqueued with a fresh
+	// prefetch).
+	Reprobes uint64
+	// Lines counts cache lines touched (1 + reprobes per op); the paper
+	// reports Lines/Ops ≈ 1.3 at 75% fill.
+	Lines uint64
+}
+
+// Ops returns the total completed operation count.
+func (s *Stats) Ops() uint64 { return s.Gets + s.Puts + s.Upserts + s.Deletes }
+
+// Handle is a single-goroutine accessor holding the prefetch queue. Handles
+// must not be shared between goroutines; create one per worker. Any number
+// of handles may operate on the same Table concurrently.
+type Handle struct {
+	t      *Table
+	q      []pending // ring buffer, len power of two
+	mask   int
+	head   int // enqueue position
+	tail   int // dequeue position (oldest)
+	window int
+
+	stats Stats
+	sink  uint64 // accumulates prefetch loads so they are not dead code
+
+	// onComplete, when set, receives every completed request and its
+	// latency in nanoseconds (used by the Figure 9 latency experiment).
+	onComplete func(req table.Request, lat time.Duration)
+}
+
+// NewHandle creates an accessor for the table.
+func (t *Table) NewHandle() *Handle {
+	capacity := 1
+	for capacity < t.window+1 {
+		capacity <<= 1
+	}
+	return &Handle{
+		t:      t,
+		q:      make([]pending, capacity),
+		mask:   capacity - 1,
+		window: t.window,
+	}
+}
+
+// SetLatencyHook installs a completion callback; pass nil to disable.
+// Enabling it adds a timestamp per request.
+func (h *Handle) SetLatencyHook(fn func(req table.Request, lat time.Duration)) {
+	h.onComplete = fn
+}
+
+// Stats returns a copy of the handle's counters.
+func (h *Handle) Stats() Stats { return h.stats }
+
+// Pending returns the number of requests currently in the pipeline.
+func (h *Handle) Pending() int { return h.head - h.tail }
+
+func (h *Handle) enqueue(p pending) {
+	h.q[h.head&h.mask] = p
+	h.head++
+}
+
+func (h *Handle) dequeue() pending {
+	p := h.q[h.tail&h.mask]
+	h.tail++
+	return p
+}
+
+// Submit feeds reqs into the pipeline and collects completed responses into
+// resps. It returns the number of requests consumed and the number of
+// responses written. nreq < len(reqs) only when resps ran out of space for
+// completions that had to drain first; call Submit again with the remaining
+// requests and a fresh (or re-sliced) response buffer. Only Get operations
+// produce responses; Put, Upsert and Delete complete silently (as in the
+// paper, where updates issued through the batched interface return no
+// result).
+//
+// Ordering: requests complete out of order. In particular, two requests for
+// the SAME key in one pipeline may execute out of submission order when the
+// earlier one reprobes (it re-enters the queue behind the later one) — a Get
+// submitted after a Put of the same key may therefore miss it. When
+// read-your-writes is needed, Flush between the write and the read; this is
+// the latency-for-throughput trade the paper makes explicit.
+func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	for nreq < len(reqs) {
+		for h.Pending() >= h.window {
+			wrote, blocked := h.processOldest(resps, &nresp)
+			if blocked {
+				return nreq, nresp
+			}
+			_ = wrote
+		}
+		p := pending{req: reqs[nreq]}
+		if h.onComplete != nil {
+			p.startNS = time.Now().UnixNano()
+		}
+		p.idx = hashfn.Fastrange(h.t.hash(p.req.Key), h.t.size)
+		h.sink += h.t.arr.Prefetch(p.idx)
+		h.enqueue(p)
+		h.stats.Lines++
+		nreq++
+	}
+	return nreq, nresp
+}
+
+// Flush drains the pipeline, writing completions into resps. It returns the
+// number of responses written and whether the pipeline is now empty; when
+// done is false the response buffer filled up and Flush must be called
+// again. Typically called once at the end of a dataset (paper §3.1).
+func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
+	for h.Pending() > 0 {
+		if _, blocked := h.processOldest(resps, &nresp); blocked {
+			return nresp, false
+		}
+	}
+	return nresp, true
+}
+
+// processOldest pops the oldest pending request and executes it over its
+// current (prefetched) cache line. If the request resolves it completes,
+// possibly writing a response; if it must cross into the next cache line it
+// is re-enqueued with a new prefetch. blocked reports that a Get completed
+// but resps had no room — the request is left at the queue head.
+func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, blocked bool) {
+	p := h.q[h.tail&h.mask]
+
+	// Reserved keys bypass the array entirely (side slots are always
+	// cache-hot); resolve immediately.
+	if s := h.t.side.For(p.req.Key); s != nil {
+		if p.req.Op == table.Get && *nresp >= len(resps) {
+			return false, true
+		}
+		h.tail++
+		h.completeSide(s, p, resps, nresp)
+		return true, false
+	}
+
+	t := h.t
+	line := slotarr.LineOf(p.idx)
+	for {
+		// Crossing into the next cache line: reprobe.
+		if slotarr.LineOf(p.idx) != line || p.probes >= t.size {
+			if p.probes >= t.size {
+				// Full-table probe: the operation fails (Get/Delete: not
+				// found; Put/Upsert: table full).
+				if p.req.Op == table.Get && *nresp >= len(resps) {
+					return false, true
+				}
+				h.tail++
+				h.completeFailed(p, resps, nresp)
+				return true, false
+			}
+			h.tail++
+			h.sink += t.arr.Prefetch(p.idx)
+			h.stats.Reprobes++
+			h.stats.Lines++
+			h.enqueue(p)
+			return false, false
+		}
+
+		k := t.arr.Key(p.idx)
+		switch {
+		case k == p.req.Key:
+			switch p.req.Op {
+			case table.Get:
+				if *nresp >= len(resps) {
+					return false, true
+				}
+				h.tail++
+				v := t.arr.WaitValue(p.idx)
+				resps[*nresp] = table.Response{ID: p.req.ID, Value: v, Found: true}
+				*nresp++
+				h.finish(p, table.Get, true)
+			case table.Put:
+				h.tail++
+				t.arr.StoreValue(p.idx, p.req.Value)
+				h.finish(p, table.Put, true)
+			case table.Upsert:
+				h.tail++
+				t.arr.AddValue(p.idx, p.req.Value)
+				h.finish(p, table.Upsert, true)
+			case table.Delete:
+				h.tail++
+				if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
+					t.live.Add(-1)
+					h.finish(p, table.Delete, true)
+				} else {
+					h.finish(p, table.Delete, false)
+				}
+			}
+			return true, false
+
+		case k == table.EmptyKey:
+			switch p.req.Op {
+			case table.Get, table.Delete:
+				if p.req.Op == table.Get && *nresp >= len(resps) {
+					return false, true
+				}
+				h.tail++
+				if p.req.Op == table.Get {
+					resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
+					*nresp++
+				}
+				h.finish(p, p.req.Op, false)
+				return true, false
+			case table.Put, table.Upsert:
+				if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
+					h.tail++
+					t.arr.StoreValue(p.idx, p.req.Value)
+					t.used.Add(1)
+					t.live.Add(1)
+					h.finish(p, p.req.Op, true)
+					return true, false
+				}
+				// Claim race lost: the slot now holds some key; re-inspect
+				// it without advancing.
+				continue
+			}
+
+		default:
+			// Another key or a tombstone: advance within the line.
+			p.idx++
+			if p.idx == t.size {
+				p.idx = 0
+				// Wrapping lands on a different line; the loop's crossing
+				// check will catch it because LineOf(0) != line (unless the
+				// table is a single line, where probes bound terminates).
+			}
+			p.probes++
+		}
+	}
+}
+
+// completeSide resolves a reserved-key request against its side slot.
+func (h *Handle) completeSide(s *slotarr.SideSlot, p pending, resps []table.Response, nresp *int) {
+	switch p.req.Op {
+	case table.Get:
+		v, ok := s.Get()
+		resps[*nresp] = table.Response{ID: p.req.ID, Value: v, Found: ok}
+		*nresp++
+		h.finish(p, table.Get, ok)
+	case table.Put:
+		s.Put(p.req.Value)
+		h.finish(p, table.Put, true)
+	case table.Upsert:
+		s.Upsert(p.req.Value)
+		h.finish(p, table.Upsert, true)
+	case table.Delete:
+		h.finish(p, table.Delete, s.Delete())
+	}
+}
+
+// completeFailed resolves a request whose probe exhausted the table.
+func (h *Handle) completeFailed(p pending, resps []table.Response, nresp *int) {
+	switch p.req.Op {
+	case table.Get:
+		resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
+		*nresp++
+		h.finish(p, table.Get, false)
+	case table.Put, table.Upsert:
+		h.stats.Failed++
+		h.finish(p, p.req.Op, false)
+	case table.Delete:
+		h.finish(p, table.Delete, false)
+	}
+}
+
+// finish updates counters and fires the latency hook.
+func (h *Handle) finish(p pending, op table.Op, hit bool) {
+	switch op {
+	case table.Get:
+		h.stats.Gets++
+	case table.Put:
+		h.stats.Puts++
+	case table.Upsert:
+		h.stats.Upserts++
+	case table.Delete:
+		h.stats.Deletes++
+	}
+	if hit && (op == table.Get || op == table.Delete) {
+		h.stats.Hits++
+	}
+	if h.onComplete != nil {
+		h.onComplete(p.req, time.Duration(time.Now().UnixNano()-p.startNS))
+	}
+}

@@ -1,0 +1,109 @@
+package dramhitp
+
+import (
+	"sync"
+	"testing"
+
+	"dramhit/internal/workload"
+)
+
+func benchTable(b *testing.B, producers, consumers int) *Table {
+	b.Helper()
+	t := New(Config{
+		Slots:     1 << 20,
+		Producers: producers,
+		Consumers: consumers,
+	})
+	t.Start()
+	b.Cleanup(t.Close)
+	return t
+}
+
+func BenchmarkDelegatedUpsert(b *testing.B) {
+	t := benchTable(b, 1, 2)
+	w := t.NewWriteHandle()
+	defer w.Close()
+	keys := workload.UniqueKeys(1, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Upsert(keys[i&(1<<14-1)], 1)
+	}
+	w.Barrier()
+}
+
+func BenchmarkDelegatedPutSkewed(b *testing.B) {
+	// Hot-key puts: the case where delegation replaces coherence storms.
+	t := benchTable(b, 1, 2)
+	w := t.NewWriteHandle()
+	defer w.Close()
+	keys := workload.NewKeyStream(2, 1<<14, 1.09)
+	hot := make([]uint64, 1<<12)
+	for i := range hot {
+		hot[i] = keys.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Put(hot[i&(1<<12-1)], uint64(i))
+	}
+	w.Barrier()
+}
+
+func BenchmarkDirectRead(b *testing.B) {
+	t := benchTable(b, 1, 2)
+	w := t.NewWriteHandle()
+	keys := workload.UniqueKeys(3, 1<<14)
+	for _, k := range keys {
+		w.Put(k, k)
+	}
+	w.Barrier()
+	w.Close()
+	r := t.NewReadHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Get(keys[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkPipelinedReadBatch(b *testing.B) {
+	t := benchTable(b, 1, 2)
+	w := t.NewWriteHandle()
+	keys := workload.UniqueKeys(4, 1<<14)
+	for _, k := range keys {
+		w.Put(k, k)
+	}
+	w.Barrier()
+	w.Close()
+	r := t.NewReadHandle()
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(keys) {
+		n := len(keys)
+		if b.N-done < n {
+			n = b.N - done
+		}
+		r.GetBatch(keys[:n], vals[:n], found[:n])
+	}
+}
+
+func BenchmarkMultiWriterUpsert(b *testing.B) {
+	const writers = 4
+	t := benchTable(b, writers, 2)
+	keys := workload.UniqueKeys(5, 1<<12)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N / writers
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := t.NewWriteHandle()
+			defer w.Close()
+			for i := 0; i < per; i++ {
+				w.Upsert(keys[i&(1<<12-1)], 1)
+			}
+			w.Barrier()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,318 @@
+// Package dramhitp implements DRAMHiT-P, the partitioned variant of DRAMHiT
+// (paper §3.2): the key space is split across non-overlapping partitions;
+// read operations execute directly on any partition from any thread with no
+// atomic instructions, while update operations are delegated over the
+// message-passing fabric to the single thread that owns the destination
+// partition. Single-writer partitions eliminate coherence contention under
+// skew — under high contention explicit delegation outperforms the hardware
+// coherence protocol.
+//
+// Updates issued through the delegated interface return no result
+// (fire-and-forget), which is what keeps a delegated update within a few
+// tens of cycles. A WriteHandle.Barrier gives read-your-writes when callers
+// need it.
+package dramhitp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dramhit/internal/delegation"
+	"dramhit/internal/hashfn"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// Config parameterizes a Table.
+type Config struct {
+	// Slots is the total capacity across all partitions.
+	Slots uint64
+	// Producers is the number of writer (application) threads that will
+	// request WriteHandles.
+	Producers int
+	// Consumers is the number of delegation threads; the paper finds a
+	// 1-to-3 producer:consumer split optimal for write-heavy workloads.
+	Consumers int
+	// PartitionsPerConsumer sets how many partitions each delegation thread
+	// owns (default 1; the paper's Figure 3 shows 3).
+	PartitionsPerConsumer int
+	// PrefetchWindow is the read-pipeline depth (default
+	// DefaultPrefetchWindow).
+	PrefetchWindow int
+	// QueueCapacity is the per-delegation-queue capacity (default 512).
+	QueueCapacity int
+	// Sections per queue (default capacity/8).
+	Sections int
+	// Hash overrides the hash function (default hashfn.City64).
+	Hash func(uint64) uint64
+	// UseSIMD selects the branchless cache-line-wide probe (the
+	// DRAMHiT-P-SIMD variant, §3.4) inside partition owners.
+	UseSIMD bool
+}
+
+// DefaultPrefetchWindow mirrors dramhit.DefaultPrefetchWindow.
+const DefaultPrefetchWindow = 16
+
+// partition is a single-writer region of the table. The owner thread writes
+// with release stores (value before key), concurrent readers probe with
+// plain atomic loads; no CAS is needed anywhere because writes are
+// serialized by ownership.
+type partition struct {
+	arr   *slotarr.Array
+	count uint64 // owner-local: claimed slots (incl. tombstones)
+	live  int64  // owner-local: present entries
+	full  atomic.Bool
+	_     [5]uint64 // keep partitions off each other's lines
+}
+
+// Table is a partitioned DRAMHiT. Obtain WriteHandles (one per writer
+// goroutine) and ReadHandles (one per reader goroutine); call Start before
+// use and Close when done.
+type Table struct {
+	cfg       Config
+	parts     []partition
+	partSlots uint64
+	nparts    uint64
+	total     uint64
+	hash      func(uint64) uint64
+	side      slotarr.SidePair
+	fabric    *delegation.Fabric
+	simd      bool
+
+	started atomic.Bool
+	wg      sync.WaitGroup
+	// dropped counts updates rejected because their partition was full.
+	dropped atomic.Uint64
+	// handleSeq hands out producer indices to cloned adapters.
+	handleSeq atomic.Int32
+	closeOnce sync.Once
+}
+
+// New builds the table. Call Start to launch the delegation threads.
+func New(cfg Config) *Table {
+	if cfg.Slots == 0 {
+		panic("dramhitp: Config.Slots must be positive")
+	}
+	if cfg.Producers <= 0 {
+		cfg.Producers = 1
+	}
+	if cfg.Consumers <= 0 {
+		cfg.Consumers = 1
+	}
+	if cfg.PartitionsPerConsumer <= 0 {
+		cfg.PartitionsPerConsumer = 1
+	}
+	if cfg.PrefetchWindow == 0 {
+		cfg.PrefetchWindow = DefaultPrefetchWindow
+	}
+	if cfg.Hash == nil {
+		cfg.Hash = hashfn.City64
+	}
+	nparts := uint64(cfg.Consumers * cfg.PartitionsPerConsumer)
+	partSlots := (cfg.Slots + nparts - 1) / nparts
+	if partSlots == 0 {
+		partSlots = 1
+	}
+	t := &Table{
+		cfg:       cfg,
+		parts:     make([]partition, nparts),
+		partSlots: partSlots,
+		nparts:    nparts,
+		total:     partSlots * nparts,
+		hash:      cfg.Hash,
+		simd:      cfg.UseSIMD,
+		fabric: delegation.New(delegation.Config{
+			Producers:     cfg.Producers,
+			Consumers:     cfg.Consumers,
+			QueueCapacity: cfg.QueueCapacity,
+			Sections:      cfg.Sections,
+		}),
+	}
+	for i := range t.parts {
+		t.parts[i].arr = slotarr.New(partSlots)
+	}
+	return t
+}
+
+// locate maps a key to (partition, local slot). The global slot index is a
+// fastrange over the whole table so key density stays uniform; the partition
+// is its quotient, keeping linear probe chains entirely within one
+// partition.
+func (t *Table) locate(key uint64) (part, local uint64) {
+	g := hashfn.Fastrange(t.hash(key), t.total)
+	return g / t.partSlots, g % t.partSlots
+}
+
+// ownerOf returns the consumer index that owns partition p (round-robin
+// assignment, paper Figure 3).
+func (t *Table) ownerOf(part uint64) int {
+	return int(part % uint64(t.cfg.Consumers))
+}
+
+// Start launches the delegation (consumer) goroutines.
+func (t *Table) Start() {
+	if t.started.Swap(true) {
+		panic("dramhitp: Start called twice")
+	}
+	for c := 0; c < t.cfg.Consumers; c++ {
+		t.wg.Add(1)
+		go func(c int) {
+			defer t.wg.Done()
+			cons := t.fabric.Consumer(c)
+			cons.Run(func(m delegation.Message) { t.apply(m) })
+		}(c)
+	}
+}
+
+// Close shuts the table down: it closes every producer endpoint
+// (Producer.Close is idempotent, so handles already closed by their owners
+// are unaffected) and joins the delegation threads. All writer goroutines
+// must have quiesced before Close is called.
+func (t *Table) Close() {
+	t.closeOnce.Do(func() {
+		for p := 0; p < t.cfg.Producers; p++ {
+			t.fabric.Producer(p).Close()
+		}
+		t.wg.Wait()
+	})
+}
+
+// Dropped returns the number of updates discarded because their partition
+// was full.
+func (t *Table) Dropped() uint64 { return t.dropped.Load() }
+
+// Len returns the number of live entries. Exact only when writers are
+// quiescent (counters are owner-local and read without synchronization
+// beyond atomics).
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.parts {
+		n += int(atomic.LoadInt64(&t.parts[i].live))
+	}
+	return n + t.side.Count()
+}
+
+// Cap returns the total slot capacity.
+func (t *Table) Cap() int { return int(t.total) }
+
+// Partitions returns the partition count.
+func (t *Table) Partitions() int { return int(t.nparts) }
+
+// apply executes one delegated update on the owning consumer thread.
+func (t *Table) apply(m delegation.Message) {
+	op := table.Op(m.Aux)
+	key, value := m.A, m.B
+	if s := t.side.For(key); s != nil {
+		switch op {
+		case table.Put:
+			s.Put(value)
+		case table.Upsert:
+			s.Upsert(value)
+		case table.Delete:
+			s.Delete()
+		}
+		return
+	}
+	part, local := t.locate(key)
+	pt := &t.parts[part]
+	switch op {
+	case table.Put:
+		if !t.putLocal(pt, local, key, value, false) {
+			t.dropped.Add(1)
+		}
+	case table.Upsert:
+		if !t.putLocal(pt, local, key, value, true) {
+			t.dropped.Add(1)
+		}
+	case table.Delete:
+		t.deleteLocal(pt, local, key)
+	}
+}
+
+// putLocal inserts or updates (key, value) in partition pt starting at slot
+// `local`. Single-writer: publication order is value first, then key, so a
+// concurrent reader never observes a claimed-but-unvalued slot.
+func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool {
+	arr := pt.arr
+	i := local
+	for probes := uint64(0); probes < t.partSlots; probes++ {
+		var k uint64
+		if t.simd {
+			var found bool
+			k, i, found = t.probeLine(arr, i, key)
+			if !found {
+				// probeLine advanced i to the next line start; account for
+				// the slots it skipped.
+				probes += uint64(table.SlotsPerCacheLine) - 1
+				continue
+			}
+		} else {
+			k = arr.Key(i)
+		}
+		switch k {
+		case key:
+			if add {
+				arr.AddValue(i, value)
+			} else {
+				arr.StoreValue(i, value)
+			}
+			return true
+		case table.EmptyKey:
+			arr.StoreValue(i, value)
+			arr.StoreKey(i, key)
+			pt.count++
+			atomic.AddInt64(&pt.live, 1)
+			if pt.count >= t.partSlots {
+				// Deny further inserts before the next one is attempted
+				// (paper §3.2: the owner sets the flag; producers check it).
+				pt.full.Store(true)
+			}
+			return true
+		}
+		i++
+		if i == t.partSlots {
+			i = 0
+		}
+	}
+	pt.full.Store(true)
+	return false
+}
+
+// deleteLocal tombstones key in partition pt.
+func (t *Table) deleteLocal(pt *partition, local, key uint64) {
+	arr := pt.arr
+	i := local
+	for probes := uint64(0); probes < t.partSlots; probes++ {
+		switch arr.Key(i) {
+		case key:
+			arr.StoreKey(i, table.TombstoneKey)
+			atomic.AddInt64(&pt.live, -1)
+			return
+		case table.EmptyKey:
+			return
+		}
+		i++
+		if i == t.partSlots {
+			i = 0
+		}
+	}
+}
+
+// getLocal is the lock-free read path: two loads, no atomic RMW.
+func (t *Table) getLocal(pt *partition, local, key uint64) (uint64, bool) {
+	arr := pt.arr
+	i := local
+	for probes := uint64(0); probes < t.partSlots; probes++ {
+		switch arr.Key(i) {
+		case key:
+			return arr.WaitValue(i), true
+		case table.EmptyKey:
+			return 0, false
+		}
+		i++
+		if i == t.partSlots {
+			i = 0
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,340 @@
+package dramhitp
+
+import (
+	"dramhit/internal/delegation"
+	"dramhit/internal/hashfn"
+	"dramhit/internal/simd"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// probeLine runs the vectorized (branchless, cache-line-granular) probe of
+// DRAMHiT-P-SIMD over the line containing slot i. On a hit it returns the
+// matched key (the probe key or table.EmptyKey) and the slot index; on a
+// miss it returns i advanced to the start of the next line.
+func (t *Table) probeLine(arr *slotarr.Array, i, key uint64) (k, slot uint64, found bool) {
+	lineStart := (i / table.SlotsPerCacheLine) * table.SlotsPerCacheLine
+	cidx := int(i - lineStart)
+	var lanes [simd.LaneCount]uint64
+	for l := 0; l < simd.LaneCount; l++ {
+		s := lineStart + uint64(l)
+		if s < t.partSlots {
+			lanes[l] = arr.Key(s)
+		} else {
+			// Past the end of the partition: poison the lane with the
+			// tombstone so it matches neither key nor empty.
+			lanes[l] = table.TombstoneKey
+		}
+	}
+	lane, res := simd.ProbeLine(&lanes, key, table.EmptyKey, cidx)
+	switch res {
+	case simd.HitKey:
+		return key, lineStart + uint64(lane), true
+	case simd.HitEmpty:
+		return table.EmptyKey, lineStart + uint64(lane), true
+	}
+	next := lineStart + table.SlotsPerCacheLine
+	if next >= t.partSlots {
+		next = 0
+	}
+	return 0, next, false
+}
+
+// WriteHandle is a per-goroutine writer endpoint. Updates are delegated to
+// partition owners and return no result. Obtain with NewWriteHandle and
+// Close when the goroutine is done writing.
+type WriteHandle struct {
+	t *Table
+	p *delegation.Producer
+}
+
+// NewWriteHandle allocates the next producer slot. It panics if more
+// handles are requested than Config.Producers.
+func (t *Table) NewWriteHandle() *WriteHandle {
+	id := int(t.handleSeq.Add(1)) - 1
+	if id >= t.cfg.Producers {
+		panic("dramhitp: more WriteHandles requested than Config.Producers")
+	}
+	return &WriteHandle{t: t, p: t.fabric.Producer(id)}
+}
+
+// send routes an update to the owner of the key's partition, checking the
+// partition-full flag first (a shared-state L1 hit in steady state, paper
+// §3.2). It reports false if the update was denied.
+func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
+	t := w.t
+	if t.side.For(key) != nil {
+		// Reserved keys are owned by consumer 0.
+		w.p.Send(0, delegation.Message{A: key, B: value, Aux: uint64(op)})
+		return true
+	}
+	part, _ := t.locate(key)
+	if op != table.Delete && t.parts[part].full.Load() {
+		t.dropped.Add(1)
+		return false
+	}
+	w.p.Send(t.ownerOf(part), delegation.Message{A: key, B: value, Aux: uint64(op)})
+	return true
+}
+
+// Put requests an insert/overwrite. It returns false if the destination
+// partition is full (the update is dropped, fire-and-forget semantics).
+func (w *WriteHandle) Put(key, value uint64) bool {
+	return w.send(table.Put, key, value)
+}
+
+// Upsert requests an insert-or-add of delta.
+func (w *WriteHandle) Upsert(key, delta uint64) bool {
+	return w.send(table.Upsert, key, delta)
+}
+
+// Delete requests a tombstone.
+func (w *WriteHandle) Delete(key uint64) {
+	w.send(table.Delete, key, 0)
+}
+
+// Flush publishes partially filled delegation sections. Call at batch
+// boundaries so trailing updates are not stranded.
+func (w *WriteHandle) Flush() { w.p.Flush() }
+
+// Barrier blocks until every update this handle sent has been executed by
+// the partition owners (read-your-writes point).
+func (w *WriteHandle) Barrier() { w.p.Barrier() }
+
+// Close flushes and releases the producer slot. Must be called exactly once
+// per handle; the table cannot shut down until all issued handles are
+// closed.
+func (w *WriteHandle) Close() { w.p.Close() }
+
+// ReadHandle is a per-goroutine reader with the same prefetch-window
+// pipeline as base DRAMHiT, probing partitions directly (reads are not
+// delegated; any thread may read any partition).
+type ReadHandle struct {
+	t      *Table
+	q      []rpending
+	mask   int
+	head   int
+	tail   int
+	window int
+	sink   uint64
+	simd   bool
+	// Gets counts completed lookups; Hits those that found their key.
+	Gets, Hits uint64
+}
+
+type rpending struct {
+	key    uint64
+	id     uint64
+	part   uint64
+	idx    uint64 // partition-local
+	probes uint64
+}
+
+// NewReadHandle creates a reader pipeline. With Config.UseSIMD the handle
+// probes whole cache lines branchlessly (the DRAMHiT-P-SIMD read path).
+func (t *Table) NewReadHandle() *ReadHandle {
+	capacity := 1
+	for capacity < t.cfg.PrefetchWindow+1 {
+		capacity <<= 1
+	}
+	return &ReadHandle{
+		t:      t,
+		q:      make([]rpending, capacity),
+		mask:   capacity - 1,
+		window: t.cfg.PrefetchWindow,
+		simd:   t.simd,
+	}
+}
+
+// Get is the direct synchronous read path (two loads, no atomics beyond
+// plain atomic loads), bypassing the pipeline.
+func (r *ReadHandle) Get(key uint64) (uint64, bool) {
+	t := r.t
+	if s := t.side.For(key); s != nil {
+		return s.Get()
+	}
+	part, local := t.locate(key)
+	return t.getLocal(&t.parts[part], local, key)
+}
+
+// Submit pipelines lookup requests; completed responses are appended into
+// resps exactly as in dramhit.Handle.Submit. Returns requests consumed and
+// responses written.
+func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	t := r.t
+	for nreq < len(reqs) {
+		for r.head-r.tail >= r.window {
+			if blocked := r.processOldest(resps, &nresp); blocked {
+				return nreq, nresp
+			}
+		}
+		req := reqs[nreq]
+		part, local := t.locate(req.Key)
+		p := rpending{key: req.Key, id: req.ID, part: part, idx: local}
+		r.sink += t.parts[part].arr.Prefetch(local)
+		r.q[r.head&r.mask] = p
+		r.head++
+		nreq++
+	}
+	return nreq, nresp
+}
+
+// Flush drains the read pipeline.
+func (r *ReadHandle) Flush(resps []table.Response) (nresp int, done bool) {
+	for r.head > r.tail {
+		if blocked := r.processOldest(resps, &nresp); blocked {
+			return nresp, false
+		}
+	}
+	return nresp, true
+}
+
+// processOldest resolves the oldest pending lookup over its current line,
+// reprobing with a fresh prefetch on line crossings.
+func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked bool) {
+	p := r.q[r.tail&r.mask]
+	t := r.t
+	if s := t.side.For(p.key); s != nil {
+		if *nresp >= len(resps) {
+			return true
+		}
+		r.tail++
+		v, ok := s.Get()
+		resps[*nresp] = table.Response{ID: p.id, Value: v, Found: ok}
+		*nresp++
+		r.complete(ok)
+		return false
+	}
+	arr := t.parts[p.part].arr
+	if r.simd {
+		return r.processOldestSIMD(resps, nresp, p, arr)
+	}
+	line := slotarr.LineOf(p.idx)
+	for {
+		if slotarr.LineOf(p.idx) != line || p.probes >= t.partSlots {
+			if p.probes >= t.partSlots {
+				if *nresp >= len(resps) {
+					return true
+				}
+				r.tail++
+				resps[*nresp] = table.Response{ID: p.id, Found: false}
+				*nresp++
+				r.complete(false)
+				return false
+			}
+			r.tail++
+			r.sink += arr.Prefetch(p.idx)
+			r.q[r.head&r.mask] = p
+			r.head++
+			return false
+		}
+		switch k := arr.Key(p.idx); k {
+		case p.key:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
+			*nresp++
+			r.complete(true)
+			return false
+		case table.EmptyKey:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Found: false}
+			*nresp++
+			r.complete(false)
+			return false
+		default:
+			p.idx++
+			if p.idx == t.partSlots {
+				p.idx = 0
+			}
+			p.probes++
+		}
+	}
+}
+
+// processOldestSIMD resolves the oldest pending lookup with the branchless
+// cache-line-wide probe of §3.4: one masked compare covers all key lanes of
+// the prefetched line at once; a miss reprobes into the next line.
+func (r *ReadHandle) processOldestSIMD(resps []table.Response, nresp *int, p rpending, arr *slotarr.Array) (blocked bool) {
+	t := r.t
+	k, slot, found := t.probeLine(arr, p.idx, p.key)
+	if !found {
+		// Line exhausted: reprobe (probeLine already advanced to the next
+		// line start, possibly wrapping).
+		p.probes += uint64(table.SlotsPerCacheLine)
+		if p.probes >= t.partSlots {
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Found: false}
+			*nresp++
+			r.complete(false)
+			return false
+		}
+		p.idx = slot
+		r.tail++
+		r.sink += arr.Prefetch(p.idx)
+		r.q[r.head&r.mask] = p
+		r.head++
+		return false
+	}
+	if *nresp >= len(resps) {
+		return true
+	}
+	r.tail++
+	if k == p.key {
+		resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(slot), Found: true}
+		*nresp++
+		r.complete(true)
+	} else {
+		// Empty slot terminates the chain.
+		resps[*nresp] = table.Response{ID: p.id, Found: false}
+		*nresp++
+		r.complete(false)
+	}
+	return false
+}
+
+func (r *ReadHandle) complete(hit bool) {
+	r.Gets++
+	if hit {
+		r.Hits++
+	}
+}
+
+// GetBatch performs positional batched lookups (see dramhit.Handle.GetBatch).
+func (r *ReadHandle) GetBatch(keys []uint64, vals []uint64, found []bool) {
+	reqs := make([]table.Request, len(keys))
+	for i, k := range keys {
+		reqs[i] = table.Request{Op: table.Get, Key: k, ID: uint64(i)}
+	}
+	resps := make([]table.Response, len(keys))
+	scatter := func(rs []table.Response) {
+		for _, resp := range rs {
+			vals[resp.ID] = resp.Value
+			found[resp.ID] = resp.Found
+		}
+	}
+	rem := reqs
+	for len(rem) > 0 {
+		nreq, nresp := r.Submit(rem, resps)
+		scatter(resps[:nresp])
+		rem = rem[nreq:]
+	}
+	for {
+		nresp, done := r.Flush(resps)
+		scatter(resps[:nresp])
+		if done {
+			return
+		}
+	}
+}
+
+// hashOf is exposed for tests that need to co-locate keys in partitions.
+func (t *Table) hashOf(key uint64) uint64 { return hashfn.Fastrange(t.hash(key), t.total) }

@@ -1,0 +1,98 @@
+// Package hashfn provides the hash functions and index-reduction primitives
+// used throughout the DRAMHiT hash tables: a hardware-style CRC32-C based
+// 64-bit hash, a City-style 64-bit mixer for 8-byte keys, a byte-slice hash
+// for variable-length keys (k-mers), and Lemire's fastrange reduction that
+// maps a hash into [0, n) without a modulo and without requiring n to be a
+// power of two.
+package hashfn
+
+import (
+	"hash/crc32"
+	"math/bits"
+)
+
+// castagnoli is the CRC32-C polynomial table. DRAMHiT uses the CRC32
+// instruction (SSE4.2) as its default hash; hash/crc32 uses the same
+// polynomial and is hardware accelerated on amd64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC64 hashes an 8-byte key with CRC32-C, widening the 32-bit digest to 64
+// bits by mixing the key back in. The paper's implementation uses the raw
+// crc32 result as the table index; we fold the high key bits in so that the
+// full 64-bit hash has entropy in its upper half too (fastrange consumes the
+// high bits first).
+func CRC64(key uint64) uint64 {
+	var buf [8]byte
+	putUint64(buf[:], key)
+	c := uint64(crc32.Checksum(buf[:], castagnoli))
+	// Spread the 32-bit digest across 64 bits. The multiply by a
+	// 64-bit odd constant is a bijection, so no entropy is lost.
+	return (c ^ ((key >> 32) * 0x9e3779b97f4a7c15)) * 0xff51afd7ed558ccd
+}
+
+// City64 is a fast City/wyhash-style mixer for 8-byte keys. It is a bijection
+// on uint64, which several tests exploit (distinct keys can never collide on
+// the full 64-bit hash).
+func City64(key uint64) uint64 {
+	h := key
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Bytes hashes an arbitrary byte slice (used for k-mer keys longer than 8
+// bytes). It is a simple multiply-rotate construction seeded per 8-byte lane,
+// finished with the City64 mixer.
+func Bytes(b []byte) uint64 {
+	var h uint64 = 0x2545f4914f6cdd1d
+	for len(b) >= 8 {
+		h = mix(h, getUint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail [8]byte
+		copy(tail[:], b)
+		h = mix(h, getUint64(tail[:])^uint64(len(b)))
+	}
+	return City64(h)
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v * 0x9e3779b97f4a7c15
+	return bits.RotateLeft64(h, 31) * 0xbf58476d1ce4e5b9
+}
+
+// Fastrange maps a 64-bit hash into [0, n) in an approximately uniform
+// manner using the high bits of the 128-bit product hash*n. It replaces the
+// modulo reduction and lets table sizes be arbitrary (not powers of two).
+func Fastrange(hash, n uint64) uint64 {
+	hi, _ := bits.Mul64(hash, n)
+	return hi
+}
+
+// Fastrange32 is the 32-bit variant used where the index space is known to
+// fit in 32 bits (partition selection).
+func Fastrange32(hash uint32, n uint32) uint32 {
+	return uint32((uint64(hash) * uint64(n)) >> 32)
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

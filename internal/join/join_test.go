@@ -1,0 +1,104 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"dramhit/internal/workload"
+)
+
+func TestPKFKJoin(t *testing.T) {
+	// Build: 1000 unique keys. Probe: each key twice plus misses.
+	build := make([]Row, 1000)
+	keys := workload.UniqueKeys(1, 1000)
+	for i, k := range keys {
+		build[i] = Row{Key: k, RowID: uint64(i)}
+	}
+	j := NewJoiner(len(build), 0.75)
+	if err := j.Build(build); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := append(append([]uint64{}, keys...), keys...)
+	probe = append(probe, workload.UniqueKeys(2, 500)...) // misses
+	var got []Match
+	n := j.Probe(probe, func(m Match) { got = append(got, m) })
+	if n != 2000 {
+		t.Fatalf("matches = %d, want 2000", n)
+	}
+	// Every match must be consistent: probe key == build key of the payload.
+	for _, m := range got {
+		if probe[m.ProbeIndex] != keys[m.BuildRowID] {
+			t.Fatalf("mismatched join: probe %d joined build row %d", m.ProbeIndex, m.BuildRowID)
+		}
+	}
+}
+
+func TestDuplicateBuildKeysDetected(t *testing.T) {
+	j := NewJoiner(10, 0.75)
+	rows := []Row{{Key: 5, RowID: 1}, {Key: 5, RowID: 2}, {Key: 6, RowID: 3}}
+	if err := j.Build(rows); err == nil {
+		t.Fatal("duplicate build keys not detected")
+	}
+}
+
+func TestEmptyProbe(t *testing.T) {
+	j := NewJoiner(16, 0.75)
+	j.Build([]Row{{Key: 1, RowID: 1}})
+	if n := j.Probe(nil, func(Match) { t.Fatal("emit on empty probe") }); n != 0 {
+		t.Fatalf("matches = %d", n)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	// A probe relation where only 10% of keys hit must match exactly 10%.
+	keys := workload.UniqueKeys(3, 10_000)
+	build := make([]Row, 1000)
+	for i := 0; i < 1000; i++ {
+		build[i] = Row{Key: keys[i], RowID: uint64(i)}
+	}
+	j := NewJoiner(len(build), 0.75)
+	if err := j.Build(build); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	probe := make([]uint64, 20_000)
+	wantMatches := 0
+	for i := range probe {
+		probe[i] = keys[rng.Intn(len(keys))]
+	}
+	// Count expected matches directly.
+	builtSet := map[uint64]bool{}
+	for _, r := range build {
+		builtSet[r.Key] = true
+	}
+	for _, k := range probe {
+		if builtSet[k] {
+			wantMatches++
+		}
+	}
+	got := j.Probe(probe, func(Match) {})
+	if got != wantMatches {
+		t.Fatalf("matches = %d, want %d", got, wantMatches)
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	keys := workload.UniqueKeys(5, 1<<18)
+	build := make([]Row, len(keys))
+	for i, k := range keys {
+		build[i] = Row{Key: k, RowID: uint64(i)}
+	}
+	j := NewJoiner(len(build), 0.75)
+	if err := j.Build(build); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(keys) {
+		n := len(keys)
+		if b.N-done < n {
+			n = b.N - done
+		}
+		j.Probe(keys[:n], func(Match) {})
+	}
+}

@@ -1,0 +1,89 @@
+package kmer
+
+// Canonicalization: real k-mer counters (Jellyfish, KMC3, CHTKC) usually
+// count a k-mer and its reverse complement as one, because sequencing reads
+// come from either DNA strand. The paper disables canonicalization in CHTKC
+// to match its benchmark ("we disable the canonicalization of kmers in
+// CHTKC as we do not perform that operation"); this file provides it as an
+// option so the counters here can also run in the standard genomics mode.
+
+// revCompBase maps a 2-bit base to its complement: A<->T (0<->3), C<->G
+// (1<->2) — which is simply XOR 3.
+
+// ReverseComplement returns the reverse complement of a 2-bit packed k-mer.
+func ReverseComplement(kmer uint64, k int) uint64 {
+	var rc uint64
+	for i := 0; i < k; i++ {
+		rc = (rc << 2) | ((kmer & 3) ^ 3)
+		kmer >>= 2
+	}
+	return rc
+}
+
+// Canonical returns the lexicographically smaller of a k-mer and its
+// reverse complement — the standard canonical form.
+func Canonical(kmer uint64, k int) uint64 {
+	rc := ReverseComplement(kmer, k)
+	if rc < kmer {
+		return rc
+	}
+	return kmer
+}
+
+// CanonicalIterator wraps Iterator, yielding canonical k-mers. It maintains
+// the reverse complement incrementally, so canonicalization costs O(1) per
+// base instead of O(k).
+type CanonicalIterator struct {
+	it      *Iterator
+	k       int
+	rcShift uint
+	rc      uint64
+	lastPos int
+}
+
+// NewCanonicalIterator creates a canonical k-mer iterator over seq.
+func NewCanonicalIterator(seq []byte, k int) *CanonicalIterator {
+	return &CanonicalIterator{
+		it:      NewIterator(seq, k),
+		k:       k,
+		rcShift: uint(2 * (k - 1)),
+		lastPos: -2,
+	}
+}
+
+// Next returns the next canonical k-mer.
+func (c *CanonicalIterator) Next() (uint64, bool) {
+	km, ok := c.it.Next()
+	if !ok {
+		return 0, false
+	}
+	if c.it.pos == c.lastPos+1 {
+		// Contiguous window: update the reverse complement incrementally —
+		// the new base enters at the high end of rc.
+		newBase := km & 3
+		c.rc = (c.rc >> 2) | ((newBase ^ 3) << c.rcShift)
+	} else {
+		// Window restarted (start of sequence or after an N): recompute.
+		c.rc = ReverseComplement(km, c.k)
+	}
+	c.lastPos = c.it.pos
+	if c.rc < km {
+		return c.rc, true
+	}
+	return km, true
+}
+
+// CountSequenceCanonical feeds every canonical k-mer of seq into the
+// counter.
+func CountSequenceCanonical(c Counter, seq []byte, k int) int {
+	it := NewCanonicalIterator(seq, k)
+	n := 0
+	for {
+		km, ok := it.Next()
+		if !ok {
+			return n
+		}
+		c.Count(km)
+		n++
+	}
+}

@@ -1,0 +1,108 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReverseComplementKnown(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ACGT", "ACGT"}, // palindrome
+		{"AAAA", "TTTT"},
+		{"ACCA", "TGGT"},
+		{"GATTACA", "TGTAATC"},
+	}
+	for _, c := range cases {
+		k := len(c.in)
+		it := NewIterator([]byte(c.in), k)
+		km, _ := it.Next()
+		got := Decode(ReverseComplement(km, k), k)
+		if got != c.want {
+			t.Errorf("revcomp(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	prop := func(v uint64, kRaw uint8) bool {
+		k := int(kRaw)%MaxK + 1
+		var mask uint64
+		if k == MaxK {
+			mask = ^uint64(0)
+		} else {
+			mask = (1 << (2 * k)) - 1
+		}
+		v &= mask
+		return ReverseComplement(ReverseComplement(v, k), k) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalSymmetric(t *testing.T) {
+	// Canonical(x) == Canonical(revcomp(x)): both strands map to one form.
+	prop := func(v uint64, kRaw uint8) bool {
+		k := int(kRaw)%MaxK + 1
+		var mask uint64
+		if k == MaxK {
+			mask = ^uint64(0)
+		} else {
+			mask = (1 << (2 * k)) - 1
+		}
+		v &= mask
+		return Canonical(v, k) == Canonical(ReverseComplement(v, k), k)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalIteratorMatchesNaive(t *testing.T) {
+	alphabet := []byte("ACGTN")
+	prop := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		seq := make([]byte, len(raw))
+		for i, b := range raw {
+			seq[i] = alphabet[int(b)%len(alphabet)]
+		}
+		want := naiveKmers(seq, k)
+		it := NewCanonicalIterator(seq, k)
+		for _, w := range want {
+			got, ok := it.Next()
+			if !ok || got != Canonical(w, k) {
+				return false
+			}
+		}
+		_, ok := it.Next()
+		return !ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalCountingMergesStrands(t *testing.T) {
+	// Counting a sequence and its reverse complement canonically must give
+	// exactly doubled counts.
+	seq := []byte("GATTACAGATTACAGGGTTT")
+	rc := make([]byte, len(seq))
+	comp := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C'}
+	for i, b := range seq {
+		rc[len(seq)-1-i] = comp[b]
+	}
+	one := MapCounter{}
+	CountSequenceCanonical(one, seq, 5)
+	both := MapCounter{}
+	CountSequenceCanonical(both, seq, 5)
+	CountSequenceCanonical(both, rc, 5)
+	for km, n := range one {
+		if both[km] != 2*n {
+			t.Fatalf("k-mer %s: %d + revcomp strand = %d, want %d",
+				Decode(km, 5), n, both[km], 2*n)
+		}
+	}
+	if len(both) != len(one) {
+		t.Fatalf("strand merge created new canonical k-mers: %d vs %d", len(both), len(one))
+	}
+}

@@ -1,0 +1,117 @@
+package kmer
+
+import (
+	"dramhit/internal/chtkc"
+	"dramhit/internal/dramhit"
+	"dramhit/internal/dramhitp"
+	"dramhit/internal/folklore"
+	"dramhit/internal/table"
+)
+
+// DRAMHiTCounter counts k-mers through a dramhit.Handle's batched upsert
+// pipeline, accumulating requests into submission batches exactly as the
+// paper's macrobenchmark does ("submit upsertion requests in batches of 16
+// requests, which relies on a local array to accumulate the batch").
+type DRAMHiTCounter struct {
+	h     *dramhit.Handle
+	batch []table.Request
+	size  int
+}
+
+// NewDRAMHiTCounter wraps a handle with a batch accumulator of the given
+// size (0 selects 16).
+func NewDRAMHiTCounter(h *dramhit.Handle, batchSize int) *DRAMHiTCounter {
+	if batchSize <= 0 {
+		batchSize = 16
+	}
+	return &DRAMHiTCounter{h: h, batch: make([]table.Request, 0, batchSize), size: batchSize}
+}
+
+// Count implements Counter.
+func (c *DRAMHiTCounter) Count(kmer uint64) {
+	c.batch = append(c.batch, table.Request{Op: table.Upsert, Key: kmer, Value: 1})
+	if len(c.batch) == c.size {
+		c.flushBatch()
+	}
+}
+
+func (c *DRAMHiTCounter) flushBatch() {
+	rem := c.batch
+	for len(rem) > 0 {
+		n, _ := c.h.Submit(rem, nil)
+		rem = rem[n:]
+	}
+	c.batch = c.batch[:0]
+}
+
+// Flush drains both the accumulator and the prefetch pipeline; call at the
+// end of the dataset.
+func (c *DRAMHiTCounter) Flush() {
+	c.flushBatch()
+	for {
+		if _, done := c.h.Flush(nil); done {
+			return
+		}
+	}
+}
+
+// Get implements Counter (synchronous; flushes first).
+func (c *DRAMHiTCounter) Get(kmer uint64) (uint64, bool) {
+	c.Flush()
+	reqs := [1]table.Request{{Op: table.Get, Key: kmer}}
+	var resps [2]table.Response
+	_, n := c.h.Submit(reqs[:], resps[:])
+	for {
+		more, done := c.h.Flush(resps[n:])
+		n += more
+		if done {
+			break
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return resps[0].Value, resps[0].Found
+}
+
+// FolkloreCounter counts through the synchronous baseline.
+type FolkloreCounter struct{ T *folklore.Table }
+
+// Count implements Counter.
+func (c FolkloreCounter) Count(kmer uint64) { c.T.Upsert(kmer, 1) }
+
+// Get implements Counter.
+func (c FolkloreCounter) Get(kmer uint64) (uint64, bool) { return c.T.Get(kmer) }
+
+// PartitionedCounter counts through a DRAMHiT-P write handle (delegated,
+// fire-and-forget upserts) and reads through a read handle.
+type PartitionedCounter struct {
+	W *dramhitp.WriteHandle
+	R *dramhitp.ReadHandle
+}
+
+// Count implements Counter.
+func (c PartitionedCounter) Count(kmer uint64) { c.W.Upsert(kmer, 1) }
+
+// Get implements Counter (barriers for read-your-writes).
+func (c PartitionedCounter) Get(kmer uint64) (uint64, bool) {
+	c.W.Barrier()
+	return c.R.Get(kmer)
+}
+
+// CHTKCCounter counts through the chained baseline.
+type CHTKCCounter struct {
+	T *chtkc.Table
+	P *chtkc.Pool
+}
+
+// NewCHTKCCounter creates a counter with its own node pool.
+func NewCHTKCCounter(t *chtkc.Table) CHTKCCounter {
+	return CHTKCCounter{T: t, P: t.NewPool()}
+}
+
+// Count implements Counter.
+func (c CHTKCCounter) Count(kmer uint64) { c.P.Count(kmer) }
+
+// Get implements Counter.
+func (c CHTKCCounter) Get(kmer uint64) (uint64, bool) { return c.T.Get(kmer) }

@@ -1,0 +1,64 @@
+package kmer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIterator checks that the k-mer iterator never panics and agrees with
+// the naive reference on arbitrary byte soup.
+func FuzzIterator(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), 4)
+	f.Add([]byte("acgtNNNNacgt"), 3)
+	f.Add([]byte{}, 1)
+	f.Add([]byte("zzzz\x00\xff"), 2)
+	f.Fuzz(func(t *testing.T, seq []byte, k int) {
+		if k < 1 || k > MaxK {
+			return
+		}
+		want := naiveKmers(seq, k)
+		it := NewIterator(seq, k)
+		for i := 0; ; i++ {
+			km, ok := it.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("iterator yielded %d kmers, reference %d", i, len(want))
+				}
+				return
+			}
+			if i >= len(want) || km != want[i] {
+				t.Fatalf("kmer %d mismatch", i)
+			}
+		}
+	})
+}
+
+// FuzzFASTARoundTrip checks that any records we write parse back
+// byte-identically, and that arbitrary input never panics the reader.
+func FuzzFASTARoundTrip(f *testing.F) {
+	f.Add([]byte(">x\nACGT\n"))
+	f.Add([]byte("no header at all\n"))
+	f.Add([]byte(";comment\n>\n\n>h\nGG\n"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		recs, err := ReadFASTA(bytes.NewReader(raw))
+		if err != nil {
+			return // malformed input may error, but must not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of our own output failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if !bytes.Equal(recs[i], again[i]) {
+				t.Fatalf("record %d changed", i)
+			}
+		}
+	})
+}

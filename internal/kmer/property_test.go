@@ -1,0 +1,113 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveKmers is an obviously-correct reference: enumerate every substring
+// of length k consisting solely of ACGT and pack it.
+func naiveKmers(seq []byte, k int) []uint64 {
+	var out []uint64
+	for i := 0; i+k <= len(seq); i++ {
+		var v uint64
+		ok := true
+		for j := 0; j < k; j++ {
+			c := codeOf(seq[i+j])
+			if c < 0 {
+				ok = false
+				break
+			}
+			v = v<<2 | uint64(c)
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestIteratorMatchesNaiveReference(t *testing.T) {
+	alphabet := []byte("ACGTNacgtX")
+	prop := func(raw []byte, kRaw uint8) bool {
+		k := int(kRaw)%8 + 1
+		seq := make([]byte, len(raw))
+		for i, b := range raw {
+			seq[i] = alphabet[int(b)%len(alphabet)]
+		}
+		want := naiveKmers(seq, k)
+		it := NewIterator(seq, k)
+		var got []uint64
+		for {
+			km, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, km)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEncodeRoundTripQuick(t *testing.T) {
+	prop := func(v uint64, kRaw uint8) bool {
+		k := int(kRaw)%MaxK + 1
+		var mask uint64
+		if k == MaxK {
+			mask = ^uint64(0)
+		} else {
+			mask = (1 << (2 * k)) - 1
+		}
+		v &= mask
+		s := Decode(v, k)
+		it := NewIterator([]byte(s), k)
+		got, ok := it.Next()
+		return ok && got == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkewStatsProperties(t *testing.T) {
+	prop := func(counts []uint16) bool {
+		m := map[uint64]uint64{}
+		var total uint64
+		for i, c := range counts {
+			if c == 0 {
+				continue
+			}
+			m[uint64(i)] = uint64(c)
+			total += uint64(c)
+		}
+		frac, distinct, sum := SkewStats(m, 25)
+		if sum != total || distinct != len(m) {
+			return false
+		}
+		if len(m) == 0 {
+			return frac == 0
+		}
+		// Fraction in [something sane, 1]; with ≤25 keys it must be exactly 1.
+		if frac < 0 || frac > 1.0000001 {
+			return false
+		}
+		if len(m) <= 25 && frac < 0.999999 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

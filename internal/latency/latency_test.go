@@ -1,0 +1,136 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantilesOfKnownDistribution(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 1; i <= 1000; i++ {
+		r.Add(float64(i))
+	}
+	c := r.CDF()
+	if q := c.Quantile(0.5); math.Abs(q-500.5) > 1 {
+		t.Errorf("median = %f, want ~500.5", q)
+	}
+	if q := c.Quantile(0.9); math.Abs(q-900) > 2 {
+		t.Errorf("p90 = %f, want ~900", q)
+	}
+	if c.Quantile(0) != 1 || c.Quantile(1) != 1000 {
+		t.Errorf("extremes = %f %f", c.Quantile(0), c.Quantile(1))
+	}
+	if m := c.Mean(); math.Abs(m-500.5) > 0.01 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
+func TestAtIsInverseOfQuantile(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 1; i <= 10000; i++ {
+		r.Add(float64(i))
+	}
+	c := r.CDF()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		v := c.Quantile(q)
+		if got := c.At(v); math.Abs(got-q) > 0.01 {
+			t.Errorf("At(Quantile(%f)) = %f", q, got)
+		}
+	}
+}
+
+func TestAtBoundaries(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(10)
+	r.Add(20)
+	c := r.CDF()
+	if c.At(5) != 0 {
+		t.Error("At below min should be 0")
+	}
+	if c.At(10) != 0.5 {
+		t.Errorf("At(10) = %f, want 0.5 (inclusive)", c.At(10))
+	}
+	if c.At(25) != 1 {
+		t.Error("At above max should be 1")
+	}
+}
+
+func TestReservoirBoundsMemory(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 0; i < 100000; i++ {
+		r.Add(float64(i % 1000))
+	}
+	if r.Count() != 100000 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	c := r.CDF()
+	if c.Len() != 100 {
+		t.Errorf("retained %d samples, cap 100", c.Len())
+	}
+	// The reservoir must still roughly represent the distribution
+	// (uniform over 0..999).
+	if med := c.Quantile(0.5); med < 250 || med > 750 {
+		t.Errorf("reservoir median %f implausible for uniform 0..999", med)
+	}
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 1; i <= 5000; i++ {
+		r.Add(float64(i * i % 9973))
+	}
+	s := r.CDF().Series(32)
+	if len(s) != 32 {
+		t.Fatalf("series has %d points", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i][0] <= s[i-1][0] || s[i][1] < s[i-1][1] {
+			t.Fatalf("series not monotone at %d: %v -> %v", i, s[i-1], s[i])
+		}
+	}
+	if s[len(s)-1][1] != 1 {
+		t.Errorf("series does not reach 1: %f", s[len(s)-1][1])
+	}
+}
+
+func TestQuickQuantileOrdering(t *testing.T) {
+	prop := func(vals []float64) bool {
+		r := NewRecorder(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			r.Add(v)
+		}
+		c := r.CDF()
+		if c.Len() == 0 {
+			return true
+		}
+		return c.Quantile(0.1) <= c.Quantile(0.5) && c.Quantile(0.5) <= c.Quantile(0.9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	c := NewRecorder(0).CDF()
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Error("empty CDF should return NaN")
+	}
+	if c.Series(10) != nil {
+		t.Error("empty series should be nil")
+	}
+}
+
+func TestStringHasPercentiles(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Add(float64(i))
+	}
+	s := r.CDF().String()
+	if len(s) == 0 {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,143 @@
+// Package locked implements a chained hash table with a spinlock per bucket
+// — the "fine-grained locks around each bucket chain" design of TBB-style
+// tables that the paper's related work contrasts against, and the lock-based
+// synchronization pattern whose contention blow-up Figure 2 plots: every
+// operation performs two atomic read-modify-writes (lock acquire/release) on
+// the bucket's cache line, so under skew the hot buckets' lock words become
+// coherence hot spots.
+package locked
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/table"
+)
+
+// node is a chain element.
+type node struct {
+	key, val uint64
+	next     *node
+}
+
+// bucket pads the lock and chain head to a cache line.
+type bucket struct {
+	lock uint32
+	_    uint32
+	head *node
+	_    [6]uint64
+}
+
+// Table is a chained, per-bucket-spinlock hash table implementing table.Map.
+type Table struct {
+	buckets []bucket
+	nb      uint64
+	hash    func(uint64) uint64
+	live    atomic.Int64
+	capTot  uint64
+}
+
+// New creates a table sized for roughly n entries (one bucket per two
+// expected entries, minimum 8 buckets). Chaining has no fixed capacity; Cap
+// reports the sizing hint.
+func New(n uint64) *Table {
+	if n == 0 {
+		panic("locked: zero-size table")
+	}
+	nb := uint64(8)
+	for nb < n/2 {
+		nb <<= 1
+	}
+	return &Table{
+		buckets: make([]bucket, nb),
+		nb:      nb,
+		hash:    hashfn.City64,
+		capTot:  n,
+	}
+}
+
+func (t *Table) bucketFor(key uint64) *bucket {
+	return &t.buckets[hashfn.Fastrange(t.hash(key), t.nb)]
+}
+
+func lock(l *uint32) {
+	for spins := 0; !atomic.CompareAndSwapUint32(l, 0, 1); spins++ {
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func unlock(l *uint32) { atomic.StoreUint32(l, 0) }
+
+// Get implements table.Map. Even the read path takes the bucket lock — that
+// is the point of this baseline (compare with Folklore's and DRAMHiT's
+// atomic-free reads).
+func (t *Table) Get(key uint64) (uint64, bool) {
+	b := t.bucketFor(key)
+	lock(&b.lock)
+	defer unlock(&b.lock)
+	for n := b.head; n != nil; n = n.next {
+		if n.key == key {
+			return n.val, true
+		}
+	}
+	return 0, false
+}
+
+// Put implements table.Map; chaining never reports full.
+func (t *Table) Put(key, value uint64) bool {
+	b := t.bucketFor(key)
+	lock(&b.lock)
+	defer unlock(&b.lock)
+	for n := b.head; n != nil; n = n.next {
+		if n.key == key {
+			n.val = value
+			return true
+		}
+	}
+	b.head = &node{key: key, val: value, next: b.head}
+	t.live.Add(1)
+	return true
+}
+
+// Upsert implements table.Map.
+func (t *Table) Upsert(key, delta uint64) (uint64, bool) {
+	b := t.bucketFor(key)
+	lock(&b.lock)
+	defer unlock(&b.lock)
+	for n := b.head; n != nil; n = n.next {
+		if n.key == key {
+			n.val += delta
+			return n.val, true
+		}
+	}
+	b.head = &node{key: key, val: delta, next: b.head}
+	t.live.Add(1)
+	return delta, true
+}
+
+// Delete implements table.Map. Unlike the open-addressing tables, chaining
+// can actually unlink the node.
+func (t *Table) Delete(key uint64) bool {
+	b := t.bucketFor(key)
+	lock(&b.lock)
+	defer unlock(&b.lock)
+	for p := &b.head; *p != nil; p = &(*p).next {
+		if (*p).key == key {
+			*p = (*p).next
+			t.live.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// Len implements table.Map.
+func (t *Table) Len() int { return int(t.live.Load()) }
+
+// Cap implements table.Map (the sizing hint; chaining grows past it).
+func (t *Table) Cap() int { return int(t.capTot) }
+
+var _ table.Map = (*Table)(nil)

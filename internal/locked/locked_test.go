@@ -1,0 +1,69 @@
+package locked
+
+import (
+	"testing"
+
+	"dramhit/internal/table"
+	"dramhit/internal/tabletest"
+	"dramhit/internal/workload"
+)
+
+func TestConformance(t *testing.T) {
+	// Chaining has no fixed capacity, so the tight-packing tests do not
+	// apply.
+	tabletest.Run(t, "Locked", func(n uint64) table.Map { return New(n) },
+		tabletest.LooseCapacity())
+}
+
+func TestChainsHoldCollisions(t *testing.T) {
+	// A tiny bucket count forces long chains; everything must remain
+	// reachable.
+	m := New(8) // 8 buckets minimum
+	keys := workload.UniqueKeys(1, 500)
+	for _, k := range keys {
+		m.Put(k, k^3)
+	}
+	for _, k := range keys {
+		if v, ok := m.Get(k); !ok || v != k^3 {
+			t.Fatalf("chain lost key: (%d, %v)", v, ok)
+		}
+	}
+	if m.Len() != 500 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestDeleteUnlinksMidChain(t *testing.T) {
+	m := New(8)
+	keys := workload.UniqueKeys(2, 30)
+	for _, k := range keys {
+		m.Put(k, 1)
+	}
+	// Delete every other key; the rest must survive.
+	for i := 0; i < len(keys); i += 2 {
+		if !m.Delete(keys[i]) {
+			t.Fatalf("delete of present key %d failed", i)
+		}
+	}
+	for i, k := range keys {
+		_, ok := m.Get(k)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, want)
+		}
+	}
+	if m.Len() != 15 {
+		t.Fatalf("Len = %d, want 15", m.Len())
+	}
+}
+
+func BenchmarkLockedGet(b *testing.B) {
+	m := New(1 << 16)
+	keys := workload.UniqueKeys(3, 1<<15)
+	for _, k := range keys {
+		m.Put(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,116 @@
+package memsim
+
+// cache is a set-associative cache model with LRU replacement, tracking for
+// each resident line the core that last wrote it (so a read by a different
+// core can be charged a cache-to-cache transfer instead of a clean hit).
+type cache struct {
+	setMask  uint64
+	ways     int
+	tags     []uint64 // (set*ways + way); 0 = invalid, else line+1
+	stamp    []uint64 // LRU timestamps
+	writer   []int32  // last writing core, -1 = clean/unknown
+	clock    uint64
+	hits     uint64
+	misses   uint64
+	sampleSh uint // address shift for set selection
+}
+
+// newCache builds a cache of the given capacity in lines. Capacity is
+// rounded down to a power-of-two number of sets; tiny capacities collapse to
+// a single set.
+func newCache(lines, ways int) *cache {
+	if ways < 1 {
+		ways = 1
+	}
+	sets := 1
+	for sets*ways*2 <= lines {
+		sets <<= 1
+	}
+	c := &cache{
+		setMask: uint64(sets - 1),
+		ways:    ways,
+		tags:    make([]uint64, sets*ways),
+		stamp:   make([]uint64, sets*ways),
+		writer:  make([]int32, sets*ways),
+	}
+	for i := range c.writer {
+		c.writer[i] = -1
+	}
+	return c
+}
+
+// capacityLines returns the number of lines the cache can hold.
+func (c *cache) capacityLines() int { return int(c.setMask+1) * c.ways }
+
+// setOf maps a line to its set index. A multiplicative hash avoids
+// pathological striding from the hash tables' linear probe sequences
+// aligning with set indexing.
+func (c *cache) setOf(line uint64) uint64 {
+	return (line * 0x9e3779b97f4a7c15 >> 17) & c.setMask
+}
+
+// lookup returns the way index of line if resident, else -1.
+func (c *cache) lookup(line uint64) int {
+	base := int(c.setOf(line)) * c.ways
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// access touches the line, installing it on a miss (evicting LRU). It
+// returns whether the access hit and, on a hit, the last writer core.
+func (c *cache) access(line uint64, core int32, write bool) (hit bool, lastWriter int32) {
+	c.clock++
+	base := int(c.setOf(line)) * c.ways
+	tag := line + 1
+	lruIdx, lruStamp := base, c.stamp[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.hits++
+			c.stamp[i] = c.clock
+			lw := c.writer[i]
+			if write {
+				c.writer[i] = core
+			}
+			return true, lw
+		}
+		if c.stamp[i] < lruStamp {
+			lruIdx, lruStamp = i, c.stamp[i]
+		}
+	}
+	c.misses++
+	c.tags[lruIdx] = tag
+	c.stamp[lruIdx] = c.clock
+	if write {
+		c.writer[lruIdx] = core
+	} else {
+		c.writer[lruIdx] = -1
+	}
+	return false, -1
+}
+
+// contains reports residency without disturbing LRU state.
+func (c *cache) contains(line uint64) bool { return c.lookup(line) >= 0 }
+
+// invalidate drops the line if resident (RFO by another core).
+func (c *cache) invalidate(line uint64) {
+	if i := c.lookup(line); i >= 0 {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+		c.writer[i] = -1
+	}
+}
+
+// hitRate returns hits/(hits+misses); 0 when unused.
+func (c *cache) hitRate() float64 {
+	tot := c.hits + c.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(tot)
+}

@@ -1,0 +1,152 @@
+package memsim
+
+import (
+	"testing"
+)
+
+func TestWarmLLCMakesLinesCacheHits(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 2)
+	s.WarmLLC(0, 1000)
+	th := s.Threads[0]
+	cost := th.Access(500, Load)
+	// A warmed line must be far cheaper than DRAM (L3 or a cache transfer).
+	if cost >= float64(m.DRAMLat)*(1-m.OOOHideDRAM) {
+		t.Errorf("warmed-line access cost %0.0f, expected a cache hit", cost)
+	}
+}
+
+func TestLLCLinesTotal(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	want := 2 * (m.L3Bytes / 64)
+	got := s.LLCLinesTotal()
+	// Cache construction rounds sets to powers of two; allow that slack.
+	if got < want/2 || got > want {
+		t.Errorf("LLC lines = %d, want within (%d, %d]", got, want/2, want)
+	}
+}
+
+func TestPolluteEvictsPrefetches(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	line := uint64(8 + th.Socket)
+	th.Prefetch(line)
+	th.Compute(float64(m.DRAMLat) * 2) // prefetch has landed
+	// Pollute past the worst-case survival bound (4x L1 capacity — the
+	// eviction point is set-conflict dependent): the prefetched line is
+	// gone.
+	for i := 0; i < th.l1.capacityLines()*4+1; i++ {
+		th.Pollute(uint64(1<<30/64) + uint64(i)*7)
+	}
+	cost := th.Access(line, Load)
+	if cost < float64(m.L2Lat) {
+		t.Errorf("post-pollution access cost %0.0f; prefetch should have been evicted", cost)
+	}
+}
+
+func TestPolluteConsumesBandwidth(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	before := s.MemTransactions()
+	for i := 0; i < 100; i++ {
+		th.Pollute(uint64(i) * 999)
+	}
+	if got := s.MemTransactions() - before; got != 100 {
+		t.Errorf("%d transactions from 100 pollutions", got)
+	}
+}
+
+func TestStreamSequentialFasterThanRandom(t *testing.T) {
+	run := func(seq bool) float64 {
+		m := IntelSkylake()
+		m.Sockets = 1
+		s := NewSim(m, 16)
+		counts := make([]int, 16)
+		s.Run(func(th *Thread) bool {
+			if counts[th.ID] >= 2000 {
+				return false
+			}
+			counts[th.ID]++
+			line := uint64(th.ID)<<32 + uint64(counts[th.ID])*977
+			th.Stream(line, false, seq)
+			return true
+		})
+		return s.AchievedGBs()
+	}
+	if seqGBs, randGBs := run(true), run(false); seqGBs <= randGBs {
+		t.Errorf("sequential %0.1f GB/s <= random %0.1f", seqGBs, randGBs)
+	}
+}
+
+func TestAccessLockedSerializesHarderThanRMW(t *testing.T) {
+	run := func(spin bool) float64 {
+		m := IntelSkylake()
+		s := NewSim(m, 16)
+		counts := make([]int, 16)
+		s.Run(func(th *Thread) bool {
+			if counts[th.ID] >= 100 {
+				return false
+			}
+			counts[th.ID]++
+			if spin {
+				th.AccessLocked(7, 20)
+				th.Access(7, Store)
+			} else {
+				th.Access(7, RMW)
+			}
+			return true
+		})
+		return s.MaxClock()
+	}
+	rmw, lock := run(false), run(true)
+	if lock < rmw*1.5 {
+		t.Errorf("spinlock run %0.0f not clearly slower than atomic run %0.0f", lock, rmw)
+	}
+}
+
+func TestDirectoryDegradesWithQueueDepth(t *testing.T) {
+	d := newDirectory(100)
+	// Back-to-back handoffs from alternating cores at the same instant
+	// build a queue; later grants must be spaced MORE than the base
+	// service (degradation), and the spacing must grow.
+	var prev float64
+	var gaps []float64
+	for i := 0; i < 8; i++ {
+		start, _ := d.exclusive(1, int32(i), 0, 0)
+		if i > 0 {
+			gaps = append(gaps, start-prev)
+		}
+		prev = start
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] < gaps[i-1] {
+			t.Fatalf("handoff spacing should be non-decreasing under queueing: %v", gaps)
+		}
+	}
+	if gaps[len(gaps)-1] <= 100 {
+		t.Errorf("deep-queue handoff %0.0f not degraded beyond base service", gaps[len(gaps)-1])
+	}
+}
+
+func TestFluidChannelBackfillsIdleGaps(t *testing.T) {
+	m := IntelSkylake()
+	g := newChannelGroup(m)
+	// A burst at t=0…
+	for i := 0; i < 60; i++ {
+		g.transact(0, txRandRead)
+	}
+	// …then a long idle gap: an arrival at t=10000 must start immediately.
+	if start := g.transact(10000, txRandRead); start != 10000 {
+		t.Errorf("post-idle transaction starts at %0.0f, want 10000", start)
+	}
+	// An early (out-of-order) arrival must not be dragged forward when the
+	// backlog is empty.
+	g2 := newChannelGroup(m)
+	g2.transact(5000, txRandRead)
+	if start := g2.transact(100, txRandRead); start >= 5000 {
+		t.Errorf("early arrival dragged to %0.0f", start)
+	}
+}

@@ -1,0 +1,385 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelMath(t *testing.T) {
+	m := IntelSkylake()
+	// 2666 MT/s * 8 B / 64 B = 333.25 M lines/s per channel.
+	if got := m.LinesPerSecondPerChannel(); math.Abs(got-333.25e6) > 1e5 {
+		t.Errorf("lines/s/channel = %g", got)
+	}
+	// Six channels: 127.97 GB/s theoretical (the paper rounds to 127.8).
+	if got := m.TheoreticalGBs(); got < 127 || got > 129 {
+		t.Errorf("theoretical GB/s = %g", got)
+	}
+	// 2.6 GHz / 333.25 M = 7.8 cycles per line per channel.
+	if got := m.CyclesPerLine(); math.Abs(got-7.8) > 0.05 {
+		t.Errorf("cycles/line = %g", got)
+	}
+}
+
+func TestStreamBandwidthMatchesTable1(t *testing.T) {
+	// 32 threads on one socket streaming random reads must achieve
+	// ~85.4 GB/s (Table 1), i.e. theoretical * RandReadEff.
+	m := IntelSkylake()
+	m.Sockets = 1 // one-socket experiment, as in the paper's MLC run
+	s := NewSim(m, 32)
+	const opsPer = 20000
+	counts := make([]int, len(s.Threads))
+	s.Run(func(th *Thread) bool {
+		if counts[th.ID] >= opsPer {
+			return false
+		}
+		counts[th.ID]++
+		// Spread lines so no cache reuse.
+		line := uint64(th.ID)<<32 + uint64(counts[th.ID])*97
+		th.Stream(line, false, false)
+		return true
+	})
+	want := m.TheoreticalGBs() * m.RandReadEff
+	got := s.AchievedGBs()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("random-read bandwidth %0.1f GB/s, want ~%0.1f", got, want)
+	}
+}
+
+func TestStreamMixedBandwidth(t *testing.T) {
+	// A 1:1 random read/write mix lands near Table 1's 76.3 GB/s.
+	m := IntelSkylake()
+	m.Sockets = 1
+	s := NewSim(m, 32)
+	const opsPer = 20000
+	counts := make([]int, len(s.Threads))
+	s.Run(func(th *Thread) bool {
+		if counts[th.ID] >= opsPer {
+			return false
+		}
+		counts[th.ID]++
+		line := uint64(th.ID)<<32 + uint64(counts[th.ID])*131
+		th.Stream(line, counts[th.ID]%2 == 0, false)
+		return true
+	})
+	got := s.AchievedGBs()
+	if got < 70 || got > 83 {
+		t.Errorf("1:1 random r/w bandwidth %0.1f GB/s, want ~76", got)
+	}
+}
+
+func TestUnprefetchedLoadPaysDRAMLatency(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	// A cold load of a local line costs at least DRAMLat.
+	line := uint64(th.Socket) // homed locally (homeSocket = line & 1)
+	cost := th.Access(line, Load)
+	if want := float64(m.DRAMLat) * (1 - m.OOOHideDRAM); cost < want-1 {
+		t.Errorf("cold load cost %0.0f < effective DRAM latency %0.0f", cost, want)
+	}
+	// A second access is an L1 hit.
+	if cost := th.Access(line, Load); cost != float64(m.L1Lat) {
+		t.Errorf("warm load cost %0.0f, want %d", cost, m.L1Lat)
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	line := uint64(2 + th.Socket)
+	th.Prefetch(line)
+	// Simulate the window: do unrelated compute longer than the miss.
+	th.Compute(float64(m.DRAMLat) * 2)
+	cost := th.Access(line, Load)
+	if cost != float64(m.L1Lat) {
+		t.Errorf("prefetched access cost %0.0f, want L1 %d", cost, m.L1Lat)
+	}
+}
+
+func TestPrefetchTooLateStillWaits(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	line := uint64(4 + th.Socket)
+	th.Prefetch(line)
+	// Immediately consume: must wait out most of the miss.
+	cost := th.Access(line, Load)
+	if cost < float64(m.DRAMLat)/2 {
+		t.Errorf("immediate post-prefetch access cost %0.0f; prefetch cannot time-travel", cost)
+	}
+	if cost > float64(m.RemoteDRAMLat)*1.5 {
+		t.Errorf("cost %0.0f exceeds a plain miss", cost)
+	}
+}
+
+func TestContendedRMWSerializes(t *testing.T) {
+	// 32 threads hammering one line with RMW: average cost must grow to
+	// roughly threads × DirectoryService, reproducing Figure 2's blow-up.
+	m := IntelSkylake()
+	s := NewSim(m, 32)
+	const opsPer = 200
+	counts := make([]int, len(s.Threads))
+	s.Run(func(th *Thread) bool {
+		if counts[th.ID] >= opsPer {
+			return false
+		}
+		counts[th.ID]++
+		th.Access(42, RMW)
+		return true
+	})
+	totalOps := uint64(32 * opsPer)
+	avg := s.MaxClock() / float64(opsPer) // per-thread observed latency per op
+	_ = totalOps
+	// All 6400 RMWs serialize at >= DirectoryService apart: the run takes
+	// at least 32*opsPer*service cycles, so each thread's per-op latency
+	// is >= 32 * service.
+	min := float64(32*m.DirectoryService) * 0.8
+	if avg < min {
+		t.Errorf("contended RMW per-op latency %0.0f, want >= %0.0f", avg, min)
+	}
+}
+
+func TestUncontendedRMWIsCheap(t *testing.T) {
+	// A single thread RMW-ing its own line repeatedly pays L1 + lock
+	// overhead only.
+	m := IntelSkylake()
+	s := NewSim(m, 1)
+	th := s.Threads[0]
+	th.Access(7, RMW) // cold
+	cost := th.Access(7, RMW)
+	want := float64(m.L1Lat + m.LockOverhead)
+	if cost != want {
+		t.Errorf("warm owned RMW cost %0.0f, want %0.0f", cost, want)
+	}
+}
+
+func TestDistinctLinesNoContention(t *testing.T) {
+	// Threads writing distinct lines never serialize.
+	m := IntelSkylake()
+	s := NewSim(m, 8)
+	const opsPer = 100
+	counts := make([]int, len(s.Threads))
+	s.Run(func(th *Thread) bool {
+		if counts[th.ID] >= opsPer {
+			return false
+		}
+		counts[th.ID]++
+		th.Access(uint64(1000+th.ID), RMW)
+		return true
+	})
+	// After the first miss, every op is warm: clock ≈ miss + (ops-1)*(L1+lock).
+	warm := float64(m.L1Lat + m.LockOverhead)
+	for _, th := range s.Threads {
+		upper := float64(m.RemoteDRAMLat+m.DirectoryService) + float64(opsPer)*warm*1.2
+		if th.Clock > upper {
+			t.Errorf("thread %d clock %0.0f; distinct lines should not serialize (upper %0.0f)", th.ID, th.Clock, upper)
+		}
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	c := newCache(64, 8)
+	if c.capacityLines() != 64 {
+		t.Fatalf("capacity = %d", c.capacityLines())
+	}
+	// Fill far past capacity, then re-touch the early lines: mostly misses.
+	for l := uint64(0); l < 1024; l++ {
+		c.access(l, 0, false)
+	}
+	hits := 0
+	for l := uint64(0); l < 64; l++ {
+		if h, _ := c.access(l, 0, false); h {
+			hits++
+		}
+	}
+	if hits > 16 {
+		t.Errorf("%d/64 early lines survived 1024-line sweep of a 64-line cache", hits)
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	c := newCache(16, 2) // 8 sets x 2 ways
+	// Two lines in the same set stay resident; a third evicts the LRU.
+	var a, b uint64
+	var set uint64
+	// find three lines mapping to one set
+	lines := []uint64{}
+	for l := uint64(0); len(lines) < 3; l++ {
+		if len(lines) == 0 {
+			set = c.setOf(l)
+			lines = append(lines, l)
+		} else if c.setOf(l) == set {
+			lines = append(lines, l)
+		}
+	}
+	a, b = lines[0], lines[1]
+	c.access(a, 0, false)
+	c.access(b, 0, false)
+	c.access(a, 0, false)        // a is MRU
+	c.access(lines[2], 0, false) // evicts b (LRU)
+	if !c.contains(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.contains(b) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWriterTrackingChargesTransfer(t *testing.T) {
+	// Thread A writes a line; thread B on the same socket reading it pays
+	// a local cache transfer, not a clean L3 hit.
+	m := IntelSkylake()
+	s := NewSim(m, 4) // threads 0,2 socket 0; 1,3 socket 1
+	a, b := s.Threads[0], s.Threads[2]
+	if a.Socket != b.Socket {
+		t.Fatal("test assumes same-socket threads")
+	}
+	line := uint64(100 + a.Socket&1) // any line
+	a.Access(line, Store)
+	cost := b.Access(line, Load)
+	want := float64(m.LocalCacheLat) * (1 - m.OOOHideOnDie)
+	if cost != want {
+		t.Errorf("read of peer-dirtied line cost %0.0f, want %0.0f", cost, want)
+	}
+}
+
+func TestRemoteSocketTransfer(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 2) // thread 0 socket 0, thread 1 socket 1
+	a, b := s.Threads[0], s.Threads[1]
+	if a.Socket == b.Socket {
+		t.Fatal("want threads on different sockets")
+	}
+	line := uint64(200)
+	a.Access(line, Store)
+	cost := b.Access(line, Load)
+	want := float64(m.RemoteCacheLat) * (1 - m.OOOHideOnDie)
+	if cost != want {
+		t.Errorf("cross-socket transfer cost %0.0f, want %0.0f", cost, want)
+	}
+}
+
+func TestSkylakeDirectoryWritebackExtraTxn(t *testing.T) {
+	// A remote-socket DRAM read must consume an extra write transaction on
+	// the home node (clearing the directory bit on eviction).
+	m := IntelSkylake()
+	s := NewSim(m, 2)
+	th := s.Threads[0]
+	home := 1 - th.Socket // pick a line homed on the other socket
+	line := uint64(1000)
+	for s.homeSocket(line) != home {
+		line++
+	}
+	before := s.mem[home].writes
+	th.Access(line, Load)
+	if got := s.mem[home].writes - before; got != 1 {
+		t.Errorf("remote read generated %d write transactions, want 1", got)
+	}
+	// AMD has no directory writeback.
+	m2 := AMDMilan()
+	s2 := NewSim(m2, 2)
+	th2 := s2.Threads[0]
+	home2 := 1 - th2.Socket
+	line2 := uint64(1000)
+	for s2.homeSocket(line2) != home2 {
+		line2++
+	}
+	before2 := s2.mem[home2].writes
+	th2.Access(line2, Load)
+	if got := s2.mem[home2].writes - before2; got != 0 {
+		t.Errorf("AMD remote read generated %d write transactions, want 0", got)
+	}
+}
+
+func TestTopologyAssignment(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 64)
+	socketCount := [2]int{}
+	coreSeen := map[int]int{}
+	for _, th := range s.Threads {
+		socketCount[th.Socket]++
+		coreSeen[th.Core]++
+	}
+	if socketCount[0] != 32 || socketCount[1] != 32 {
+		t.Errorf("socket split %v, want 32/32", socketCount)
+	}
+	// With 64 threads on 32 cores, every core hosts exactly 2.
+	for core, n := range coreSeen {
+		if n != 2 {
+			t.Errorf("core %d hosts %d threads", core, n)
+		}
+	}
+	// AMD CCX mapping: 4 cores per CCX.
+	ma := AMDMilan()
+	sa := NewSim(ma, 128)
+	for _, th := range sa.Threads {
+		wantCCX := th.Socket*8 + (th.Core-th.Socket*32)/4
+		if th.CCX != wantCCX {
+			t.Errorf("thread %d: CCX %d, want %d", th.ID, th.CCX, wantCCX)
+		}
+	}
+}
+
+func TestNewSimBounds(t *testing.T) {
+	m := IntelSkylake()
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSim(%d) did not panic", n)
+				}
+			}()
+			NewSim(m, n)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := IntelSkylake()
+		s := NewSim(m, 16)
+		counts := make([]int, len(s.Threads))
+		s.Run(func(th *Thread) bool {
+			if counts[th.ID] >= 500 {
+				return false
+			}
+			counts[th.ID]++
+			line := uint64(th.ID*counts[th.ID]) % 4096
+			if counts[th.ID]%3 == 0 {
+				th.Access(line, RMW)
+			} else {
+				th.Access(line, Load)
+			}
+			return true
+		})
+		return s.MaxClock()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two identical runs diverged: %0.2f vs %0.2f", a, b)
+	}
+}
+
+func TestProbeFabricThrottles(t *testing.T) {
+	p := newProbeFabric(0.5) // one probe per 2 cycles
+	start0 := p.admit(0)
+	start1 := p.admit(0)
+	start2 := p.admit(0)
+	if start0 != 0 || start1 != 2 || start2 != 4 {
+		t.Errorf("probe starts %v %v %v, want 0 2 4", start0, start1, start2)
+	}
+	unlimited := newProbeFabric(0)
+	if unlimited.admit(5) != 5 {
+		t.Error("unlimited fabric delayed a probe")
+	}
+}
+
+func TestMopsComputation(t *testing.T) {
+	m := IntelSkylake() // 2.6 GHz
+	s := NewSim(m, 1)
+	s.Threads[0].Clock = 2.6e9 // one second
+	if got := s.Mops(1_000_000); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Mops = %g, want 1", got)
+	}
+}

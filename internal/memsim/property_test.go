@@ -1,0 +1,129 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheRepeatAccessAlwaysHits(t *testing.T) {
+	// Property: accessing the same line twice back to back always hits the
+	// second time, regardless of history.
+	prop := func(lines []uint16, probe uint16) bool {
+		c := newCache(64, 8)
+		for _, l := range lines {
+			c.access(uint64(l), 0, false)
+		}
+		c.access(uint64(probe), 0, false)
+		hit, _ := c.access(uint64(probe), 0, false)
+		return hit
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheInvalidateRemoves(t *testing.T) {
+	prop := func(line uint32) bool {
+		c := newCache(128, 8)
+		c.access(uint64(line), 0, true)
+		if !c.contains(uint64(line)) {
+			return false
+		}
+		c.invalidate(uint64(line))
+		return !c.contains(uint64(line))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChannelStartsMonotoneUnderMonotoneArrivals(t *testing.T) {
+	// Property: with non-decreasing arrival times, transaction start times
+	// are non-decreasing and never precede the arrival.
+	prop := func(deltas []uint8) bool {
+		g := newChannelGroup(IntelSkylake())
+		now := 0.0
+		prevStart := 0.0
+		for _, d := range deltas {
+			now += float64(d)
+			start := g.transact(now, txRandRead)
+			if start < now || start < prevStart {
+				return false
+			}
+			prevStart = start
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryGrantNeverPrecedesRequest(t *testing.T) {
+	prop := func(cores []uint8, gaps []uint8) bool {
+		d := newDirectory(100)
+		now := 0.0
+		for i, c := range cores {
+			if i < len(gaps) {
+				now += float64(gaps[i])
+			}
+			start, _ := d.exclusive(7, int32(c%8), now, 0)
+			if start < now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbeFabricMonotone(t *testing.T) {
+	prop := func(gaps []uint8) bool {
+		p := newProbeFabric(0.25)
+		now := 0.0
+		prev := 0.0
+		for _, g := range gaps {
+			now += float64(g)
+			start := p.admit(now)
+			if start < now || start < prev {
+				return false
+			}
+			prev = start
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreadClockNeverDecreases(t *testing.T) {
+	m := IntelSkylake()
+	s := NewSim(m, 4)
+	prop := func(ops []uint16) bool {
+		for i, o := range ops {
+			th := s.Threads[i%4]
+			before := th.Clock
+			line := uint64(o)
+			switch o % 4 {
+			case 0:
+				th.Access(line, Load)
+			case 1:
+				th.Access(line, Store)
+			case 2:
+				th.Access(line, RMW)
+			case 3:
+				th.Prefetch(line)
+			}
+			if th.Clock < before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

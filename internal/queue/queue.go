@@ -1,0 +1,329 @@
+// Package queue implements the single-producer/single-consumer queues that
+// underpin DRAMHiT-P's delegation scheme (paper §3.3 and Figure 4), plus the
+// two designs the paper positions itself against:
+//
+//   - Section queue (SPSC): a ring buffer split into sections; the shared
+//     producer/consumer indices are only published when a side crosses a
+//     section boundary, amortizing cross-core cache-line transfers over the
+//     whole section. This is the design DRAMHiT-P builds on, combined with
+//     explicit producer-side flushing.
+//   - Lamport queue: the classic lock-free ring that reads and writes the
+//     shared indices on every operation — each op risks a coherence miss.
+//   - B-Queue: batched probing with power-of-two backtracking, using a
+//     per-slot occupancy flag instead of shared indices.
+//
+// All queues are generic over the message type; DRAMHiT-P uses 16-byte
+// messages, matching the paper's delegation microbenchmark.
+package queue
+
+import (
+	"sync/atomic"
+)
+
+// pad is inserted between producer-owned, consumer-owned and shared fields
+// so the two sides never false-share a cache line.
+type pad [8]uint64
+
+// SPSC is a section queue. The producer side may be used by one goroutine
+// and the consumer side by one (possibly different) goroutine.
+//
+// Capacity accounting: because the consumer publishes its progress only at
+// section boundaries, the producer may observe the queue as full while up to
+// sectionSize-1 consumed slots are still unpublished; the effective capacity
+// is therefore capacity-sectionSize+1 under pathological timing. Size
+// sections accordingly (the default is capacity/8).
+type SPSC[T any] struct {
+	buf     []T
+	mask    uint64
+	secMask uint64
+
+	_ pad
+	// producer-owned
+	head      uint64
+	tailCache uint64
+
+	_ pad
+	// consumer-owned
+	tail      uint64
+	headCache uint64
+
+	_          pad
+	sharedHead atomic.Uint64
+	_          pad
+	sharedTail atomic.Uint64
+}
+
+// NewSPSC creates a section queue with the given capacity (rounded up to a
+// power of two, minimum 8) and number of sections (rounded to a power of two
+// that divides the capacity; 0 selects capacity/8, minimum 1 section).
+func NewSPSC[T any](capacity, sections int) *SPSC[T] {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	s := sections
+	if s <= 0 {
+		s = c / 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	sec := 1
+	for sec < s {
+		sec <<= 1
+	}
+	if sec > c {
+		sec = c
+	}
+	secSize := c / sec
+	return &SPSC[T]{
+		buf:     make([]T, c),
+		mask:    uint64(c - 1),
+		secMask: uint64(secSize - 1),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// SectionSize returns the publication granularity.
+func (q *SPSC[T]) SectionSize() int { return int(q.secMask) + 1 }
+
+// Enqueue appends v, returning false if the queue is full (as currently
+// published by the consumer). The message is not visible to the consumer
+// until the producer crosses a section boundary or calls Flush.
+func (q *SPSC[T]) Enqueue(v T) bool {
+	if q.head-q.tailCache == uint64(len(q.buf)) {
+		// Reached the published end of free space: re-read the shared
+		// consumer index (this is the cross-core access the section design
+		// amortizes).
+		q.tailCache = q.sharedTail.Load()
+		if q.head-q.tailCache == uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[q.head&q.mask] = v
+	q.head++
+	if q.head&q.secMask == 0 {
+		q.sharedHead.Store(q.head)
+	}
+	return true
+}
+
+// Flush publishes all enqueued messages immediately. DRAMHiT-P calls this
+// when an application batch ends so delegated updates are not stranded in a
+// partial section.
+func (q *SPSC[T]) Flush() {
+	if q.sharedHead.Load() != q.head {
+		q.sharedHead.Store(q.head)
+	}
+}
+
+// Dequeue removes the oldest message, returning false if none is published.
+func (q *SPSC[T]) Dequeue() (T, bool) {
+	if q.headCache == q.tail {
+		q.headCache = q.sharedHead.Load()
+		if q.headCache == q.tail {
+			// Publish our progress on empty so the producer's view of free
+			// space is exact when it next refreshes (liveness nicety; the
+			// section design does not require it).
+			if q.sharedTail.Load() != q.tail {
+				q.sharedTail.Store(q.tail)
+			}
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[q.tail&q.mask]
+	q.tail++
+	if q.tail&q.secMask == 0 {
+		q.sharedTail.Store(q.tail)
+	}
+	return v, true
+}
+
+// Pending reports the number of published-but-unconsumed messages from the
+// consumer's perspective (diagnostic).
+func (q *SPSC[T]) Pending() int {
+	return int(q.sharedHead.Load() - q.tail)
+}
+
+// PrefetchNext touches the cache line the consumer will read next, mirroring
+// the paper's consumer-side queue prefetching (§3.3 "L1 residency"). Unlike
+// a hardware prefetch instruction, a Go load participates in the memory
+// model, so only a slot already published to this consumer is touched.
+func (q *SPSC[T]) PrefetchNext() uint64 {
+	if q.headCache != q.tail {
+		_ = q.buf[q.tail&q.mask]
+	}
+	return q.tail
+}
+
+// Lamport is the classic Lamport SPSC queue: both indices are shared
+// atomics consulted on every operation, so steady-state throughput is
+// limited by producer/consumer cache-line ping-pong.
+type Lamport[T any] struct {
+	buf  []T
+	mask uint64
+	_    pad
+	head atomic.Uint64
+	_    pad
+	tail atomic.Uint64
+}
+
+// NewLamport creates a Lamport queue with capacity rounded up to a power of
+// two (minimum 8).
+func NewLamport[T any](capacity int) *Lamport[T] {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	return &Lamport[T]{buf: make([]T, c), mask: uint64(c - 1)}
+}
+
+// Cap returns the queue capacity.
+func (q *Lamport[T]) Cap() int { return len(q.buf) }
+
+// Enqueue appends v, returning false if full. The message is immediately
+// visible (no Flush needed).
+func (q *Lamport[T]) Enqueue(v T) bool {
+	h := q.head.Load()
+	if h-q.tail.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[h&q.mask] = v
+	q.head.Store(h + 1)
+	return true
+}
+
+// Flush is a no-op (kept for interface symmetry with SPSC).
+func (q *Lamport[T]) Flush() {}
+
+// Dequeue removes the oldest message.
+func (q *Lamport[T]) Dequeue() (T, bool) {
+	t := q.tail.Load()
+	if t == q.head.Load() {
+		var zero T
+		return zero, false
+	}
+	v := q.buf[t&q.mask]
+	q.tail.Store(t + 1)
+	return v, true
+}
+
+// BQueue implements the batched SPSC queue of Wang et al. with power-of-two
+// backtracking. Instead of shared indices, every slot carries an occupancy
+// flag; the producer probes whether the slot batchSize ahead is free and, if
+// so, writes the whole batch without further checks, halving the probe
+// distance on failure (backtracking).
+type BQueue[T any] struct {
+	buf   []T
+	flags []atomic.Uint32 // 0 = free, 1 = occupied
+	mask  uint64
+	batch uint64
+
+	_ pad
+	// producer-owned
+	head      uint64
+	freeAhead uint64 // slots known free in front of head
+
+	_ pad
+	// consumer-owned
+	tail      uint64
+	availToMe uint64 // slots known occupied in front of tail
+}
+
+// NewBQueue creates a B-Queue with the given capacity and batch size (both
+// rounded to powers of two; batch 0 selects capacity/8).
+func NewBQueue[T any](capacity, batch int) *BQueue[T] {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	b := batch
+	if b <= 0 {
+		b = c / 8
+	}
+	bb := 1
+	for bb < b {
+		bb <<= 1
+	}
+	if bb > c/2 {
+		bb = c / 2
+	}
+	return &BQueue[T]{
+		buf:   make([]T, c),
+		flags: make([]atomic.Uint32, c),
+		mask:  uint64(c - 1),
+		batch: uint64(bb),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *BQueue[T]) Cap() int { return len(q.buf) }
+
+// Enqueue appends v, returning false if no free slot could be found even
+// after backtracking to a probe distance of one.
+func (q *BQueue[T]) Enqueue(v T) bool {
+	if q.freeAhead == 0 {
+		// Probe batch slots ahead; on failure halve the distance
+		// (backtracking, power-of-two decrements).
+		dist := q.batch
+		for dist > 0 {
+			if q.flags[(q.head+dist-1)&q.mask].Load() == 0 {
+				q.freeAhead = dist
+				break
+			}
+			dist >>= 1
+		}
+		if q.freeAhead == 0 {
+			return false
+		}
+	}
+	q.buf[q.head&q.mask] = v
+	q.flags[q.head&q.mask].Store(1)
+	q.head++
+	q.freeAhead--
+	return true
+}
+
+// Flush is a no-op: each enqueue publishes its slot flag.
+func (q *BQueue[T]) Flush() {}
+
+// Dequeue removes the oldest message.
+func (q *BQueue[T]) Dequeue() (T, bool) {
+	if q.availToMe == 0 {
+		dist := q.batch
+		for dist > 0 {
+			if q.flags[(q.tail+dist-1)&q.mask].Load() == 1 {
+				q.availToMe = dist
+				break
+			}
+			dist >>= 1
+		}
+		if q.availToMe == 0 {
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[q.tail&q.mask]
+	q.flags[q.tail&q.mask].Store(0)
+	q.tail++
+	q.availToMe--
+	return v, true
+}
+
+// Queue is the interface shared by the three designs; the delegation layer
+// and the Figure-5 benchmarks are written against it.
+type Queue[T any] interface {
+	Enqueue(T) bool
+	Dequeue() (T, bool)
+	Flush()
+	Cap() int
+}
+
+var (
+	_ Queue[uint64] = (*SPSC[uint64])(nil)
+	_ Queue[uint64] = (*Lamport[uint64])(nil)
+	_ Queue[uint64] = (*BQueue[uint64])(nil)
+)

@@ -1,0 +1,259 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// msg16 matches the paper's 16-byte delegation message.
+type msg16 struct{ A, B uint64 }
+
+type factory struct {
+	name string
+	make func(capacity int) Queue[msg16]
+}
+
+func factories() []factory {
+	return []factory{
+		{"SPSC", func(c int) Queue[msg16] { return NewSPSC[msg16](c, 0) }},
+		{"SPSC-1section", func(c int) Queue[msg16] { return NewSPSC[msg16](c, 1) }},
+		{"Lamport", func(c int) Queue[msg16] { return NewLamport[msg16](c) }},
+		{"BQueue", func(c int) Queue[msg16] { return NewBQueue[msg16](c, 0) }},
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			q := f.make(64)
+			for i := uint64(0); i < 32; i++ {
+				if !q.Enqueue(msg16{A: i, B: i * 2}) {
+					t.Fatalf("enqueue %d failed", i)
+				}
+			}
+			q.Flush()
+			for i := uint64(0); i < 32; i++ {
+				m, ok := q.Dequeue()
+				if !ok || m.A != i || m.B != i*2 {
+					t.Fatalf("dequeue %d = (%+v, %v)", i, m, ok)
+				}
+			}
+			if _, ok := q.Dequeue(); ok {
+				t.Fatal("dequeue from drained queue succeeded")
+			}
+		})
+	}
+}
+
+func TestFillAndDrainRepeatedly(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			q := f.make(16)
+			var next, expect uint64
+			for round := 0; round < 100; round++ {
+				n := 0
+				for q.Enqueue(msg16{A: next}) {
+					next++
+					n++
+				}
+				q.Flush()
+				if n == 0 {
+					t.Fatal("could not enqueue anything into an empty queue")
+				}
+				for {
+					m, ok := q.Dequeue()
+					if !ok {
+						break
+					}
+					if m.A != expect {
+						t.Fatalf("round %d: got %d, want %d", round, m.A, expect)
+					}
+					expect++
+				}
+				if expect != next {
+					t.Fatalf("round %d: drained to %d, enqueued to %d", round, expect, next)
+				}
+			}
+		})
+	}
+}
+
+func TestFullRejects(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			q := f.make(8)
+			n := 0
+			for q.Enqueue(msg16{A: uint64(n)}) {
+				n++
+				if n > 1000 {
+					t.Fatal("queue never reported full")
+				}
+			}
+			if n == 0 || n > q.Cap() {
+				t.Fatalf("accepted %d messages with capacity %d", n, q.Cap())
+			}
+		})
+	}
+}
+
+func TestFlushPublishesPartialSection(t *testing.T) {
+	// Without Flush, a section queue with one big section hides messages.
+	q := NewSPSC[msg16](64, 1)
+	q.Enqueue(msg16{A: 7})
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("message visible before flush with a single section")
+	}
+	q.Flush()
+	m, ok := q.Dequeue()
+	if !ok || m.A != 7 {
+		t.Fatalf("after flush: (%+v, %v)", m, ok)
+	}
+}
+
+func TestSectionBoundaryAutoPublishes(t *testing.T) {
+	q := NewSPSC[msg16](64, 8) // section size 8
+	for i := uint64(0); i < 8; i++ {
+		q.Enqueue(msg16{A: i})
+	}
+	// Crossing the section boundary published without Flush.
+	if m, ok := q.Dequeue(); !ok || m.A != 0 {
+		t.Fatalf("boundary publish missing: (%+v, %v)", m, ok)
+	}
+}
+
+func TestSPSCSectionSizing(t *testing.T) {
+	q := NewSPSC[msg16](1024, 16)
+	if q.Cap() != 1024 {
+		t.Errorf("cap = %d", q.Cap())
+	}
+	if q.SectionSize() != 64 {
+		t.Errorf("section size = %d, want 64", q.SectionSize())
+	}
+	// Degenerate requests are clamped.
+	q2 := NewSPSC[msg16](0, 0)
+	if q2.Cap() < 8 || q2.SectionSize() < 1 {
+		t.Errorf("degenerate queue: cap %d section %d", q2.Cap(), q2.SectionSize())
+	}
+}
+
+func TestConcurrentTransfer(t *testing.T) {
+	// One producer goroutine, one consumer goroutine, a million messages:
+	// everything arrives exactly once, in order. Run under -race this is
+	// the key memory-model check for the publication protocols.
+	const n = 200000
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			q := f.make(256)
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := uint64(0); i < n; i++ {
+					for !q.Enqueue(msg16{A: i, B: ^i}) {
+						runtime.Gosched()
+					}
+				}
+				q.Flush()
+			}()
+			var got uint64
+			for got < n {
+				m, ok := q.Dequeue()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if m.A != got || m.B != ^got {
+					t.Fatalf("message %d arrived as %+v", got, m)
+				}
+				got++
+			}
+			wg.Wait()
+			if _, ok := q.Dequeue(); ok {
+				t.Fatal("stray message after transfer")
+			}
+		})
+	}
+}
+
+func TestQuickPropertyDrainMatchesEnqueue(t *testing.T) {
+	// Property: any interleaving of enqueue bursts and full drains
+	// preserves the exact message sequence.
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			prop := func(bursts []uint8) bool {
+				q := f.make(64)
+				var next, expect uint64
+				for _, b := range bursts {
+					for i := 0; i < int(b%32); i++ {
+						if !q.Enqueue(msg16{A: next}) {
+							break
+						}
+						next++
+					}
+					q.Flush()
+					for {
+						m, ok := q.Dequeue()
+						if !ok {
+							break
+						}
+						if m.A != expect {
+							return false
+						}
+						expect++
+					}
+					if expect != next {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestPrefetchNextDoesNotConsume(t *testing.T) {
+	q := NewSPSC[msg16](32, 4)
+	q.Enqueue(msg16{A: 1})
+	q.Flush()
+	q.PrefetchNext()
+	if m, ok := q.Dequeue(); !ok || m.A != 1 {
+		t.Fatalf("prefetch consumed the message: (%+v, %v)", m, ok)
+	}
+}
+
+func benchPingPong(b *testing.B, q Queue[msg16]) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			for {
+				if _, ok := q.Dequeue(); ok {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !q.Enqueue(msg16{A: uint64(i)}) {
+			runtime.Gosched()
+		}
+		if i&63 == 63 {
+			q.Flush()
+		}
+	}
+	q.Flush()
+	wg.Wait()
+}
+
+func BenchmarkSPSCTransfer(b *testing.B)    { benchPingPong(b, NewSPSC[msg16](1024, 0)) }
+func BenchmarkLamportTransfer(b *testing.B) { benchPingPong(b, NewLamport[msg16](1024)) }
+func BenchmarkBQueueTransfer(b *testing.B)  { benchPingPong(b, NewBQueue[msg16](1024, 0)) }

@@ -1,0 +1,174 @@
+package queue
+
+import (
+	"sync/atomic"
+)
+
+// This file implements two further SPSC designs from the paper's related
+// work (§5, "Fast inter-core communication"), so the delegation
+// microbenchmarks can compare the whole family:
+//
+//   - MCRingBuffer (Lee et al., ANCS'09): Lamport's ring with LAZY index
+//     publication — both sides work against cached copies of the shared
+//     indices and publish only every batchSize operations. The section
+//     queue DRAMHiT-P uses is the same idea with publication tied to
+//     section boundaries.
+//   - FastForward (Giacomoni et al., PPoPP'08): no shared indices at all —
+//     a slot's occupancy IS the synchronization, using a reserved "empty"
+//     value stored in the slot itself. This removes index coherence traffic
+//     entirely but reserves one value and couples producer/consumer to the
+//     same cache lines (the adaptive slip-control of the original paper is
+//     out of scope).
+
+// MCRingBuffer is a lazily-published Lamport ring.
+type MCRingBuffer[T any] struct {
+	buf   []T
+	mask  uint64
+	batch uint64
+
+	_ pad
+	// producer-owned
+	head      uint64
+	tailCache uint64
+
+	_ pad
+	// consumer-owned
+	tail      uint64
+	headCache uint64
+
+	_          pad
+	sharedHead atomic.Uint64
+	_          pad
+	sharedTail atomic.Uint64
+}
+
+// NewMCRingBuffer creates a ring with the given capacity and publication
+// batch (both rounded to powers of two; batch 0 selects capacity/8).
+func NewMCRingBuffer[T any](capacity, batch int) *MCRingBuffer[T] {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	bb := 1
+	b := batch
+	if b <= 0 {
+		b = c / 8
+	}
+	for bb < b {
+		bb <<= 1
+	}
+	if bb > c/2 {
+		bb = c / 2
+	}
+	return &MCRingBuffer[T]{buf: make([]T, c), mask: uint64(c - 1), batch: uint64(bb)}
+}
+
+// Cap returns the ring capacity.
+func (q *MCRingBuffer[T]) Cap() int { return len(q.buf) }
+
+// Enqueue appends v; the message becomes visible after the next batch
+// boundary or Flush.
+func (q *MCRingBuffer[T]) Enqueue(v T) bool {
+	if q.head-q.tailCache == uint64(len(q.buf)) {
+		q.tailCache = q.sharedTail.Load()
+		if q.head-q.tailCache == uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[q.head&q.mask] = v
+	q.head++
+	if q.head%q.batch == 0 {
+		q.sharedHead.Store(q.head)
+	}
+	return true
+}
+
+// Flush publishes pending messages.
+func (q *MCRingBuffer[T]) Flush() {
+	if q.sharedHead.Load() != q.head {
+		q.sharedHead.Store(q.head)
+	}
+}
+
+// Dequeue removes the oldest visible message.
+func (q *MCRingBuffer[T]) Dequeue() (T, bool) {
+	if q.headCache == q.tail {
+		q.headCache = q.sharedHead.Load()
+		if q.headCache == q.tail {
+			if q.sharedTail.Load() != q.tail {
+				q.sharedTail.Store(q.tail)
+			}
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[q.tail&q.mask]
+	q.tail++
+	if q.tail%q.batch == 0 {
+		q.sharedTail.Store(q.tail)
+	}
+	return v, true
+}
+
+// FastForward is a slot-occupancy SPSC queue for uint64 payloads. The zero
+// value is reserved as the "empty slot" marker, exactly as FastForward
+// stores NULL into consumed slots; callers must not enqueue 0 (Enqueue
+// panics). The generic designs in this package exist because of this
+// reservation — FastForward's trick fundamentally costs a value.
+type FastForward struct {
+	buf []atomic.Uint64
+	_   pad
+	// producer-owned
+	head uint64
+	_    pad
+	// consumer-owned
+	tail uint64
+}
+
+// NewFastForward creates a queue with capacity rounded up to a power of two
+// (minimum 8).
+func NewFastForward(capacity int) *FastForward {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	return &FastForward{buf: make([]atomic.Uint64, c)}
+}
+
+// Cap returns the queue capacity.
+func (q *FastForward) Cap() int { return len(q.buf) }
+
+// Enqueue appends v (v must be nonzero), returning false when the slot is
+// still occupied (queue full).
+func (q *FastForward) Enqueue(v uint64) bool {
+	if v == 0 {
+		panic("queue: FastForward cannot carry the reserved value 0")
+	}
+	slot := &q.buf[q.head&uint64(len(q.buf)-1)]
+	if slot.Load() != 0 {
+		return false
+	}
+	slot.Store(v)
+	q.head++
+	return true
+}
+
+// Flush is a no-op: every enqueue publishes its slot.
+func (q *FastForward) Flush() {}
+
+// Dequeue removes the oldest message.
+func (q *FastForward) Dequeue() (uint64, bool) {
+	slot := &q.buf[q.tail&uint64(len(q.buf)-1)]
+	v := slot.Load()
+	if v == 0 {
+		return 0, false
+	}
+	slot.Store(0)
+	q.tail++
+	return v, true
+}
+
+var (
+	_ Queue[uint64] = (*MCRingBuffer[uint64])(nil)
+	_ Queue[uint64] = (*FastForward)(nil)
+)

@@ -1,0 +1,184 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMCRingBufferFIFO(t *testing.T) {
+	q := NewMCRingBuffer[uint64](64, 8)
+	for i := uint64(0); i < 40; i++ {
+		if !q.Enqueue(i + 1) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	q.Flush()
+	for i := uint64(0); i < 40; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i+1 {
+			t.Fatalf("dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+func TestMCRingBufferLazyPublication(t *testing.T) {
+	q := NewMCRingBuffer[uint64](64, 16)
+	q.Enqueue(7)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("message visible before batch boundary or flush")
+	}
+	q.Flush()
+	if v, ok := q.Dequeue(); !ok || v != 7 {
+		t.Fatalf("after flush: (%d, %v)", v, ok)
+	}
+	// Crossing the batch boundary publishes automatically.
+	for i := uint64(0); i < 16; i++ {
+		q.Enqueue(100 + i)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 100 {
+		t.Fatalf("batch publication: (%d, %v)", v, ok)
+	}
+}
+
+func TestMCRingBufferFull(t *testing.T) {
+	q := NewMCRingBuffer[uint64](8, 2)
+	n := 0
+	for q.Enqueue(uint64(n + 1)) {
+		n++
+		if n > 100 {
+			t.Fatal("never full")
+		}
+	}
+	if n != 8 {
+		t.Fatalf("accepted %d into capacity 8", n)
+	}
+}
+
+func TestFastForwardBasic(t *testing.T) {
+	q := NewFastForward(16)
+	for i := uint64(1); i <= 10; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue = (%d, %v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty dequeue succeeded")
+	}
+}
+
+func TestFastForwardFullAndReuse(t *testing.T) {
+	q := NewFastForward(8)
+	for i := uint64(1); i <= 8; i++ {
+		q.Enqueue(i)
+	}
+	if q.Enqueue(99) {
+		t.Fatal("enqueue into full queue succeeded")
+	}
+	q.Dequeue()
+	if !q.Enqueue(99) {
+		t.Fatal("slot not reusable after dequeue")
+	}
+}
+
+func TestFastForwardRejectsZero(t *testing.T) {
+	q := NewFastForward(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue(0) did not panic")
+		}
+	}()
+	q.Enqueue(0)
+}
+
+func TestVariantsConcurrentTransfer(t *testing.T) {
+	const n = 100000
+	t.Run("MCRingBuffer", func(t *testing.T) {
+		q := NewMCRingBuffer[uint64](256, 16)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= n; i++ {
+				for !q.Enqueue(i) {
+					runtime.Gosched()
+				}
+			}
+			q.Flush()
+		}()
+		var expect uint64 = 1
+		for expect <= n {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != expect {
+				t.Fatalf("got %d, want %d", v, expect)
+			}
+			expect++
+		}
+		wg.Wait()
+	})
+	t.Run("FastForward", func(t *testing.T) {
+		q := NewFastForward(256)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(1); i <= n; i++ {
+				for !q.Enqueue(i) {
+					runtime.Gosched()
+				}
+			}
+		}()
+		var expect uint64 = 1
+		for expect <= n {
+			v, ok := q.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != expect {
+				t.Fatalf("got %d, want %d", v, expect)
+			}
+			expect++
+		}
+		wg.Wait()
+	})
+}
+
+func BenchmarkMCRingBufferTransfer(b *testing.B) {
+	q := NewMCRingBuffer[msg16](1024, 64)
+	benchPingPong(b, q)
+}
+
+func BenchmarkFastForwardTransfer(b *testing.B) {
+	q := NewFastForward(1024)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < b.N; i++ {
+			for {
+				if _, ok := q.Dequeue(); ok {
+					break
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !q.Enqueue(uint64(i + 1)) {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+// Package simd emulates the AVX-512 probing kernel of DRAMHiT-P-SIMD
+// (paper §3.4, Listing 1) in portable Go. The paper loads a whole 64-byte
+// cache line (four key/value slots) into a 512-bit register, compares the
+// probe key against all four key lanes at once with a masked vector compare,
+// and uses conditional (masked) operations instead of branches.
+//
+// Go has no SIMD intrinsics, so this package reproduces the structure of
+// that kernel — lane-parallel compare producing a bitmask, cidx masking so
+// only lanes at or after the probe entry position participate, and
+// branch-free select via mask arithmetic — with 8-byte scalar lanes. The
+// point of the emulation is twofold: it keeps the DRAMHiT-P-SIMD code path
+// (and its single-cache-line probe granularity) faithful to the paper, and
+// it gives the cycle-level simulator a distinct kernel whose per-line cost
+// model differs from the scalar probe exactly the way the paper reports
+// (a few cycles per operation, §4.2).
+package simd
+
+import "math/bits"
+
+// LaneCount is the number of key lanes per cache line (four 16-byte
+// key/value slots per 64-byte line).
+const LaneCount = 4
+
+// keyCmpMasks[cidx] selects which lane comparisons are valid when the probe
+// enters the line at slot offset cidx — the direct analogue of Listing 1's
+// key_cmp_masks array ("cidx: 1; only last three comparisons valid").
+var keyCmpMasks = [LaneCount]uint8{
+	0b1111, // cidx 0: all four comparisons valid
+	0b1110, // cidx 1: last three
+	0b1100, // cidx 2: last two
+	0b1000, // cidx 3: last one
+}
+
+// eqMask returns 1 if a == b, else 0, without a branch (the scalar stand-in
+// for one lane of _mm512_cmpeq_epu64_mask). The xor is zero only on
+// equality; the (x|-x)>>63 trick extracts "is non-zero".
+func eqMask(a, b uint64) uint64 {
+	x := a ^ b
+	return ((x | -x) >> 63) ^ 1
+}
+
+// KeyCompare compares key against the four lanes and returns the lane
+// bitmask of equal lanes, restricted to lanes >= cidx. lanes must have at
+// least LaneCount elements.
+func KeyCompare(lanes *[LaneCount]uint64, key uint64, cidx int) uint8 {
+	var m uint8
+	m |= uint8(eqMask(lanes[0], key)) << 0
+	m |= uint8(eqMask(lanes[1], key)) << 1
+	m |= uint8(eqMask(lanes[2], key)) << 2
+	m |= uint8(eqMask(lanes[3], key)) << 3
+	return m & keyCmpMasks[cidx]
+}
+
+// FirstLane returns the index of the lowest set lane in mask, and whether
+// any lane was set. Branch-free via trailing-zeros.
+func FirstLane(mask uint8) (int, bool) {
+	tz := bits.TrailingZeros8(mask)
+	return tz, mask != 0
+}
+
+// ProbeResult classifies the outcome of a line probe.
+type ProbeResult uint8
+
+// Probe outcomes.
+const (
+	// Miss means neither the key nor an empty slot is in the line; the
+	// caller reprobes into the next line.
+	Miss ProbeResult = iota
+	// HitKey means the key was found.
+	HitKey
+	// HitEmpty means an empty slot terminates the probe chain first.
+	HitEmpty
+)
+
+// ProbeLine performs the paper's vectorized probe over one line of key
+// lanes: it computes the key-equality mask and the empty-slot mask in lane
+// parallel, selects whichever match comes first in probe order, and returns
+// the lane offset. emptyKey is the key-space value marking empty slots.
+// Tombstoned lanes match neither mask and are skipped implicitly.
+func ProbeLine(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) (lane int, res ProbeResult) {
+	keyMask := KeyCompare(lanes, key, cidx)
+	emptyMask := KeyCompare(lanes, emptyKey, cidx)
+	// The first match in probe order wins: whichever mask has the lower
+	// set bit. Combining the masks and testing which one owns the lowest
+	// bit is branch-free.
+	combined := keyMask | emptyMask
+	if combined == 0 {
+		return 0, Miss
+	}
+	low := combined & (-combined) // isolate lowest set bit
+	lane = bits.TrailingZeros8(low)
+	// res = HitKey if the lowest bit belongs to keyMask else HitEmpty,
+	// selected without a data-dependent branch.
+	isKey := uint8(0)
+	if keyMask&low != 0 { // compiles to a flag-setting compare + SETcc
+		isKey = 1
+	}
+	res = ProbeResult(uint8(HitEmpty) - isKey*(uint8(HitEmpty)-uint8(HitKey)))
+	return lane, res
+}
+
+// SelectValue returns a if mask is 1 and b if mask is 0, branch-free — the
+// analogue of a masked vector blend used by Listing 1's conditional copy.
+func SelectValue(mask, a, b uint64) uint64 {
+	// mask must be 0 or 1; turn it into all-ones/all-zeros.
+	m := -mask
+	return (a & m) | (b &^ m)
+}
+
+// CopyMask computes the lane store mask for inserting key into the line:
+// zero if the key already exists in the line (no copy needed), otherwise
+// the lowest empty lane (Listing 1's key_copy_mask).
+func CopyMask(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) uint8 {
+	if KeyCompare(lanes, key, cidx) != 0 {
+		return 0
+	}
+	em := KeyCompare(lanes, emptyKey, cidx)
+	return em & (-em) // lowest empty lane only
+}

@@ -1,0 +1,125 @@
+package simtable
+
+import (
+	"dramhit/internal/memsim"
+)
+
+// simMsg is a delegated update traveling through a simulated section queue.
+type simMsg struct {
+	h uint64
+	// visibleAt is the producer's clock when the message's section was
+	// published; the consumer may not observe it earlier.
+	visibleAt float64
+}
+
+// simQueue models one SPSC section queue: message slots live on real
+// simulated cache lines (four 16-byte messages per line), the shared
+// head/tail indices live on two further lines, and messages become visible
+// only when their section is published — all the costs of §3.3 fall out of
+// ordinary Access calls on these lines.
+type simQueue struct {
+	buf       []simMsg
+	local     []simMsg // produced but unpublished (current section)
+	baseLine  uint64
+	headLine  uint64
+	tailLine  uint64
+	capacity  int
+	section   int
+	sent      uint64 // published messages
+	consumed  uint64
+	produced  uint64 // including unpublished
+	ringLines uint64
+}
+
+const msgsPerLine = 4 // 16-byte messages
+
+func newSimQueue(la *lineAlloc, capacity, section int) *simQueue {
+	ringLines := uint64(capacity/msgsPerLine + 1)
+	return &simQueue{
+		baseLine:  la.alloc(ringLines),
+		headLine:  la.alloc(1),
+		tailLine:  la.alloc(1),
+		capacity:  capacity,
+		section:   section,
+		ringLines: ringLines,
+	}
+}
+
+// msgLine returns the simulated line of message index i.
+func (q *simQueue) msgLine(i uint64) uint64 {
+	return q.baseLine + (i/msgsPerLine)%q.ringLines
+}
+
+// send enqueues a message on producer thread t, returning false (and
+// charging only the check) when the queue is full — the caller backs off.
+func (q *simQueue) send(t *memsim.Thread, h uint64) bool {
+	if int(q.produced-q.consumed) >= q.capacity {
+		// Re-read the shared consumer index (possibly a coherence miss).
+		t.Access(q.tailLine, memsim.Load)
+		if int(q.produced-q.consumed) >= q.capacity {
+			return false
+		}
+	}
+	t.Compute(msgEnqueue)
+	t.Access(q.msgLine(q.produced), memsim.Store)
+	q.local = append(q.local, simMsg{h: h})
+	q.produced++
+	if len(q.local) >= q.section {
+		q.publish(t)
+	}
+	return true
+}
+
+// publish makes the buffered section visible and updates the shared head
+// index (a store other cores will read: this is the amortized cross-core
+// transfer of the section design).
+func (q *simQueue) publish(t *memsim.Thread) {
+	if len(q.local) == 0 {
+		return
+	}
+	t.Access(q.headLine, memsim.Store)
+	for i := range q.local {
+		q.local[i].visibleAt = t.Clock
+		q.buf = append(q.buf, q.local[i])
+	}
+	q.local = q.local[:0]
+	q.sent = q.produced
+}
+
+// recv dequeues one visible message on consumer thread t.
+func (q *simQueue) recv(t *memsim.Thread) (simMsg, bool) {
+	if q.consumed >= q.sent || len(q.buf) == 0 {
+		return simMsg{}, false
+	}
+	m := q.buf[0]
+	if m.visibleAt > t.Clock {
+		// Published in the consumer's future; not yet observable.
+		return simMsg{}, false
+	}
+	q.buf = q.buf[1:]
+	t.Compute(msgDequeue)
+	t.Access(q.msgLine(q.consumed), memsim.Load)
+	if q.consumed%msgsPerLine == 0 {
+		// Entering a fresh line: stream-prefetch the following line of the
+		// ring so its transfer overlaps with consuming the current four
+		// messages (§3.3: "We prefetch only the next line of the queue
+		// data when we approach the end of the current cache-line").
+		t.Prefetch(q.msgLine(q.consumed + msgsPerLine))
+	}
+	q.consumed++
+	if q.consumed%uint64(q.section) == 0 {
+		t.Access(q.tailLine, memsim.Store)
+	}
+	return m, true
+}
+
+// prefetchHead prefetches the line the consumer will read on its next
+// visit to this queue (paper §3.3: "Consumer prefetches the next queue
+// before trying to access it"); by the time the round-robin returns here the
+// transfer has landed.
+func (q *simQueue) prefetchHead(t *memsim.Thread) {
+	t.Prefetch(q.msgLine(q.consumed))
+}
+
+// backlog reports published-but-unconsumed messages.
+func (q *simQueue) backlog() int { return int(q.sent - q.consumed) }

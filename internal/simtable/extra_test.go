@@ -1,0 +1,113 @@
+package simtable
+
+import (
+	"testing"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/kmer"
+	"dramhit/internal/memsim"
+)
+
+func TestDelegationCostFlat(t *testing.T) {
+	// Figure 5: 22–37 cycles per message, roughly constant as the mesh
+	// scales from 1×1 to 32×32.
+	m := memsim.IntelSkylake()
+	var costs []float64
+	for _, n := range []int{1, 4, 16, 32} {
+		r := RunDelegation(m, n, n, 4000)
+		if r.Messages != uint64(n*4000) {
+			t.Fatalf("n=%d delivered %d messages", n, r.Messages)
+		}
+		costs = append(costs, r.CyclesPerMsg)
+		if r.CyclesPerMsg < 8 || r.CyclesPerMsg > 80 {
+			t.Errorf("n=%d: %.1f cycles/msg outside the plausible band", n, r.CyclesPerMsg)
+		}
+	}
+	// Flatness: max/min within 3x across the sweep.
+	min, max := costs[0], costs[0]
+	for _, c := range costs {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max/min > 3 {
+		t.Errorf("delegation cost not flat: %v", costs)
+	}
+}
+
+// kmerTrace builds a hash trace from a synthetic genome.
+func kmerTrace(t *testing.T, p kmer.GenomeProfile, k int) []uint64 {
+	t.Helper()
+	var trace []uint64
+	for _, rec := range p.Generate() {
+		it := kmer.NewIterator(rec, k)
+		for {
+			km, ok := it.Next()
+			if !ok {
+				break
+			}
+			trace = append(trace, hashfn.City64(km))
+		}
+	}
+	return trace
+}
+
+func TestTraceRunKmerShapes(t *testing.T) {
+	// Figure 12's core claim: on the skewed k-mer workload, DRAMHiT-P
+	// clearly beats DRAMHiT (delegation wins under write skew) and
+	// everything beats the chained CHTKC-style baseline at scale.
+	trace := kmerTrace(t, kmer.DMelanogaster(300_000), 16)
+	cfg := Config{Machine: memsim.IntelSkylake(), Threads: 64, Slots: 1 << 22, Seed: 3}
+
+	d := RunTrace(withKind(cfg, DRAMHiT), trace)
+	p := RunTrace(withKind(cfg, DRAMHiTP), trace)
+	f := RunTrace(withKind(cfg, Folklore), trace)
+	c := RunChainedTrace(withKind(cfg, Folklore), trace)
+
+	if p.Mops < d.Mops*1.2 {
+		t.Errorf("kmer: DRAMHiT-P %.0f vs DRAMHiT %.0f Mops; partitioning should win on skewed upserts",
+			p.Mops, d.Mops)
+	}
+	if d.Mops < f.Mops*0.9 {
+		t.Errorf("kmer: DRAMHiT %.0f well below Folklore %.0f", d.Mops, f.Mops)
+	}
+	if p.Mops < c.Mops*2 {
+		t.Errorf("kmer: DRAMHiT-P %.0f should dwarf chained CHTKC %.0f", p.Mops, c.Mops)
+	}
+}
+
+func withKind(c Config, k Kind) Config { c.Kind = k; return c }
+
+func TestTraceProcessesEverything(t *testing.T) {
+	trace := kmerTrace(t, kmer.FVesca(50_000), 8)
+	r := RunTrace(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 8,
+		Slots: 1 << 18, Seed: 1}, trace)
+	if r.Ops != uint64(len(trace)) {
+		t.Fatalf("ops %d != trace %d", r.Ops, len(trace))
+	}
+	if r.Fill <= 0 {
+		t.Fatal("trace inserted nothing")
+	}
+}
+
+func TestChainedTraceHopsGrowWithLoad(t *testing.T) {
+	// More keys per bucket must slow the chained design (dependent-miss
+	// chains), visibly in cycles/op.
+	mk := func(slots uint64) float64 {
+		trace := make([]uint64, 40000)
+		for i := range trace {
+			trace[i] = hashfn.City64(uint64(i))
+		}
+		r := RunChainedTrace(Config{Machine: memsim.IntelSkylake(), Kind: Folklore,
+			Threads: 16, Slots: slots, Seed: 2}, trace)
+		return r.CyclesPerOp
+	}
+	light := mk(1 << 18) // ~0.3 keys per bucket
+	heavy := mk(1 << 11) // ~40 keys per bucket
+	if heavy < light*1.3 {
+		t.Errorf("chained cycles/op: light-load %.0f vs heavy-load %.0f; chains should hurt", light, heavy)
+	}
+}

@@ -1,0 +1,26 @@
+package simtable
+
+import (
+	"testing"
+
+	"dramhit/internal/memsim"
+)
+
+func TestMixedDRAMHiTPRisesWithReads(t *testing.T) {
+	run := func(p float64) float64 {
+		return Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiTP, Threads: 64,
+			Slots: largeTest, ReadProb: p, MeasureOps: 50000, Seed: 4}, Mixed).Mops
+	}
+	p0, p5, p1 := run(0), run(0.5), run(1)
+	t.Logf("p=0: %.0f, p=0.5: %.0f, p=1: %.0f", p0, p5, p1)
+	// The paper's Figure 8c: throughput rises with the read fraction. The
+	// -P curve is nearly flat through the middle (delegation costs trade
+	// against read savings), so assert the strong endpoints plus
+	// no-collapse in the middle.
+	if p1 < p0*1.3 {
+		t.Errorf("DRAMHiT-P all-reads %.0f should clearly exceed all-writes %.0f", p1, p0)
+	}
+	if p5 < p0*0.85 {
+		t.Errorf("DRAMHiT-P mid-mix %.0f collapsed below all-writes %.0f", p5, p0)
+	}
+}

@@ -1,0 +1,654 @@
+package simtable
+
+import (
+	"math/rand"
+	"sync"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/memsim"
+	"dramhit/internal/workload"
+)
+
+// OpMix selects what the measured phase does.
+type OpMix int
+
+// Workload phases.
+const (
+	// Inserts measures insertions of the workload's key stream.
+	Inserts OpMix = iota
+	// Finds measures lookups of populated keys.
+	Finds
+	// Mixed interleaves finds and inserts per ReadProb.
+	Mixed
+)
+
+// Config describes one simulated experiment run.
+type Config struct {
+	Machine *memsim.Machine
+	Kind    Kind
+	// Threads is the total simulated thread count. For DRAMHiT-P write
+	// workloads it is split 1:3 into producers and delegation threads
+	// (paper §4.2); reads use every thread.
+	Threads int
+	// Slots is the table capacity (the paper's small table is 1M slots =
+	// 16 MB; its large is 1G slots = 16 GB, which we scale to keep the
+	// footprint ≫ LLC while simulable — see DefaultLarge).
+	Slots uint64
+	// Window is the prefetch window (default 16; 1 disables pipelining).
+	Window int
+	// Batch is the submission batch size (Figure 7); it only adds the
+	// per-batch bookkeeping overhead. Default 16.
+	Batch int
+	// Theta is the zipf skew of the measured key stream (0 = uniform).
+	Theta float64
+	// ReadProb applies to Mixed.
+	ReadProb float64
+	// Prefill is the occupancy fraction established untimed before
+	// measurement. Defaults: 0.45 for Inserts (the average fill of an
+	// empty-to-75% run), 0.75 for Finds/Mixed.
+	Prefill float64
+	// MeasureOps is the total timed operations across all threads
+	// (default 400_000).
+	MeasureOps int
+	// Pollutions is the number of application cache-line prefetches
+	// injected after every operation (Figure 6c).
+	Pollutions int
+	// Seed fixes the run's randomness.
+	Seed int64
+	// LatencySink, when non-nil, receives per-op (submit, complete) cycle
+	// pairs (Figure 9).
+	LatencySink func(submit, complete float64)
+}
+
+// Result aggregates a run.
+type Result struct {
+	Mops        float64
+	CyclesPerOp float64
+	GBs         float64
+	Ops         uint64
+	Fill        float64
+}
+
+// Table sizes used throughout the evaluation.
+const (
+	// DefaultSmall is 1M slots = 16 MB, fitting the caching hierarchy of a
+	// socket, exactly as in the paper.
+	DefaultSmall = 1 << 20
+	// DefaultLarge is 64M slots = 1 GB. The paper's large table is 16 GB;
+	// what matters for the memory-subsystem behaviour is footprint ≫ LLC
+	// (44 MB total on the Intel machine), which 1 GB preserves while
+	// keeping simulation memory reasonable (the paper itself uses 1 GB as
+	// its "large" dataset in Figure 2).
+	DefaultLarge = 64 << 20
+)
+
+func (c *Config) defaults(mix OpMix) Config {
+	cfg := *c
+	if cfg.Window == 0 {
+		cfg.Window = 16
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 16
+	}
+	if cfg.MeasureOps == 0 {
+		cfg.MeasureOps = 400_000
+	}
+	if cfg.Prefill == 0 {
+		if mix == Inserts {
+			cfg.Prefill = 0.45
+		} else {
+			cfg.Prefill = 0.75
+		}
+	}
+	return cfg
+}
+
+// prefillCache memoizes the expensive untimed prefill (placing tens of
+// millions of keys into a large table) across runs of the same
+// configuration: sweeps re-run the identical prefill dozens of times, so the
+// occupancy image is computed once and copied per run. The cache is bounded.
+var (
+	prefillMu    sync.Mutex
+	prefillCache = map[prefillKey][]uint16{}
+)
+
+type prefillKey struct {
+	slots, count uint64
+	seed         int64
+}
+
+func prefilled(slots, count uint64, seed int64, keyOf func(uint64) uint64, la *lineAlloc) *array {
+	arr := newArray(la, slots)
+	k := prefillKey{slots, count, seed}
+	prefillMu.Lock()
+	master, ok := prefillCache[k]
+	prefillMu.Unlock()
+	if ok {
+		copy(arr.fp, master)
+		return arr
+	}
+	for r := uint64(0); r < count; r++ {
+		arr.place(hashfn.City64(keyOf(r)))
+	}
+	prefillMu.Lock()
+	if len(prefillCache) >= 4 {
+		for key := range prefillCache {
+			delete(prefillCache, key)
+			break
+		}
+	}
+	prefillCache[k] = append([]uint16(nil), arr.fp...)
+	prefillMu.Unlock()
+	return arr
+}
+
+// Run executes one experiment and returns its throughput.
+func Run(c Config, mix OpMix) Result {
+	cfg := c.defaults(mix)
+	m := cfg.Machine
+	la := &lineAlloc{}
+
+	// Untimed prefill with unique keys.
+	salt := rand.New(rand.NewSource(cfg.Seed)).Uint64() | 1
+	keyOf := func(rank uint64) uint64 { return hashfn.City64(rank ^ salt) }
+	prefillCount := uint64(float64(cfg.Slots) * cfg.Prefill)
+	arr := prefilled(cfg.Slots, prefillCount, cfg.Seed, keyOf, la)
+
+	sim := memsim.NewSim(m, cfg.Threads)
+	pollBase := la.alloc(1 << 22) // 256 MB pollution array
+
+	// A cache-resident table has been pulled into the LLCs by its
+	// population phase; warm the LLC so the timed phase measures the
+	// steady state (the paper's small-table runs) instead of compulsory
+	// misses. Large tables stay cold — they cannot fit.
+	tableLines := cfg.Slots/4 + 1
+	if int(tableLines) <= sim.LLCLinesTotal() {
+		sim.WarmLLC(arr.baseLine, tableLines)
+	}
+
+	switch cfg.Kind {
+	case Folklore:
+		runFolklore(sim, arr, cfg, mix, keyOf, prefillCount, pollBase)
+	case DRAMHiT:
+		runDRAMHiT(sim, arr, cfg, mix, keyOf, prefillCount, pollBase)
+	case DRAMHiTP, DRAMHiTPSIMD:
+		runDRAMHiTP(sim, arr, la, cfg, mix, keyOf, prefillCount, pollBase, cfg.Kind == DRAMHiTPSIMD)
+	}
+
+	ops := uint64(cfg.MeasureOps)
+	return Result{
+		Mops:        sim.Mops(ops),
+		CyclesPerOp: sim.MaxClock() * float64(cfg.Threads) / float64(ops),
+		GBs:         sim.AchievedGBs(),
+		Ops:         ops,
+		Fill:        arr.occupancy(),
+	}
+}
+
+// opStream yields the hash of the next key for a thread, plus whether the
+// op is a read (for Mixed).
+type opStream struct {
+	zipf     *workload.Zipf
+	rng      *rand.Rand
+	keyOf    func(uint64) uint64
+	mix      OpMix
+	readProb float64
+	// insertNext hands out fresh unique ranks for insert ops.
+	nextFresh func() uint64
+	theta     float64
+	keySpace  uint64
+}
+
+func newOpStream(cfg Config, mix OpMix, keyOf func(uint64) uint64, prefill uint64, tid int, fresh *freshRanks) *opStream {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(tid)*0x9e37 + 1))
+	space := prefill
+	if space == 0 {
+		space = 1
+	}
+	return &opStream{
+		zipf:      workload.NewZipf(rng, space, cfg.Theta),
+		rng:       rng,
+		keyOf:     keyOf,
+		mix:       mix,
+		readProb:  cfg.ReadProb,
+		nextFresh: fresh.next,
+		keySpace:  space,
+	}
+}
+
+// freshRanks hands out globally unique ranks beyond the prefill region.
+type freshRanks struct{ next func() uint64 }
+
+func newFreshRanks(start uint64) *freshRanks {
+	n := start
+	return &freshRanks{next: func() uint64 { v := n; n++; return v }}
+}
+
+// next returns (hash, isRead).
+func (o *opStream) next() (uint64, bool) {
+	switch o.mix {
+	case Finds:
+		return hashfn.City64(o.keyOf(o.zipf.Next())), true
+	case Mixed:
+		if o.rng.Float64() < o.readProb {
+			return hashfn.City64(o.keyOf(o.zipf.Next())), true
+		}
+		return hashfn.City64(o.keyOf(o.zipf.Next())), false
+	default: // Inserts
+		if o.zipf.Theta() > 0 {
+			// Skewed insertions revisit hot keys (overwrites), exactly the
+			// contended pattern of Figure 8.
+			return hashfn.City64(o.keyOf(o.zipf.Next())), false
+		}
+		return hashfn.City64(o.keyOf(o.nextFresh())), false
+	}
+}
+
+// pollute injects the Figure-6c cache pollution after an operation. Only
+// the first handful of prefetches occupy line-fill buffers and actually
+// fetch (and evict); the rest are dropped by the hardware but still age
+// the thread's outstanding table prefetches and burn issue slots.
+func pollute(t *memsim.Thread, rng *rand.Rand, base uint64, n int) {
+	const lfb = 16
+	for i := 0; i < n; i++ {
+		if i < lfb {
+			t.Pollute(base + uint64(rng.Intn(1<<22)))
+		} else {
+			t.PolluteDropped()
+		}
+	}
+}
+
+// runFolklore drives the synchronous baseline: every thread performs ops
+// back to back, each paying its critical-path miss.
+func runFolklore(sim *memsim.Sim, arr *array, cfg Config, mix OpMix, keyOf func(uint64) uint64, prefill, pollBase uint64) {
+	per := opsPerThread(cfg.MeasureOps, cfg.Threads)
+	fresh := newFreshRanks(prefill)
+	streams := make([]*opStream, cfg.Threads)
+	polls := make([]*rand.Rand, cfg.Threads)
+	remaining := make([]int, cfg.Threads)
+	for i := range streams {
+		streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
+		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+		remaining[i] = per[i]
+	}
+	sim.Run(func(t *memsim.Thread) bool {
+		if remaining[t.ID] == 0 {
+			return false
+		}
+		remaining[t.ID]--
+		h, isRead := streams[t.ID].next()
+		start := t.Clock
+		if isRead {
+			folkloreFind(t, arr, h)
+		} else {
+			folkloreInsert(t, arr, h)
+		}
+		if cfg.LatencySink != nil {
+			cfg.LatencySink(start, t.Clock)
+		}
+		if cfg.Pollutions > 0 {
+			pollute(t, polls[t.ID], pollBase, cfg.Pollutions)
+		}
+		return true
+	})
+}
+
+// runDRAMHiT drives the pipelined table: each thread owns a pipeline and
+// submits in batches.
+func runDRAMHiT(sim *memsim.Sim, arr *array, cfg Config, mix OpMix, keyOf func(uint64) uint64, prefill, pollBase uint64) {
+	per := opsPerThread(cfg.MeasureOps, cfg.Threads)
+	fresh := newFreshRanks(prefill)
+	streams := make([]*opStream, cfg.Threads)
+	polls := make([]*rand.Rand, cfg.Threads)
+	remaining := make([]int, cfg.Threads)
+	pipes := make([]*pipeline, cfg.Threads)
+	inBatch := make([]int, cfg.Threads)
+	for i := range streams {
+		streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
+		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+		remaining[i] = per[i]
+		pipes[i] = newPipeline(arr, cfg.Window, false, false)
+		pipes[i].onComplete = wrapSink(cfg.LatencySink)
+	}
+	sim.Run(func(t *memsim.Thread) bool {
+		p := pipes[t.ID]
+		if remaining[t.ID] == 0 {
+			if p.pending() > 0 {
+				p.flush(t)
+			}
+			return false
+		}
+		remaining[t.ID]--
+		h, isRead := streams[t.ID].next()
+		p.submit(t, h, !isRead)
+		inBatch[t.ID]++
+		if inBatch[t.ID] >= cfg.Batch {
+			inBatch[t.ID] = 0
+			t.Compute(batchOverhead)
+		}
+		if cfg.Pollutions > 0 {
+			pollute(t, polls[t.ID], pollBase, cfg.Pollutions)
+		}
+		return true
+	})
+}
+
+func wrapSink(sink func(submit, complete float64)) func(float64, float64) {
+	if sink == nil {
+		return nil
+	}
+	return sink
+}
+
+// runDRAMHiTP drives the partitioned table. For write-bearing workloads the
+// threads split 1:3 into producers and partition-owning consumers; for pure
+// finds every thread reads directly with a pipeline (plus the partition
+// dispatch overhead).
+func runDRAMHiTP(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, mix OpMix, keyOf func(uint64) uint64, prefill, pollBase uint64, simd bool) {
+	if mix == Finds {
+		// Reads are never delegated.
+		per := opsPerThread(cfg.MeasureOps, cfg.Threads)
+		fresh := newFreshRanks(prefill)
+		streams := make([]*opStream, cfg.Threads)
+		polls := make([]*rand.Rand, cfg.Threads)
+		remaining := make([]int, cfg.Threads)
+		pipes := make([]*pipeline, cfg.Threads)
+		for i := range streams {
+			streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
+			polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+			remaining[i] = per[i]
+			pipes[i] = newPipeline(arr, cfg.Window, simd, false)
+			pipes[i].onComplete = wrapSink(cfg.LatencySink)
+		}
+		sim.Run(func(t *memsim.Thread) bool {
+			p := pipes[t.ID]
+			if remaining[t.ID] == 0 {
+				if p.pending() > 0 {
+					p.flush(t)
+				}
+				return false
+			}
+			remaining[t.ID]--
+			h, _ := streams[t.ID].next()
+			t.Compute(fullCheckCycles) // partition dispatch
+			p.submit(t, h, false)
+			if cfg.Pollutions > 0 {
+				pollute(t, polls[t.ID], pollBase, cfg.Pollutions)
+			}
+			return true
+		})
+		return
+	}
+
+	if mix == Mixed {
+		runDRAMHiTPMixed(sim, arr, la, cfg, keyOf, prefill, pollBase, simd)
+		return
+	}
+
+	// Producer / consumer split (1:3, at least one of each).
+	producers := cfg.Threads / 4
+	if producers < 1 {
+		producers = 1
+	}
+	consumers := cfg.Threads - producers
+	if consumers < 1 {
+		consumers = 1
+		producers = cfg.Threads - 1
+		if producers < 1 {
+			// Single thread: it is both; degrade to DRAMHiT-style local.
+			producers = 1
+			consumers = 0
+		}
+	}
+	if consumers == 0 {
+		runDRAMHiT(sim, arr, cfg, mix, keyOf, prefill, pollBase)
+		return
+	}
+
+	// Queues: producer p -> consumer c.
+	queues := make([][]*simQueue, producers)
+	for p := 0; p < producers; p++ {
+		queues[p] = make([]*simQueue, consumers)
+		for c := 0; c < consumers; c++ {
+			queues[p][c] = newSimQueue(la, 512, 64)
+		}
+	}
+	// Partition ownership: consumer for a hash.
+	ownerOf := func(h uint64) int {
+		return int(hashfn.Fastrange(h, uint64(consumers)))
+	}
+
+	per := opsPerThread(cfg.MeasureOps, producers)
+	fresh := newFreshRanks(prefill)
+	streams := make([]*opStream, producers)
+	polls := make([]*rand.Rand, cfg.Threads)
+	remaining := make([]int, producers)
+	for i := 0; i < producers; i++ {
+		streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
+		remaining[i] = per[i]
+	}
+	for i := range polls {
+		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+	}
+	pipes := make([]*pipeline, consumers)
+	readPipes := make([]*pipeline, producers)
+	for c := 0; c < consumers; c++ {
+		pipes[c] = newPipeline(arr, cfg.Window, simd, true)
+		// Partition lines are only ever cached by their owner: the probe
+		// filter resolves them without cross-CCX broadcasts.
+		sim.Threads[producers+c].ProbeExempt = true
+	}
+	for p := 0; p < producers; p++ {
+		readPipes[p] = newPipeline(arr, cfg.Window, simd, false)
+	}
+	producersDone := 0
+	rr := make([]int, consumers)
+
+	sim.Run(func(t *memsim.Thread) bool {
+		id := t.ID
+		if id < producers {
+			// Producer.
+			if remaining[id] == 0 {
+				// Publish trailing sections once.
+				for c := 0; c < consumers; c++ {
+					queues[id][c].publish(t)
+				}
+				readPipes[id].flush(t)
+				producersDone++
+				return false
+			}
+			h, isRead := streams[id].next()
+			if isRead {
+				t.Compute(fullCheckCycles)
+				readPipes[id].submit(t, h, false)
+				remaining[id]--
+				return true
+			}
+			t.Compute(hashCycles + fullCheckCycles)
+			c := ownerOf(h)
+			if !queues[id][c].send(t, h) {
+				// Queue full: back off and retry this op later.
+				t.Compute(100)
+				return true
+			}
+			if cfg.LatencySink != nil {
+				// Fire-and-forget: the paper measures DRAMHiT-P insert
+				// latency as submission time (90% within 52 cycles).
+				cfg.LatencySink(t.Clock-msgEnqueue-hashCycles, t.Clock)
+			}
+			remaining[id]--
+			if cfg.Pollutions > 0 {
+				pollute(t, polls[id], pollBase, cfg.Pollutions)
+			}
+			return true
+		}
+
+		// Consumer.
+		c := id - producers
+		got := false
+		for tries := 0; tries < producers; tries++ {
+			q := queues[rr[c]%producers][c]
+			rr[c]++
+			if msg, ok := q.recv(t); ok {
+				// Prefetch the queue we will serve next (§3.3).
+				queues[rr[c]%producers][c].prefetchHead(t)
+				pipes[c].submit(t, msg.h, true)
+				got = true
+				break
+			}
+		}
+		if got {
+			return true
+		}
+		// Idle: are we done?
+		if producersDone == producers {
+			empty := true
+			for p := 0; p < producers; p++ {
+				if queues[p][c].backlog() > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				pipes[c].flush(t)
+				return false
+			}
+		}
+		t.Compute(pollEmptyCycles)
+		return true
+	})
+}
+
+// opsPerThread splits total ops evenly with the remainder spread over the
+// first threads.
+func opsPerThread(total, threads int) []int {
+	per := make([]int, threads)
+	base := total / threads
+	rem := total % threads
+	for i := range per {
+		per[i] = base
+		if i < rem {
+			per[i]++
+		}
+	}
+	return per
+}
+
+// runDRAMHiTPMixed models the partitioned table under a read/write mix the
+// way the design intends: EVERY thread executes its reads directly (reads
+// are never delegated), while writes are delegated to the consumer-role
+// threads (the last 3/4), which interleave applying delegated updates with
+// generating their own operations. At read-probability 1 this converges to
+// the all-threads read pipeline; at 0 it approaches the producer/consumer
+// insert configuration.
+func runDRAMHiTPMixed(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, keyOf func(uint64) uint64, prefill, pollBase uint64, simd bool) {
+	threads := cfg.Threads
+	producersOnly := threads / 4
+	if producersOnly < 1 {
+		producersOnly = 1
+	}
+	consumers := threads - producersOnly
+	if consumers < 1 {
+		runDRAMHiT(sim, arr, cfg, Mixed, keyOf, prefill, pollBase)
+		return
+	}
+	// Every thread can send; consumer role = ids >= producersOnly.
+	queues := make([][]*simQueue, threads)
+	for p := 0; p < threads; p++ {
+		queues[p] = make([]*simQueue, consumers)
+		for c := 0; c < consumers; c++ {
+			queues[p][c] = newSimQueue(la, 512, 64)
+		}
+	}
+	ownerOf := func(h uint64) int { return int(hashfn.Fastrange(h, uint64(consumers))) }
+
+	per := opsPerThread(cfg.MeasureOps, threads)
+	fresh := newFreshRanks(prefill)
+	streams := make([]*opStream, threads)
+	remaining := make([]int, threads)
+	polls := make([]*rand.Rand, threads)
+	readPipes := make([]*pipeline, threads)
+	applyPipes := make([]*pipeline, consumers)
+	for i := 0; i < threads; i++ {
+		streams[i] = newOpStream(cfg, Mixed, keyOf, prefill, i, fresh)
+		remaining[i] = per[i]
+		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+		readPipes[i] = newPipeline(arr, cfg.Window, simd, false)
+	}
+	for c := 0; c < consumers; c++ {
+		applyPipes[c] = newPipeline(arr, cfg.Window, simd, true)
+		sim.Threads[producersOnly+c].ProbeExempt = true
+	}
+	closed := make([]bool, threads)
+	closedCount := 0
+	rr := make([]int, consumers)
+
+	sim.Run(func(t *memsim.Thread) bool {
+		id := t.ID
+		isConsumer := id >= producersOnly
+		// Consumers drain one delegated write per step (so queues never
+		// back up) and still advance their own operation stream below —
+		// otherwise a busy mesh starves the consumers' own reads and the
+		// run's makespan stretches on their tail.
+		if isConsumer {
+			c := id - producersOnly
+			for tries := 0; tries < threads; tries++ {
+				q := queues[rr[c]%threads][c]
+				rr[c]++
+				if msg, ok := q.recv(t); ok {
+					queues[rr[c]%threads][c].prefetchHead(t)
+					applyPipes[c].submit(t, msg.h, true)
+					break
+				}
+			}
+		}
+		if remaining[id] > 0 {
+			remaining[id]--
+			h, isRead := streams[id].next()
+			if isRead {
+				t.Compute(fullCheckCycles)
+				readPipes[id].submit(t, h, false)
+			} else {
+				t.Compute(hashCycles + fullCheckCycles)
+				if !queues[id][ownerOf(h)].send(t, h) {
+					t.Compute(100)
+					remaining[id]++ // retry later
+				}
+			}
+			if cfg.Pollutions > 0 {
+				pollute(t, polls[id], pollBase, cfg.Pollutions)
+			}
+			return true
+		}
+		// Done generating: publish trailing sections once, then (consumers)
+		// keep draining until everything is closed and empty.
+		if !closed[id] {
+			closed[id] = true
+			closedCount++
+			for c := 0; c < consumers; c++ {
+				queues[id][c].publish(t)
+			}
+			readPipes[id].flush(t)
+		}
+		if !isConsumer {
+			return false
+		}
+		c := id - producersOnly
+		if closedCount == threads {
+			empty := true
+			for p := 0; p < threads; p++ {
+				if queues[p][c].backlog() > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				applyPipes[c].flush(t)
+				return false
+			}
+		}
+		t.Compute(pollEmptyCycles)
+		return true
+	})
+}

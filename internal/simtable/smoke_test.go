@@ -1,0 +1,226 @@
+package simtable
+
+import (
+	"testing"
+
+	"dramhit/internal/memsim"
+)
+
+// quick run sizes for tests; the real harness uses larger budgets.
+const testOps = 60_000
+
+func runQuick(t *testing.T, kind Kind, threads int, slots uint64, theta float64, mix OpMix) Result {
+	t.Helper()
+	r := Run(Config{
+		Machine:    memsim.IntelSkylake(),
+		Kind:       kind,
+		Threads:    threads,
+		Slots:      slots,
+		Theta:      theta,
+		MeasureOps: testOps,
+		Seed:       42,
+	}, mix)
+	if r.Mops <= 0 {
+		t.Fatalf("%v: nonpositive throughput", kind)
+	}
+	return r
+}
+
+const largeTest = 8 << 20 // 128 MB simulated footprint: far beyond the 44 MB LLC
+
+func TestDRAMHiTBeatsFolkloreLargeUniform(t *testing.T) {
+	// The headline result (Figure 6b): on a DRAM-resident table with
+	// uniform keys, prefetch-pipelined DRAMHiT roughly doubles Folklore.
+	for _, mix := range []OpMix{Inserts, Finds} {
+		f := runQuick(t, Folklore, 64, largeTest, 0, mix)
+		d := runQuick(t, DRAMHiT, 64, largeTest, 0, mix)
+		ratio := d.Mops / f.Mops
+		if ratio < 1.5 {
+			t.Errorf("mix %v: DRAMHiT/Folklore = %.2f (%.0f vs %.0f Mops), want ≥ 1.5",
+				mix, ratio, d.Mops, f.Mops)
+		}
+		if ratio > 4.5 {
+			t.Errorf("mix %v: ratio %.2f implausibly high", mix, ratio)
+		}
+	}
+}
+
+func TestFolkloreWinsSmallReadOnly(t *testing.T) {
+	// Figure 6a: on a cache-resident table, Folklore's lean read path beats
+	// DRAMHiT, which pays the prefetch-engine overhead for nothing.
+	f := runQuick(t, Folklore, 64, DefaultSmall, 0, Finds)
+	d := runQuick(t, DRAMHiT, 64, DefaultSmall, 0, Finds)
+	if f.Mops <= d.Mops*0.95 {
+		t.Errorf("small finds: Folklore %.0f vs DRAMHiT %.0f Mops; Folklore should lead", f.Mops, d.Mops)
+	}
+}
+
+func TestSkewCollapsesCASInserts(t *testing.T) {
+	// Figure 8b: at skew 1.09 insertions contend; Folklore and DRAMHiT both
+	// collapse, DRAMHiT-P sustains much higher throughput via delegation.
+	fUni := runQuick(t, Folklore, 64, largeTest, 0, Inserts)
+	fSkew := runQuick(t, Folklore, 64, largeTest, 1.09, Inserts)
+	if fSkew.Mops > fUni.Mops*0.7 {
+		t.Errorf("folklore skewed inserts %.0f vs uniform %.0f: contention collapse missing",
+			fSkew.Mops, fUni.Mops)
+	}
+	dSkew := runQuick(t, DRAMHiT, 64, largeTest, 1.09, Inserts)
+	pSkew := runQuick(t, DRAMHiTP, 64, largeTest, 1.09, Inserts)
+	if pSkew.Mops < dSkew.Mops*1.3 {
+		t.Errorf("skewed inserts: DRAMHiT-P %.0f vs DRAMHiT %.0f Mops; delegation should win clearly",
+			pSkew.Mops, dSkew.Mops)
+	}
+}
+
+func TestSkewedReadsBenefitFromCaching(t *testing.T) {
+	// Figure 8a/8b lookups: hot keys cache; skewed finds beat uniform finds
+	// for every design (reads take no atomics).
+	for _, kind := range []Kind{Folklore, DRAMHiT} {
+		uni := runQuick(t, kind, 64, largeTest, 0, Finds)
+		skew := runQuick(t, kind, 64, largeTest, 1.09, Finds)
+		if skew.Mops < uni.Mops*1.2 {
+			t.Errorf("%v: skewed finds %.0f vs uniform %.0f; caching win missing",
+				kind, skew.Mops, uni.Mops)
+		}
+	}
+}
+
+func TestPollutionDegradesDRAMHiT(t *testing.T) {
+	// Figure 6c: polluting the cache after every op destroys the prefetch
+	// advantage; DRAMHiT converges toward Folklore.
+	clean := Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 64,
+		Slots: largeTest, MeasureOps: testOps, Seed: 1}, Finds)
+	dirty := Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 64,
+		Slots: largeTest, MeasureOps: testOps, Seed: 1, Pollutions: 320}, Finds)
+	if dirty.Mops > clean.Mops*0.6 {
+		t.Errorf("pollution barely hurt: clean %.0f vs 320-pollutions %.0f Mops", clean.Mops, dirty.Mops)
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	// Throughput grows with threads until the memory subsystem saturates.
+	m1 := runQuick(t, DRAMHiT, 4, largeTest, 0, Finds)
+	m2 := runQuick(t, DRAMHiT, 32, largeTest, 0, Finds)
+	if m2.Mops < m1.Mops*2 {
+		t.Errorf("4→32 threads: %.0f → %.0f Mops; expected strong scaling", m1.Mops, m2.Mops)
+	}
+}
+
+func TestWindowOneApproachesFolklore(t *testing.T) {
+	// Ablation: a window of 1 forfeits pipelining; DRAMHiT should fall to
+	// roughly Folklore's level.
+	w16 := runQuick(t, DRAMHiT, 64, largeTest, 0, Finds)
+	w1 := Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 64,
+		Slots: largeTest, Window: 1, MeasureOps: testOps, Seed: 42}, Finds)
+	if w1.Mops > w16.Mops*0.7 {
+		t.Errorf("window=1 %.0f vs window=16 %.0f Mops: pipelining ablation missing", w1.Mops, w16.Mops)
+	}
+}
+
+func TestAMDOutpacesIntelUniform(t *testing.T) {
+	// Figures 10a/10b: the AMD machine (8 channels @ 3200) posts higher
+	// absolute throughput than Intel on uniform workloads at matched
+	// thread counts. AMD's LLC totals 512 MB, so the DRAM-resident test
+	// needs the full 1 GB table.
+	intel := Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 32,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 7}, Finds)
+	amd := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiT, Threads: 32,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 7}, Finds)
+	if amd.Mops <= intel.Mops {
+		t.Errorf("AMD %.0f ≤ Intel %.0f Mops on uniform finds", amd.Mops, intel.Mops)
+	}
+}
+
+func TestAMDAnomalyBeyond32Threads(t *testing.T) {
+	// Figure 10b: on the AMD machine, DRAMHiT peaks near 32 threads and
+	// drops at higher counts (probe-fabric saturation), while the
+	// partitioned table's single-writer partitions bypass the probe
+	// broadcasts and keep scaling.
+	at32 := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiT, Threads: 32,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 9}, Finds)
+	at128 := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiT, Threads: 128,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 9}, Finds)
+	if at128.Mops > at32.Mops*0.9 {
+		t.Errorf("AMD 128-thread finds %.0f vs 32-thread %.0f: anomaly missing", at128.Mops, at32.Mops)
+	}
+	// DRAMHiT-P must NOT collapse the way DRAMHiT does: its single-writer
+	// partitions bypass the probe broadcasts. (In this model it reaches
+	// its bandwidth ceiling already at 32 threads, so "keeps growing"
+	// manifests as "stays at the ceiling" while DRAMHiT halves.)
+	p32 := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiTP, Threads: 32,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 9}, Inserts)
+	p128 := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiTP, Threads: 128,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 9}, Inserts)
+	if p128.Mops < p32.Mops*0.85 {
+		t.Errorf("AMD DRAMHiT-P inserts collapsed 32→128 threads: %.0f → %.0f Mops", p32.Mops, p128.Mops)
+	}
+	d128 := Run(Config{Machine: memsim.AMDMilan(), Kind: DRAMHiT, Threads: 128,
+		Slots: DefaultLarge, MeasureOps: testOps, Seed: 9}, Inserts)
+	if p128.Mops < d128.Mops*1.2 {
+		t.Errorf("AMD @128: DRAMHiT-P %.0f should clearly beat collapsed DRAMHiT %.0f", p128.Mops, d128.Mops)
+	}
+}
+
+func TestLatencySinkFires(t *testing.T) {
+	count := 0
+	var worst float64
+	Run(Config{Machine: memsim.IntelSkylake(), Kind: DRAMHiT, Threads: 8,
+		Slots: DefaultSmall, MeasureOps: 20000, Seed: 3,
+		LatencySink: func(submit, complete float64) {
+			count++
+			if d := complete - submit; d > worst {
+				worst = d
+			}
+		}}, Inserts)
+	if count != 20000 {
+		t.Errorf("latency sink fired %d times, want 20000", count)
+	}
+	if worst <= 0 {
+		t.Error("latencies not positive")
+	}
+}
+
+func TestResultFillTracksPrefill(t *testing.T) {
+	r := Run(Config{Machine: memsim.IntelSkylake(), Kind: Folklore, Threads: 4,
+		Slots: 1 << 18, Prefill: 0.75, MeasureOps: 10000, Seed: 5}, Finds)
+	if r.Fill < 0.74 || r.Fill > 0.77 {
+		t.Errorf("fill = %.3f, want ~0.75", r.Fill)
+	}
+}
+
+func TestArrayPlaceAndProbe(t *testing.T) {
+	la := &lineAlloc{}
+	a := newArray(la, 1024)
+	if !a.place(12345) {
+		t.Fatal("place failed on empty array")
+	}
+	if a.occupancy() == 0 {
+		t.Fatal("occupancy did not grow")
+	}
+	// A find for the same hash must succeed without timing.
+	_, found := a.scalarFind(12345, func(uint64) {}, func(int) {})
+	if !found {
+		t.Fatal("placed hash not findable")
+	}
+	_, found = a.scalarFind(0xdeadbeefcafe, func(uint64) {}, func(int) {})
+	_ = found // may rarely false-positive via fingerprint collision; no assert
+}
+
+func TestLineAllocDisjoint(t *testing.T) {
+	la := &lineAlloc{}
+	a := la.alloc(100)
+	b := la.alloc(100)
+	if b < a+100 {
+		t.Errorf("overlapping allocations: %d then %d", a, b)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{Folklore: "folklore", DRAMHiT: "dramhit",
+		DRAMHiTP: "dramhit-p", DRAMHiTPSIMD: "dramhit-p-simd", Kind(99): "invalid"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package slotarr
+
+import (
+	"sync"
+	"testing"
+
+	"dramhit/internal/table"
+)
+
+func TestNewInitializesInFlight(t *testing.T) {
+	a := New(16)
+	for i := uint64(0); i < 16; i++ {
+		if a.Key(i) != table.EmptyKey {
+			t.Fatalf("slot %d key not empty", i)
+		}
+		if a.Value(i) != InFlightValue {
+			t.Fatalf("slot %d value not in-flight", i)
+		}
+	}
+}
+
+func TestClaimThenPublish(t *testing.T) {
+	a := New(4)
+	if !a.CASKey(2, table.EmptyKey, 99) {
+		t.Fatal("claim CAS failed on empty slot")
+	}
+	if a.CASKey(2, table.EmptyKey, 100) {
+		t.Fatal("second claim succeeded")
+	}
+	a.StoreValue(2, 1234)
+	if a.WaitValue(2) != 1234 {
+		t.Fatal("published value lost")
+	}
+}
+
+func TestWaitValueSpinsThroughInFlight(t *testing.T) {
+	a := New(4)
+	a.CASKey(0, table.EmptyKey, 5)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		a.StoreValue(0, 42)
+	}()
+	if v := a.WaitValue(0); v != 42 {
+		t.Fatalf("WaitValue = %d", v)
+	}
+	wg.Wait()
+}
+
+func TestAddValueWaitsOutInFlight(t *testing.T) {
+	a := New(4)
+	a.CASKey(0, table.EmptyKey, 5)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := a.AddValue(0, 10); got != 17 {
+			t.Errorf("AddValue = %d, want 17", got)
+		}
+	}()
+	a.StoreValue(0, 7)
+	<-done
+}
+
+func TestLineOf(t *testing.T) {
+	for i, want := range []uint64{0, 0, 0, 0, 1, 1, 1, 1, 2} {
+		if got := LineOf(uint64(i)); got != want {
+			t.Errorf("LineOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPrefetchIsHarmless(t *testing.T) {
+	a := New(64)
+	a.CASKey(9, table.EmptyKey, 7)
+	a.StoreValue(9, 70)
+	_ = a.Prefetch(9)
+	if a.Key(9) != 7 || a.WaitValue(9) != 70 {
+		t.Fatal("prefetch disturbed the slot")
+	}
+}
+
+func TestSideSlotLifecycle(t *testing.T) {
+	var s SideSlot
+	if _, ok := s.Get(); ok {
+		t.Fatal("fresh side slot present")
+	}
+	if !s.Put(5) {
+		t.Fatal("first Put did not report insert")
+	}
+	if s.Put(6) {
+		t.Fatal("second Put reported insert")
+	}
+	if v, ok := s.Get(); !ok || v != 6 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+	if !s.Delete() {
+		t.Fatal("Delete of present failed")
+	}
+	if s.Delete() {
+		t.Fatal("double Delete succeeded")
+	}
+	// Reinsert after tombstone.
+	if !s.Put(9) {
+		t.Fatal("reinsert failed")
+	}
+	if v, _ := s.Get(); v != 9 {
+		t.Fatalf("reinserted value = %d", v)
+	}
+}
+
+func TestSideSlotUpsert(t *testing.T) {
+	var s SideSlot
+	if v, updated := s.Upsert(3); updated || v != 3 {
+		t.Fatalf("first upsert = (%d, %v)", v, updated)
+	}
+	if v, updated := s.Upsert(4); !updated || v != 7 {
+		t.Fatalf("second upsert = (%d, %v)", v, updated)
+	}
+	s.Delete()
+	if v, updated := s.Upsert(2); updated || v != 2 {
+		t.Fatalf("post-delete upsert = (%d, %v)", v, updated)
+	}
+}
+
+func TestSidePairRouting(t *testing.T) {
+	var p SidePair
+	if p.For(5) != nil {
+		t.Fatal("ordinary key routed to a side slot")
+	}
+	e := p.For(table.EmptyKey)
+	d := p.For(table.TombstoneKey)
+	if e == nil || d == nil || e == d {
+		t.Fatal("reserved keys must route to two distinct side slots")
+	}
+	if p.Count() != 0 {
+		t.Fatal("fresh pair count != 0")
+	}
+	e.Put(1)
+	d.Put(2)
+	if p.Count() != 2 {
+		t.Fatalf("count = %d", p.Count())
+	}
+}
+
+func TestSideSlotConcurrentUpserts(t *testing.T) {
+	var s SideSlot
+	var wg sync.WaitGroup
+	const g, n = 4, 1000
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				s.Upsert(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := s.Get(); v != g*n {
+		t.Fatalf("count = %d, want %d", v, g*n)
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

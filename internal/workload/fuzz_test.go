@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace decoder never panics or over-allocates on
+// arbitrary input, and that valid traces round-trip.
+func FuzzReadTrace(f *testing.F) {
+	var seed bytes.Buffer
+	WriteTrace(&seed, RecordMixed(1, 100, 0, 0.5, 3))
+	f.Add(seed.Bytes())
+	f.Add([]byte("DHT1"))
+	f.Add([]byte("DHT1\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ops, err := ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode identically.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, ops); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil || len(again) != len(ops) {
+			t.Fatalf("round trip: %v, %d vs %d", err, len(again), len(ops))
+		}
+	})
+}

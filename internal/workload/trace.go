@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace record/replay: benchmark runs can persist the exact operation
+// stream they executed and replay it byte-identically later (or on another
+// machine), removing generator nondeterminism from A/B comparisons.
+//
+// Format: magic "DHT1", uint64 count, then count records of
+// (op uint8, key uint64, value uint64), all little-endian.
+
+const traceMagic = "DHT1"
+
+// TraceOp is one persisted operation.
+type TraceOp struct {
+	Op    Op
+	Key   uint64
+	Value uint64
+}
+
+// WriteTrace persists ops to w.
+func WriteTrace(w io.Writer, ops []TraceOp) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	var buf [17]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(ops)))
+	if _, err := bw.Write(buf[:8]); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		buf[0] = byte(op.Op)
+		binary.LittleEndian.PutUint64(buf[1:9], op.Key)
+		binary.LittleEndian.PutUint64(buf[9:17], op.Value)
+		if _, err := bw.Write(buf[:17]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]TraceOp, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace count: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	const maxTrace = 1 << 32
+	if n > maxTrace {
+		return nil, fmt.Errorf("workload: implausible trace length %d", n)
+	}
+	// Never trust the header for a large preallocation: a corrupt count
+	// would allocate gigabytes before the first record fails to parse.
+	// Preallocate a bounded amount and let append grow with real data.
+	pre := n
+	if pre > 1<<20 {
+		pre = 1 << 20
+	}
+	ops := make([]TraceOp, 0, pre)
+	var rec [17]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("workload: trace truncated at record %d: %w", i, err)
+		}
+		op := Op(rec[0])
+		if op > Delete {
+			return nil, fmt.Errorf("workload: invalid op %d at record %d", rec[0], i)
+		}
+		ops = append(ops, TraceOp{
+			Op:    op,
+			Key:   binary.LittleEndian.Uint64(rec[1:9]),
+			Value: binary.LittleEndian.Uint64(rec[9:17]),
+		})
+	}
+	return ops, nil
+}
+
+// RecordMixed materializes n operations of a mixed stream as a trace.
+func RecordMixed(seed int64, keySpace uint64, theta, readProb float64, n int) []TraceOp {
+	ms := NewMixedStream(seed, keySpace, theta, readProb)
+	ops := make([]TraceOp, n)
+	for i := range ops {
+		op := ms.Next()
+		ops[i] = TraceOp{Op: op.Op, Key: op.Key, Value: uint64(i)}
+	}
+	return ops
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops := RecordMixed(7, 1<<16, 0.9, 0.5, 5000)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("got %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %v, %d ops", err, len(got))
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("NOPE\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	ops := RecordMixed(8, 100, 0, 0.5, 10)
+	var buf bytes.Buffer
+	WriteTrace(&buf, ops)
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceInvalidOp(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTrace(&buf, []TraceOp{{Op: Op(200), Key: 1}})
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestRecordMixedMatchesStream(t *testing.T) {
+	ops := RecordMixed(9, 1<<10, 0, 0.8, 2000)
+	reads := 0
+	for _, op := range ops {
+		if op.Op == Get {
+			reads++
+		}
+	}
+	frac := float64(reads) / float64(len(ops))
+	if frac < 0.75 || frac > 0.85 {
+		t.Errorf("read fraction %.2f, want ~0.8", frac)
+	}
+}

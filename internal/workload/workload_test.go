@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfUniformTheta0(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1000, 0)
+	const samples = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	mean := float64(samples) / 1000
+	for r, c := range counts {
+		if math.Abs(float64(c)-mean) > 6*math.Sqrt(mean) {
+			t.Errorf("rank %d count %d deviates from uniform mean %.1f", r, c, mean)
+		}
+	}
+}
+
+func TestZipfInRange(t *testing.T) {
+	for _, theta := range []float64{0, 0.2, 0.5, 0.99, 1.0, 1.09, 1.2} {
+		z := NewZipf(rand.New(rand.NewSource(2)), 100, theta)
+		for i := 0; i < 10000; i++ {
+			r := z.Next()
+			if r >= 100 {
+				t.Fatalf("theta %.2f: rank %d out of range", theta, r)
+			}
+		}
+	}
+}
+
+func TestZipfHotSetProperty(t *testing.T) {
+	// The paper: at skew ~1, roughly 90% of accesses touch 10% of keys.
+	z := NewZipf(rand.New(rand.NewSource(3)), 1<<20, 1.0)
+	got := z.HotSetFraction(0.10)
+	if got < 0.80 || got > 0.95 {
+		t.Errorf("hot-set fraction at theta=1.0 is %.3f, want ~0.9", got)
+	}
+	// And empirically:
+	hot := uint64(float64(z.N()) * 0.10)
+	const samples = 300000
+	inHot := 0
+	for i := 0; i < samples; i++ {
+		if z.Next() < hot {
+			inHot++
+		}
+	}
+	emp := float64(inHot) / samples
+	if math.Abs(emp-got) > 0.03 {
+		t.Errorf("empirical hot fraction %.3f vs analytic %.3f", emp, got)
+	}
+}
+
+func TestZipfRankProbMatchesEmpirical(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(4)), 1000, 0.9)
+	const samples = 500000
+	counts := make([]int, 1000)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	for _, r := range []uint64{0, 1, 5, 50} {
+		want := z.RankProb(r)
+		got := float64(counts[r]) / samples
+		if math.Abs(got-want)/want > 0.15 {
+			t.Errorf("rank %d: empirical p=%.5f analytic p=%.5f", r, got, want)
+		}
+	}
+}
+
+func TestZipfMonotoneRankPopularity(t *testing.T) {
+	// Lower ranks must be drawn at least as often as higher ranks (within
+	// sampling noise aggregated over decades).
+	z := NewZipf(rand.New(rand.NewSource(5)), 1<<16, 1.09)
+	const samples = 400000
+	counts := make([]int, 1<<16)
+	for i := 0; i < samples; i++ {
+		counts[z.Next()]++
+	}
+	// Compare decade sums.
+	decade := func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		return s
+	}
+	d0 := decade(0, 10)
+	d1 := decade(10, 100)
+	d2 := decade(100, 1000)
+	if d0 < d1/4 || d1 < d2/4 {
+		t.Errorf("popularity not decreasing across decades: %d %d %d", d0, d1, d2)
+	}
+}
+
+func TestZetaLargeNApproximation(t *testing.T) {
+	// The approximate zeta past the cutoff must agree with a direct sum on a
+	// size just above the cutoff.
+	const n = 1<<20 + 4096
+	theta := 0.8
+	direct := 0.0
+	for i := uint64(1); i <= n; i++ {
+		direct += 1.0 / math.Pow(float64(i), theta)
+	}
+	approx := zeta(n, theta)
+	if math.Abs(direct-approx)/direct > 1e-6 {
+		t.Errorf("zeta approximation off: direct %.9f approx %.9f", direct, approx)
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(7)), 1<<16, 1.09)
+	b := NewZipf(rand.New(rand.NewSource(7)), 1<<16, 1.09)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestUniqueKeysAreUnique(t *testing.T) {
+	keys := UniqueKeys(11, 1<<16)
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			t.Fatalf("duplicate key %d", sorted[i])
+		}
+	}
+}
+
+func TestUniqueKeyAtMatchesSlice(t *testing.T) {
+	keys := UniqueKeys(13, 1000)
+	for _, i := range []uint64{0, 1, 42, 999} {
+		if got := UniqueKeyAt(13, i); got != keys[i] {
+			t.Errorf("UniqueKeyAt(13, %d) = %d, want %d", i, got, keys[i])
+		}
+	}
+}
+
+func TestScrambleRankBijective(t *testing.T) {
+	f := func(a, b uint64) bool {
+		const salt = 0x1234567
+		if a == b {
+			return true
+		}
+		return ScrambleRank(a, salt) != ScrambleRank(b, salt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyStreamRevisitsHotKeys(t *testing.T) {
+	// A skewed key stream must revisit its hottest key many times even
+	// after scrambling.
+	s := NewKeyStream(17, 1<<16, 1.09)
+	counts := make(map[uint64]int)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		counts[s.Next()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < samples/100 {
+		t.Errorf("hottest key seen only %d/%d times; scrambling broke skew", max, samples)
+	}
+}
+
+func TestMixedStreamReadFraction(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		m := NewMixedStream(19, 1<<16, 0, p)
+		const samples = 50000
+		reads := 0
+		for i := 0; i < samples; i++ {
+			if m.Next().Op == Get {
+				reads++
+			}
+		}
+		got := float64(reads) / samples
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("readProb %.2f: measured %.3f", p, got)
+		}
+	}
+}
+
+func TestRankStreamReturnsRawRanks(t *testing.T) {
+	s := NewRankStream(23, 100, 1.09)
+	for i := 0; i < 1000; i++ {
+		if r := s.Next(); r >= 100 {
+			t.Fatalf("rank stream emitted %d, out of [0,100)", r)
+		}
+	}
+}
+
+func TestNewZipfPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 0.5)
+}
+
+func BenchmarkZipfNextUniform(b *testing.B) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1<<26, 0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkZipfNextSkewed(b *testing.B) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 1<<26, 1.09)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += z.Next()
+	}
+	_ = sink
+}

@@ -1,0 +1,9 @@
+package ycsb
+
+import (
+	"dramhit/internal/growt"
+	"dramhit/internal/table"
+)
+
+// tblFactory picks the resizable table so YCSB inserts never hit capacity.
+func tblFactory() table.Map { return growt.New(1 << 14) }

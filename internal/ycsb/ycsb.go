@@ -1,0 +1,165 @@
+// Package ycsb defines the standard YCSB core workload mixes (A–F) over
+// this repository's hash tables, for the load-generator tool and for
+// apples-to-apples comparison with the key-value-store literature the paper
+// situates itself in (MICA and friends). Operations map onto the table.Map
+// vocabulary; scans — which open-addressing point-lookup tables do not
+// support — are approximated by a configurable burst of point reads, as is
+// conventional when benchmarking hash tables with YCSB E.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dramhit/internal/workload"
+)
+
+// OpKind is a YCSB operation.
+type OpKind uint8
+
+// YCSB operation kinds.
+const (
+	Read OpKind = iota
+	Update
+	Insert
+	Scan
+	ReadModifyWrite
+)
+
+// String implements fmt.Stringer.
+func (o OpKind) String() string {
+	switch o {
+	case Read:
+		return "read"
+	case Update:
+		return "update"
+	case Insert:
+		return "insert"
+	case Scan:
+		return "scan"
+	case ReadModifyWrite:
+		return "rmw"
+	}
+	return "invalid"
+}
+
+// Mix is a workload definition: operation proportions plus the request
+// distribution.
+type Mix struct {
+	Name   string
+	Read   float64
+	Update float64
+	Insert float64
+	Scan   float64
+	RMW    float64
+	// Zipfian selects the request distribution (YCSB's default theta is
+	// 0.99); false = uniform.
+	Zipfian bool
+}
+
+// The YCSB core workloads.
+var (
+	// A: update heavy (50/50 read/update), zipfian.
+	A = Mix{Name: "A", Read: 0.5, Update: 0.5, Zipfian: true}
+	// B: read mostly (95/5), zipfian.
+	B = Mix{Name: "B", Read: 0.95, Update: 0.05, Zipfian: true}
+	// C: read only, zipfian.
+	C = Mix{Name: "C", Read: 1.0, Zipfian: true}
+	// D: read latest — approximated with a zipfian over the insertion
+	// order's tail via the scrambled rank space.
+	D = Mix{Name: "D", Read: 0.95, Insert: 0.05, Zipfian: true}
+	// E: short scans (95/5 scan/insert), zipfian.
+	E = Mix{Name: "E", Scan: 0.95, Insert: 0.05, Zipfian: true}
+	// F: read-modify-write (50/50 read/rmw), zipfian.
+	F = Mix{Name: "F", Read: 0.5, RMW: 0.5, Zipfian: true}
+)
+
+// ByName returns a core workload by letter.
+func ByName(name string) (Mix, error) {
+	switch name {
+	case "A", "a":
+		return A, nil
+	case "B", "b":
+		return B, nil
+	case "C", "c":
+		return C, nil
+	case "D", "d":
+		return D, nil
+	case "E", "e":
+		return E, nil
+	case "F", "f":
+		return F, nil
+	}
+	return Mix{}, fmt.Errorf("ycsb: unknown workload %q (A-F)", name)
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// ScanLen applies to Scan ops (number of point reads to issue).
+	ScanLen int
+}
+
+// Generator produces a deterministic operation stream for one worker.
+type Generator struct {
+	mix      Mix
+	keys     *workload.KeyStream
+	rng      *rand.Rand
+	salt     uint64
+	inserted uint64 // next fresh rank for Insert ops
+	maxScan  int
+}
+
+// Theta is YCSB's default zipfian constant.
+const Theta = 0.99
+
+// NewGenerator builds a generator over a keyspace of `records` loaded rows.
+// Insert operations extend the space with fresh keys. Generators with the
+// same seed produce identical streams.
+func NewGenerator(mix Mix, records uint64, seed int64) *Generator {
+	theta := 0.0
+	if mix.Zipfian {
+		theta = Theta
+	}
+	return &Generator{
+		mix:      mix,
+		keys:     workload.NewKeyStream(seed, records, theta),
+		rng:      rand.New(rand.NewSource(seed ^ 0x7f4a7c15)),
+		salt:     rand.New(rand.NewSource(seed)).Uint64() | 1,
+		inserted: records,
+		maxScan:  100,
+	}
+}
+
+// LoadKeys returns the keys of the initial dataset (rank order); use with
+// the table's batch-insert path during the load phase.
+func LoadKeys(records uint64, seed int64) []uint64 {
+	return workload.UniqueKeys(seed, int(records))
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	m := g.mix
+	switch {
+	case r < m.Read:
+		return Op{Kind: Read, Key: g.keys.Next()}
+	case r < m.Read+m.Update:
+		return Op{Kind: Update, Key: g.keys.Next()}
+	case r < m.Read+m.Update+m.Insert:
+		g.inserted++
+		return Op{Kind: Insert, Key: workload.ScrambleRank(g.inserted, g.salt)}
+	case r < m.Read+m.Update+m.Insert+m.Scan:
+		return Op{Kind: Scan, Key: g.keys.Next(), ScanLen: 1 + g.rng.Intn(g.maxScan)}
+	default:
+		return Op{Kind: ReadModifyWrite, Key: g.keys.Next()}
+	}
+}
+
+// Proportions returns the mix's proportions for validation.
+func (m Mix) Proportions() map[OpKind]float64 {
+	return map[OpKind]float64{
+		Read: m.Read, Update: m.Update, Insert: m.Insert, Scan: m.Scan, ReadModifyWrite: m.RMW,
+	}
+}
