@@ -73,6 +73,21 @@ type Response = table.Response
 // protocol; storing it is not allowed.
 const ReservedValue = slotarr.InFlightValue
 
+// ProbeKernel selects the hot-path probe strategy (Config.ProbeKernel and
+// PartitionedConfig.ProbeKernel): KernelSWAR (the zero value and default)
+// probes a whole 64-byte cache line per step with the lane-parallel
+// branch-free kernel; KernelScalar keeps the slot-by-slot loop for ablation
+// and A/B benchmarking.
+type ProbeKernel = table.ProbeKernel
+
+// Probe kernel choices.
+const (
+	// KernelSWAR is the line-granular lane-compare kernel (default).
+	KernelSWAR = table.KernelSWAR
+	// KernelScalar is the slot-by-slot probe loop (A/B baseline).
+	KernelScalar = table.KernelScalar
+)
+
 // Config parameterizes the core table.
 type Config = idramhit.Config
 

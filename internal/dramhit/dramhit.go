@@ -49,6 +49,11 @@ type Config struct {
 	// Hash overrides the hash function; nil selects hashfn.City64.
 	// hashfn.CRC64 matches the paper's CRC32 configuration.
 	Hash func(uint64) uint64
+	// ProbeKernel selects how the drain probes a resident cache line. The
+	// zero value (table.KernelSWAR) snapshots the whole line and runs the
+	// lane-parallel branch-free kernel of internal/simd; table.KernelScalar
+	// keeps the slot-by-slot loop for ablation and A/B benchmarks.
+	ProbeKernel table.ProbeKernel
 }
 
 // Table is the shared state of a DRAMHiT hash table. Create per-goroutine
@@ -61,6 +66,7 @@ type Table struct {
 	hash   func(uint64) uint64
 	size   uint64
 	window int
+	kernel table.ProbeKernel
 	used   atomic.Int64
 	live   atomic.Int64
 }
@@ -86,8 +92,12 @@ func New(cfg Config) *Table {
 		hash:   h,
 		size:   cfg.Slots,
 		window: w,
+		kernel: cfg.ProbeKernel,
 	}
 }
+
+// Kernel returns the configured probe kernel.
+func (t *Table) Kernel() table.ProbeKernel { return t.kernel }
 
 // Len returns the number of live entries.
 func (t *Table) Len() int { return int(t.live.Load()) + t.side.Count() }
@@ -138,6 +148,7 @@ type Handle struct {
 	head   int // enqueue position
 	tail   int // dequeue position (oldest)
 	window int
+	kernel table.ProbeKernel
 
 	stats Stats
 	sink  uint64 // accumulates prefetch loads so they are not dead code
@@ -158,6 +169,7 @@ func (t *Table) NewHandle() *Handle {
 		q:      make([]pending, capacity),
 		mask:   capacity - 1,
 		window: t.window,
+		kernel: t.kernel,
 	}
 }
 
@@ -239,6 +251,10 @@ func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
 // possibly writing a response; if it must cross into the next cache line it
 // is re-enqueued with a new prefetch. blocked reports that a Get completed
 // but resps had no room — the request is left at the queue head.
+//
+// The operation kind is dispatched exactly once here: each SWAR drain (see
+// swar.go) contains the line-granular kernel loop specialized for its op, so
+// the probe loop itself carries no per-slot op switch.
 func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, blocked bool) {
 	p := h.q[h.tail&h.mask]
 
@@ -253,6 +269,25 @@ func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, block
 		return true, false
 	}
 
+	if h.kernel == table.KernelScalar {
+		return h.processScalar(p, resps, nresp)
+	}
+	switch p.req.Op {
+	case table.Get:
+		return h.drainGet(p, resps, nresp)
+	case table.Put:
+		return h.drainUpdate(p, false)
+	case table.Upsert:
+		return h.drainUpdate(p, true)
+	default:
+		return h.drainDelete(p)
+	}
+}
+
+// processScalar is the pre-SWAR slot-by-slot hot path, retained as the
+// table.KernelScalar ablation baseline (and the reference the SWAR
+// equivalence property test compares against).
+func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (wrote, blocked bool) {
 	t := h.t
 	line := slotarr.LineOf(p.idx)
 	for {
@@ -399,6 +434,15 @@ func (h *Handle) finish(p pending, op table.Op, hit bool) {
 		h.stats.Hits++
 	}
 	if h.onComplete != nil {
-		h.onComplete(p.req, time.Duration(time.Now().UnixNano()-p.startNS))
+		// startNS is only stamped at Submit when the hook was already
+		// installed; a request that predates SetLatencyHook completes with a
+		// zero latency instead of a nonsense now-minus-zero reading (and
+		// skips the second time.Now() call entirely). When the hook is unset
+		// this branch is the whole cost: no timestamps are taken anywhere.
+		var lat time.Duration
+		if p.startNS != 0 {
+			lat = time.Duration(time.Now().UnixNano() - p.startNS)
+		}
+		h.onComplete(p.req, lat)
 	}
 }

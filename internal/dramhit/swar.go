@@ -1,0 +1,281 @@
+package dramhit
+
+import (
+	"dramhit/internal/simd"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// This file is the table.KernelSWAR execution model: the drain probes whole
+// cache lines, not slots. Each drain snapshots the resident line's key lanes
+// with one slotarr.LoadKeys pass, runs the lane-parallel branch-free kernel
+// of internal/simd over the four key lanes, and acts on the first match in
+// probe order. Tombstoned lanes match neither mask and are skipped without a
+// branch. At most one value word is touched afterwards (the matched lane's —
+// an L1 hit, the line is resident). Every state-changing decision made from
+// the snapshot is re-verified against live memory by the claim CAS; a lost
+// claim race re-snapshots the line and reruns the kernel rather than falling
+// back to the scalar loop (see DESIGN.md "Line-granular SWAR probe kernel").
+//
+// The drains are specialized per operation so the 4-way op switch runs once
+// per drain attempt in processOldest, not once per probed slot.
+
+// Each drain opens with an entry-lane peek: at the fills the tables run at,
+// most probes resolve in their home slot, and one load answers that case at
+// exactly the scalar path's cost. Only when the peeked lane holds a
+// different live key (a cluster walk has started) does the line kernel take
+// over, replacing up to three more per-slot iterations with one fused
+// lane-compare. The peek writes no Stats, so the counters stay identical to
+// the scalar path's in every outcome.
+
+// drainGet resolves a pending Get over its resident line with the lane
+// kernel. The matched lane's value is loaded after its key was observed —
+// the same key-then-value order the scalar path uses — from the line the
+// kernel just touched, so the load is an L1 hit, not a second memory touch.
+func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote, blocked bool) {
+	t := h.t
+	switch k := t.arr.Key(p.idx); k {
+	case p.req.Key:
+		if *nresp >= len(resps) {
+			return false, true
+		}
+		h.tail++
+		resps[*nresp] = table.Response{ID: p.req.ID, Value: t.arr.WaitValue(p.idx), Found: true}
+		*nresp++
+		h.finish(p, table.Get, true)
+		return true, false
+	case table.EmptyKey:
+		if *nresp >= len(resps) {
+			return false, true
+		}
+		h.tail++
+		resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
+		*nresp++
+		h.finish(p, table.Get, false)
+		return true, false
+	}
+
+	for {
+		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
+		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
+		switch res {
+		case simd.HitKey:
+			if *nresp >= len(resps) {
+				return false, true
+			}
+			h.tail++
+			v := t.arr.WaitValue(base + uint64(lane))
+			resps[*nresp] = table.Response{ID: p.req.ID, Value: v, Found: true}
+			*nresp++
+			h.finish(p, table.Get, true)
+			return true, false
+		case simd.HitEmpty:
+			if *nresp >= len(resps) {
+				return false, true
+			}
+			h.tail++
+			resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
+			*nresp++
+			h.finish(p, table.Get, false)
+			return true, false
+		}
+		if p.probes+valid-(p.idx-base) >= t.size {
+			// Full-table probe: not found.
+			if *nresp >= len(resps) {
+				return false, true
+			}
+			h.tail++
+			h.completeFailed(p, resps, nresp)
+			return true, false
+		}
+		// Missed line: advance past it. Lanes before the entry offset were
+		// examined on an earlier pass (or never); only cidx..valid-1 count
+		// toward the full-table bound, exactly matching the scalar loop's
+		// per-slot accounting. This block is open-coded in each drain (not a
+		// helper) so p never has its address taken and stays in registers
+		// across the kernel loop, like the scalar path's probe cursor.
+		p.probes += valid - (p.idx - base)
+		next := base + table.SlotsPerCacheLine
+		if next >= t.size {
+			next = 0
+		}
+		p.idx = next
+		if slotarr.LineOf(next) != slotarr.LineOf(base) {
+			// Crossing into a new line: re-enqueue behind a fresh prefetch.
+			h.tail++
+			h.sink += t.arr.Prefetch(next)
+			h.stats.Reprobes++
+			h.stats.Lines++
+			h.enqueue(p)
+			return false, false
+		}
+		// Single-line-table wrap: the probe stays cache-resident; keep
+		// draining.
+	}
+}
+
+// drainUpdate resolves a pending Put (add=false) or Upsert (add=true). An
+// empty lane located in the snapshot is claimed with the key-word CAS; a
+// lost race re-snapshots the line and reruns the kernel — the monotonic key
+// transitions (empty → key → tombstone, never reused) guarantee the rerun
+// observes the interfering claim and either matches it (same key) or probes
+// past it.
+func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
+	t := h.t
+	op := table.Put
+	if add {
+		op = table.Upsert
+	}
+	switch k := t.arr.Key(p.idx); k {
+	case p.req.Key:
+		h.tail++
+		if add {
+			t.arr.AddValue(p.idx, p.req.Value)
+		} else {
+			t.arr.StoreValue(p.idx, p.req.Value)
+		}
+		h.finish(p, op, true)
+		return true, false
+	case table.EmptyKey:
+		if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
+			h.tail++
+			t.arr.StoreValue(p.idx, p.req.Value)
+			t.used.Add(1)
+			t.live.Add(1)
+			h.finish(p, op, true)
+			return true, false
+		}
+		// Claim race lost: fall into the kernel loop, which re-snapshots.
+	}
+
+	for {
+		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
+		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
+		switch res {
+		case simd.HitKey:
+			h.tail++
+			slot := base + uint64(lane)
+			if add {
+				t.arr.AddValue(slot, p.req.Value)
+			} else {
+				t.arr.StoreValue(slot, p.req.Value)
+			}
+			h.finish(p, op, true)
+			return true, false
+		case simd.HitEmpty:
+			slot := base + uint64(lane)
+			if t.arr.CASKey(slot, table.EmptyKey, p.req.Key) {
+				h.tail++
+				t.arr.StoreValue(slot, p.req.Value)
+				t.used.Add(1)
+				t.live.Add(1)
+				h.finish(p, op, true)
+				return true, false
+			}
+			// Claim race lost: the lane now holds some key. Re-snapshot and
+			// rerun the kernel over the same line.
+			continue
+		}
+		if p.probes+valid-(p.idx-base) >= t.size {
+			// Full-table probe: the table is full.
+			h.tail++
+			h.stats.Failed++
+			h.finish(p, op, false)
+			return true, false
+		}
+		// Missed line: advance past it. Lanes before the entry offset were
+		// examined on an earlier pass (or never); only cidx..valid-1 count
+		// toward the full-table bound, exactly matching the scalar loop's
+		// per-slot accounting. This block is open-coded in each drain (not a
+		// helper) so p never has its address taken and stays in registers
+		// across the kernel loop, like the scalar path's probe cursor.
+		p.probes += valid - (p.idx - base)
+		next := base + table.SlotsPerCacheLine
+		if next >= t.size {
+			next = 0
+		}
+		p.idx = next
+		if slotarr.LineOf(next) != slotarr.LineOf(base) {
+			// Crossing into a new line: re-enqueue behind a fresh prefetch.
+			h.tail++
+			h.sink += t.arr.Prefetch(next)
+			h.stats.Reprobes++
+			h.stats.Lines++
+			h.enqueue(p)
+			return false, false
+		}
+		// Single-line-table wrap: the probe stays cache-resident; keep
+		// draining.
+	}
+}
+
+// drainDelete resolves a pending Delete: a matched lane is tombstoned with a
+// CAS that re-verifies the snapshot (a concurrent Delete of the same key may
+// have won, in which case this one reports a miss, exactly like the scalar
+// path).
+func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
+	t := h.t
+	switch k := t.arr.Key(p.idx); k {
+	case p.req.Key:
+		h.tail++
+		if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
+			t.live.Add(-1)
+			h.finish(p, table.Delete, true)
+		} else {
+			h.finish(p, table.Delete, false)
+		}
+		return true, false
+	case table.EmptyKey:
+		h.tail++
+		h.finish(p, table.Delete, false)
+		return true, false
+	}
+
+	for {
+		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
+		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
+		switch res {
+		case simd.HitKey:
+			h.tail++
+			if t.arr.CASKey(base+uint64(lane), p.req.Key, table.TombstoneKey) {
+				t.live.Add(-1)
+				h.finish(p, table.Delete, true)
+			} else {
+				h.finish(p, table.Delete, false)
+			}
+			return true, false
+		case simd.HitEmpty:
+			h.tail++
+			h.finish(p, table.Delete, false)
+			return true, false
+		}
+		if p.probes+valid-(p.idx-base) >= t.size {
+			h.tail++
+			h.finish(p, table.Delete, false)
+			return true, false
+		}
+		// Missed line: advance past it. Lanes before the entry offset were
+		// examined on an earlier pass (or never); only cidx..valid-1 count
+		// toward the full-table bound, exactly matching the scalar loop's
+		// per-slot accounting. This block is open-coded in each drain (not a
+		// helper) so p never has its address taken and stays in registers
+		// across the kernel loop, like the scalar path's probe cursor.
+		p.probes += valid - (p.idx - base)
+		next := base + table.SlotsPerCacheLine
+		if next >= t.size {
+			next = 0
+		}
+		p.idx = next
+		if slotarr.LineOf(next) != slotarr.LineOf(base) {
+			// Crossing into a new line: re-enqueue behind a fresh prefetch.
+			h.tail++
+			h.sink += t.arr.Prefetch(next)
+			h.stats.Reprobes++
+			h.stats.Lines++
+			h.enqueue(p)
+			return false, false
+		}
+		// Single-line-table wrap: the probe stays cache-resident; keep
+		// draining.
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"dramhit/internal/delegation"
 	"dramhit/internal/hashfn"
+	"dramhit/internal/simd"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 )
@@ -45,8 +46,13 @@ type Config struct {
 	Sections int
 	// Hash overrides the hash function (default hashfn.City64).
 	Hash func(uint64) uint64
-	// UseSIMD selects the branchless cache-line-wide probe (the
-	// DRAMHiT-P-SIMD variant, §3.4) inside partition owners.
+	// ProbeKernel selects the probe strategy of partition owners and the
+	// read path. The zero value (table.KernelSWAR) is the branchless
+	// cache-line-wide probe of the DRAMHiT-P-SIMD variant (§3.4);
+	// table.KernelScalar keeps the slot-by-slot loop for ablation.
+	ProbeKernel table.ProbeKernel
+	// UseSIMD is the legacy switch for the line-wide probe; it is implied
+	// by the default and overrides ProbeKernel when set.
 	UseSIMD bool
 }
 
@@ -77,7 +83,7 @@ type Table struct {
 	hash      func(uint64) uint64
 	side      slotarr.SidePair
 	fabric    *delegation.Fabric
-	simd      bool
+	kernel    table.ProbeKernel
 
 	started atomic.Bool
 	wg      sync.WaitGroup
@@ -108,6 +114,10 @@ func New(cfg Config) *Table {
 	if cfg.Hash == nil {
 		cfg.Hash = hashfn.City64
 	}
+	kernel := cfg.ProbeKernel
+	if cfg.UseSIMD {
+		kernel = table.KernelSWAR
+	}
 	nparts := uint64(cfg.Consumers * cfg.PartitionsPerConsumer)
 	partSlots := (cfg.Slots + nparts - 1) / nparts
 	if partSlots == 0 {
@@ -120,7 +130,7 @@ func New(cfg Config) *Table {
 		nparts:    nparts,
 		total:     partSlots * nparts,
 		hash:      cfg.Hash,
-		simd:      cfg.UseSIMD,
+		kernel:    kernel,
 		fabric: delegation.New(delegation.Config{
 			Producers:     cfg.Producers,
 			Consumers:     cfg.Consumers,
@@ -231,25 +241,55 @@ func (t *Table) apply(m delegation.Message) {
 
 // putLocal inserts or updates (key, value) in partition pt starting at slot
 // `local`. Single-writer: publication order is value first, then key, so a
-// concurrent reader never observes a claimed-but-unvalued slot.
+// concurrent reader never observes a claimed-but-unvalued slot. Under the
+// SWAR kernel the probe advances a whole cache line per step; ownership
+// makes the line snapshot authoritative (no claim CAS is needed), so the
+// kernel's verdict is acted on directly.
 func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool {
 	arr := pt.arr
+	if t.kernel == table.KernelSWAR {
+		i := local
+		for probes := uint64(0); ; {
+			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
+			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
+			switch res {
+			case simd.HitKey:
+				slot := base + uint64(lane)
+				if add {
+					arr.AddValue(slot, value)
+				} else {
+					arr.StoreValue(slot, value)
+				}
+				return true
+			case simd.HitEmpty:
+				slot := base + uint64(lane)
+				arr.StoreValue(slot, value)
+				arr.StoreKey(slot, key)
+				pt.count++
+				atomic.AddInt64(&pt.live, 1)
+				if pt.count >= t.partSlots {
+					// Deny further inserts before the next one is attempted
+					// (paper §3.2: the owner sets the flag; producers check
+					// it).
+					pt.full.Store(true)
+				}
+				return true
+			}
+			probes += valid - (i - base)
+			if probes >= t.partSlots {
+				break
+			}
+			i = base + table.SlotsPerCacheLine
+			if i >= t.partSlots {
+				i = 0
+			}
+		}
+		pt.full.Store(true)
+		return false
+	}
 	i := local
 	for probes := uint64(0); probes < t.partSlots; probes++ {
-		var k uint64
-		if t.simd {
-			var found bool
-			k, i, found = t.probeLine(arr, i, key)
-			if !found {
-				// probeLine advanced i to the next line start; account for
-				// the slots it skipped.
-				probes += uint64(table.SlotsPerCacheLine) - 1
-				continue
-			}
-		} else {
-			k = arr.Key(i)
-		}
-		switch k {
+		switch arr.Key(i) {
 		case key:
 			if add {
 				arr.AddValue(i, value)
@@ -281,6 +321,29 @@ func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool
 // deleteLocal tombstones key in partition pt.
 func (t *Table) deleteLocal(pt *partition, local, key uint64) {
 	arr := pt.arr
+	if t.kernel == table.KernelSWAR {
+		i := local
+		for probes := uint64(0); ; {
+			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
+			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
+			switch res {
+			case simd.HitKey:
+				arr.StoreKey(base+uint64(lane), table.TombstoneKey)
+				atomic.AddInt64(&pt.live, -1)
+				return
+			case simd.HitEmpty:
+				return
+			}
+			probes += valid - (i - base)
+			if probes >= t.partSlots {
+				return
+			}
+			i = base + table.SlotsPerCacheLine
+			if i >= t.partSlots {
+				i = 0
+			}
+		}
+	}
 	i := local
 	for probes := uint64(0); probes < t.partSlots; probes++ {
 		switch arr.Key(i) {
@@ -298,9 +361,35 @@ func (t *Table) deleteLocal(pt *partition, local, key uint64) {
 	}
 }
 
-// getLocal is the lock-free read path: two loads, no atomic RMW.
+// getLocal is the lock-free read path: no atomic RMW anywhere. Under the
+// SWAR kernel it is one LoadKeys4 snapshot of the line's key lanes and one
+// lane compare per line; the matched lane's value is loaded after its key
+// was observed, which is all the single-writer publication order
+// value-then-key needs (once the key is visible the value is already
+// published, so the read completes without spinning).
 func (t *Table) getLocal(pt *partition, local, key uint64) (uint64, bool) {
 	arr := pt.arr
+	if t.kernel == table.KernelSWAR {
+		i := local
+		for probes := uint64(0); ; {
+			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
+			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
+			switch res {
+			case simd.HitKey:
+				return arr.WaitValue(base + uint64(lane)), true
+			case simd.HitEmpty:
+				return 0, false
+			}
+			probes += valid - (i - base)
+			if probes >= t.partSlots {
+				return 0, false
+			}
+			i = base + table.SlotsPerCacheLine
+			if i >= t.partSlots {
+				i = 0
+			}
+		}
+	}
 	i := local
 	for probes := uint64(0); probes < t.partSlots; probes++ {
 		switch arr.Key(i) {

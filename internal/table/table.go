@@ -68,6 +68,33 @@ const (
 	TombstoneKey uint64 = ^uint64(0)
 )
 
+// ProbeKernel selects how the live tables probe a cache-resident line. The
+// zero value is KernelSWAR, making the line-granular kernel the default
+// execution model; the scalar loop stays selectable for ablation and A/B
+// benchmarks (the Figure 7-style comparisons).
+type ProbeKernel uint8
+
+const (
+	// KernelSWAR probes a whole 64-byte line per step: the four key lanes
+	// are snapshotted in one pass and compared lane-parallel with the
+	// branch-free kernel of internal/simd (paper §3.4, Listing 1).
+	KernelSWAR ProbeKernel = iota
+	// KernelScalar probes slot-by-slot with one atomic load and a key
+	// switch per slot — the pre-SWAR hot path, kept as the A/B baseline.
+	KernelScalar
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (k ProbeKernel) String() string {
+	switch k {
+	case KernelSWAR:
+		return "swar"
+	case KernelScalar:
+		return "scalar"
+	}
+	return "invalid"
+}
+
 // SlotsPerCacheLine is the number of 16-byte key/value slots in one 64-byte
 // cache line; reprobes that stay within a line cost no extra memory
 // transaction, which is why linear probing averages only 1.3 line accesses
