@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dramhit/internal/bench"
+	"dramhit/internal/table"
 )
 
 func main() {
@@ -27,7 +28,25 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced op counts and sweep points")
 	seed := flag.Int64("seed", 42, "random seed")
 	out := flag.String("out", "", "directory to also write one text file per experiment")
+	probeKernel := flag.String("probekernel", "", "probe kernel for real-execution experiments: swar|scalar (default swar)")
+	probeFilter := flag.String("probefilter", "", "probe filter for real-execution experiments: tags|none (default tags)")
+	missRatio := flag.Float64("missratio", 0, "fraction of lookups sent to absent keys, for experiments that honor it")
 	flag.Parse()
+
+	kernel, err := table.ParseProbeKernel(*probeKernel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+		os.Exit(2)
+	}
+	filter, err := table.ParseProbeFilter(*probeFilter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+		os.Exit(2)
+	}
+	if *missRatio < 0 || *missRatio > 1 {
+		fmt.Fprintln(os.Stderr, "dramhit-bench: -missratio must be in [0,1]")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -44,7 +63,13 @@ func main() {
 	if *exp == "all" {
 		ids = bench.IDs()
 	}
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{
+		Quick:       *quick,
+		Seed:        *seed,
+		ProbeKernel: kernel,
+		ProbeFilter: filter,
+		MissRatio:   *missRatio,
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)

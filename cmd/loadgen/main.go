@@ -25,11 +25,15 @@ func main() {
 	records := flag.Uint64("records", 1_000_000, "rows loaded before the run")
 	ops := flag.Int("ops", 2_000_000, "operations in the timed run")
 	workers := flag.Int("workers", 4, "concurrent client goroutines")
+	missRatio := flag.Float64("missratio", 0, "fraction of reads redirected to guaranteed-absent keys")
 	flag.Parse()
 
 	mix, err := ycsb.ByName(*workloadName)
 	if err != nil {
 		fail(err)
+	}
+	if *missRatio < 0 || *missRatio > 1 {
+		fail(fmt.Errorf("-missratio must be in [0,1], got %v", *missRatio))
 	}
 
 	// view is the per-worker synchronous face over whichever backend.
@@ -105,7 +109,7 @@ func main() {
 		go func(wi int) {
 			defer wg.Done()
 			v := mkView(wi)
-			g := ycsb.NewGenerator(mix, *records, int64(wi+1))
+			g := ycsb.NewGeneratorMiss(mix, *records, int64(wi+1), *missRatio)
 			rec := recs[wi]
 			for i := 0; i < perWorker; i++ {
 				op := g.Next()
@@ -142,8 +146,12 @@ func main() {
 		total += r.Count()
 	}
 
-	fmt.Printf("ycsb-%s on %s: %d ops, %d workers, %v (%.2f Mops)\n",
-		mix.Name, *backend, total, *workers, elapsed.Round(time.Millisecond),
+	missNote := ""
+	if *missRatio > 0 {
+		missNote = fmt.Sprintf(", miss %.0f%%", *missRatio*100)
+	}
+	fmt.Printf("ycsb-%s on %s: %d ops, %d workers%s, %v (%.2f Mops)\n",
+		mix.Name, *backend, total, *workers, missNote, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds()/1e6)
 	for wi, r := range recs {
 		fmt.Printf("  worker %d latency ns: %s\n", wi, r.CDF().String())

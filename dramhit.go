@@ -88,6 +88,22 @@ const (
 	KernelScalar = table.KernelScalar
 )
 
+// ProbeFilter selects whether probes consult the packed tag-fingerprint
+// sidecar before loading key lines (Config.ProbeFilter and
+// PartitionedConfig.ProbeFilter): FilterTags (the zero value and default)
+// rejects cache lines whose tag word proves no lane can match; FilterNone
+// disables the sidecar for ablation. Scalar-kernel tables always run
+// FilterNone — the filter is line-granular.
+type ProbeFilter = table.ProbeFilter
+
+// Probe filter choices.
+const (
+	// FilterTags gates line probes on the packed tag sidecar (default).
+	FilterTags = table.FilterTags
+	// FilterNone probes key lines unconditionally (A/B baseline).
+	FilterNone = table.FilterNone
+)
+
 // Config parameterizes the core table.
 type Config = idramhit.Config
 

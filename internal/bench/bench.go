@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dramhit/internal/table"
 )
 
 // Config controls an experiment run.
@@ -18,6 +20,15 @@ type Config struct {
 	Quick bool
 	// Seed fixes all randomness.
 	Seed int64
+	// ProbeKernel / ProbeFilter configure the real tables' hot path in the
+	// real-execution experiments (zero values = package defaults: SWAR
+	// kernel, tags filter). The tags-ab experiment ignores ProbeFilter — it
+	// runs both sides of the A/B by construction.
+	ProbeKernel table.ProbeKernel
+	ProbeFilter table.ProbeFilter
+	// MissRatio is the fraction of lookups redirected to structurally
+	// absent keys in experiments that honor it (tags-ab's mixed phase).
+	MissRatio float64
 }
 
 // ops returns the measured-op budget. Quick mode is sized so the whole

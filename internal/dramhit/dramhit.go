@@ -54,6 +54,13 @@ type Config struct {
 	// lane-parallel branch-free kernel of internal/simd; table.KernelScalar
 	// keeps the slot-by-slot loop for ablation and A/B benchmarks.
 	ProbeKernel table.ProbeKernel
+	// ProbeFilter selects whether probes consult the packed tag-fingerprint
+	// sidecar before loading a line's key lanes. The zero value
+	// (table.FilterTags) allocates the sidecar and gates every SWAR drain on
+	// it; table.FilterNone keeps the unfiltered probe as the A/B baseline.
+	// The filter is line-granular and accelerates only KernelSWAR; a
+	// KernelScalar table is forced to FilterNone.
+	ProbeFilter table.ProbeFilter
 }
 
 // Table is the shared state of a DRAMHiT hash table. Create per-goroutine
@@ -67,6 +74,7 @@ type Table struct {
 	size   uint64
 	window int
 	kernel table.ProbeKernel
+	filter table.ProbeFilter
 	used   atomic.Int64
 	live   atomic.Int64
 }
@@ -87,17 +95,33 @@ func New(cfg Config) *Table {
 	if h == nil {
 		h = hashfn.City64
 	}
+	f := cfg.ProbeFilter
+	if cfg.ProbeKernel == table.KernelScalar {
+		// The filter is line-granular: it prunes whole-line key loads, which
+		// only the SWAR drains issue. The scalar loop reads slot by slot, so
+		// a tag sidecar would cost maintenance with nothing to gate.
+		f = table.FilterNone
+	}
+	arr := slotarr.New(cfg.Slots)
+	if f == table.FilterTags {
+		arr = slotarr.NewTagged(cfg.Slots)
+	}
 	return &Table{
-		arr:    slotarr.New(cfg.Slots),
+		arr:    arr,
 		hash:   h,
 		size:   cfg.Slots,
 		window: w,
 		kernel: cfg.ProbeKernel,
+		filter: f,
 	}
 }
 
 // Kernel returns the configured probe kernel.
 func (t *Table) Kernel() table.ProbeKernel { return t.kernel }
+
+// Filter returns the effective probe filter (FilterNone on scalar-kernel
+// tables regardless of the configured value).
+func (t *Table) Filter() table.ProbeFilter { return t.filter }
 
 // Len returns the number of live entries.
 func (t *Table) Len() int { return int(t.live.Load()) + t.side.Count() }
@@ -117,6 +141,7 @@ type pending struct {
 	idx     uint64 // next slot to inspect
 	probes  uint64 // slots inspected so far (full-table bound)
 	startNS int64  // submission time, set only when latency tracking is on
+	tag     uint8  // key's tag fingerprint (table.TagOf of the full hash)
 }
 
 // Stats accumulates per-handle observability counters.
@@ -133,10 +158,37 @@ type Stats struct {
 	// Lines counts cache lines touched (1 + reprobes per op); the paper
 	// reports Lines/Ops ≈ 1.3 at 75% fill.
 	Lines uint64
+	// KeyLines counts line visits whose key lanes were actually consulted.
+	// With FilterNone every visit counts; with FilterTags only tag-admitted
+	// visits do, so KeyLines(tags) + TagSkips(tags) = KeyLines(none) on the
+	// same single-threaded workload — the filter's saving is the gap.
+	KeyLines uint64
+	// TagSkips counts line visits rejected by the packed tag word alone:
+	// every lane at or after the probe's entry offset provably held a
+	// different published key, so no key lane was loaded.
+	TagSkips uint64
+	// TagHits counts tag-admitted line visits the kernel then resolved
+	// (key found or probe chain terminated by an empty lane).
+	TagHits uint64
+	// TagFalse counts tag-admitted line visits the kernel then missed —
+	// the filter's false positives (a colliding fingerprint or a
+	// must-check zero tag on a lane that resolved nothing).
+	TagFalse uint64
 }
 
 // Ops returns the total completed operation count.
 func (s *Stats) Ops() uint64 { return s.Gets + s.Puts + s.Upserts + s.Deletes }
+
+// Core returns the counters every probe configuration must agree on: the
+// filter-observability fields (KeyLines, TagSkips, TagHits, TagFalse) are
+// zeroed because they intentionally differ across kernels and filters,
+// while completions, hits, failures, reprobes and line touches are
+// execution-model-invariant. The equivalence property tests compare Cores.
+func (s Stats) Core() Stats {
+	c := s
+	c.KeyLines, c.TagSkips, c.TagHits, c.TagFalse = 0, 0, 0, 0
+	return c
+}
 
 // Handle is a single-goroutine accessor holding the prefetch queue. Handles
 // must not be shared between goroutines; create one per worker. Any number
@@ -149,6 +201,7 @@ type Handle struct {
 	tail   int // dequeue position (oldest)
 	window int
 	kernel table.ProbeKernel
+	filter table.ProbeFilter
 
 	stats Stats
 	sink  uint64 // accumulates prefetch loads so they are not dead code
@@ -170,6 +223,7 @@ func (t *Table) NewHandle() *Handle {
 		mask:   capacity - 1,
 		window: t.window,
 		kernel: t.kernel,
+		filter: t.filter,
 	}
 }
 
@@ -224,8 +278,21 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 		if h.onComplete != nil {
 			p.startNS = time.Now().UnixNano()
 		}
-		p.idx = hashfn.Fastrange(h.t.hash(p.req.Key), h.t.size)
-		h.sink += h.t.arr.Prefetch(p.idx)
+		hv := h.t.hash(p.req.Key)
+		p.idx = hashfn.Fastrange(hv, h.t.size)
+		p.tag = table.TagOf(hv)
+		if h.filter == table.FilterTags {
+			// The tag word stands in for the data prefetch when it already
+			// proves the home line will be skipped: the drain's gate will
+			// reject it from the same (tiny, cache-hot) sidecar without ever
+			// pulling the 64-byte data line — the filter's bandwidth saving.
+			base := p.idx &^ (table.SlotsPerCacheLine - 1)
+			if h.t.arr.LineCandidates(base, p.tag)>>(p.idx-base) != 0 {
+				h.sink += h.t.arr.Prefetch(p.idx)
+			}
+		} else {
+			h.sink += h.t.arr.Prefetch(p.idx)
+		}
 		h.enqueue(p)
 		h.stats.Lines++
 		nreq++
@@ -284,11 +351,26 @@ func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, block
 	}
 }
 
+// prefetchNext issues the reprobe prefetch for the line starting at slot
+// next (line-aligned). In tags mode the data pull is elided when the packed
+// tag word already proves the line will be rejected on arrival, so a
+// skipped line costs neither a key-lane load nor a cache-line fill. Tags
+// are write-once (0 → fingerprint), so a tag published between this check
+// and the drain can only admit lanes the check rejected — at worst an
+// unprefetched but fully correct probe, never a wrong skip.
+func (h *Handle) prefetchNext(next uint64, tag uint8) {
+	if h.filter == table.FilterTags && h.t.arr.LineCandidates(next, tag) == 0 {
+		return
+	}
+	h.sink += h.t.arr.Prefetch(next)
+}
+
 // processScalar is the pre-SWAR slot-by-slot hot path, retained as the
 // table.KernelScalar ablation baseline (and the reference the SWAR
 // equivalence property test compares against).
 func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (wrote, blocked bool) {
 	t := h.t
+	h.stats.KeyLines++
 	line := slotarr.LineOf(p.idx)
 	for {
 		// Crossing into the next cache line: reprobe.
@@ -359,6 +441,7 @@ func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (w
 			case table.Put, table.Upsert:
 				if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
 					h.tail++
+					t.arr.PublishTag(p.idx, p.tag)
 					t.arr.StoreValue(p.idx, p.req.Value)
 					t.used.Add(1)
 					t.live.Add(1)

@@ -28,40 +28,99 @@ import (
 // lane-compare. The peek writes no Stats, so the counters stay identical to
 // the scalar path's in every outcome.
 
+// The FilterTags gate replaces the entry-lane peek: one load of the packed
+// tag word (a tiny, cache-hot sidecar — 1 byte per 16-byte slot) answers
+// "could any lane at or after the entry offset hold this key or terminate
+// the chain?" before the 64-byte key line is touched. A rejected line is
+// advanced past with the exact bound/advance accounting of the kernel's
+// Miss branch, so the traversal — probes counted, lines visited, reprobes
+// enqueued, and therefore the out-of-order completion order — is identical
+// to FilterNone's; only the key-lane loads and the data prefetches are
+// elided. That traversal parity is what the tags≡none property tests pin.
+//
+// The gate re-runs on every loop iteration (single-line-table wraps and
+// lost-claim re-snapshots), which keeps the skip decision sound against
+// concurrent publication: tags only transition 0 → fingerprint, so a
+// rejection can never become wrong, and a zero (unpublished) tag keeps the
+// lane in the candidate mask (the "must check" rule).
+
 // drainGet resolves a pending Get over its resident line with the lane
 // kernel. The matched lane's value is loaded after its key was observed —
 // the same key-then-value order the scalar path uses — from the line the
 // kernel just touched, so the load is an L1 hit, not a second memory touch.
 func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote, blocked bool) {
 	t := h.t
-	switch k := t.arr.Key(p.idx); k {
-	case p.req.Key:
-		if *nresp >= len(resps) {
-			return false, true
+	tagged := h.filter == table.FilterTags
+	if !tagged {
+		h.stats.KeyLines++
+		switch k := t.arr.Key(p.idx); k {
+		case p.req.Key:
+			if *nresp >= len(resps) {
+				return false, true
+			}
+			h.tail++
+			resps[*nresp] = table.Response{ID: p.req.ID, Value: t.arr.WaitValue(p.idx), Found: true}
+			*nresp++
+			h.finish(p, table.Get, true)
+			return true, false
+		case table.EmptyKey:
+			if *nresp >= len(resps) {
+				return false, true
+			}
+			h.tail++
+			resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
+			*nresp++
+			h.finish(p, table.Get, false)
+			return true, false
 		}
-		h.tail++
-		resps[*nresp] = table.Response{ID: p.req.ID, Value: t.arr.WaitValue(p.idx), Found: true}
-		*nresp++
-		h.finish(p, table.Get, true)
-		return true, false
-	case table.EmptyKey:
-		if *nresp >= len(resps) {
-			return false, true
-		}
-		h.tail++
-		resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
-		*nresp++
-		h.finish(p, table.Get, false)
-		return true, false
 	}
 
 	for {
+		if tagged {
+			base := p.idx &^ (table.SlotsPerCacheLine - 1)
+			if t.arr.LineCandidates(base, p.tag)>>(p.idx-base) == 0 {
+				// Every lane at or after the entry offset provably holds a
+				// different published key: skip the line without loading it.
+				h.stats.TagSkips++
+				valid := t.size - base
+				if valid > table.SlotsPerCacheLine {
+					valid = table.SlotsPerCacheLine
+				}
+				if p.probes+valid-(p.idx-base) >= t.size {
+					if *nresp >= len(resps) {
+						return false, true
+					}
+					h.tail++
+					h.completeFailed(p, resps, nresp)
+					return true, false
+				}
+				p.probes += valid - (p.idx - base)
+				next := base + table.SlotsPerCacheLine
+				if next >= t.size {
+					next = 0
+				}
+				p.idx = next
+				if slotarr.LineOf(next) != slotarr.LineOf(base) {
+					h.tail++
+					h.prefetchNext(next, p.tag)
+					h.stats.Reprobes++
+					h.stats.Lines++
+					h.enqueue(p)
+					return false, false
+				}
+				continue
+			}
+			h.stats.KeyLines++
+		}
 		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
 		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
 		switch res {
 		case simd.HitKey:
 			if *nresp >= len(resps) {
 				return false, true
+			}
+			if tagged {
+				h.stats.TagHits++
 			}
 			h.tail++
 			v := t.arr.WaitValue(base + uint64(lane))
@@ -73,11 +132,17 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 			if *nresp >= len(resps) {
 				return false, true
 			}
+			if tagged {
+				h.stats.TagHits++
+			}
 			h.tail++
 			resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
 			*nresp++
 			h.finish(p, table.Get, false)
 			return true, false
+		}
+		if tagged {
+			h.stats.TagFalse++
 		}
 		if p.probes+valid-(p.idx-base) >= t.size {
 			// Full-table probe: not found.
@@ -103,14 +168,17 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
 			h.tail++
-			h.sink += t.arr.Prefetch(next)
+			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++
 			h.enqueue(p)
 			return false, false
 		}
 		// Single-line-table wrap: the probe stays cache-resident; keep
-		// draining.
+		// draining (the loop top re-counts the new visit of the same line).
+		if !tagged {
+			h.stats.KeyLines++
+		}
 	}
 }
 
@@ -126,33 +194,75 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 	if add {
 		op = table.Upsert
 	}
-	switch k := t.arr.Key(p.idx); k {
-	case p.req.Key:
-		h.tail++
-		if add {
-			t.arr.AddValue(p.idx, p.req.Value)
-		} else {
-			t.arr.StoreValue(p.idx, p.req.Value)
-		}
-		h.finish(p, op, true)
-		return true, false
-	case table.EmptyKey:
-		if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
+	tagged := h.filter == table.FilterTags
+	if !tagged {
+		h.stats.KeyLines++
+		switch k := t.arr.Key(p.idx); k {
+		case p.req.Key:
 			h.tail++
-			t.arr.StoreValue(p.idx, p.req.Value)
-			t.used.Add(1)
-			t.live.Add(1)
+			if add {
+				t.arr.AddValue(p.idx, p.req.Value)
+			} else {
+				t.arr.StoreValue(p.idx, p.req.Value)
+			}
 			h.finish(p, op, true)
 			return true, false
+		case table.EmptyKey:
+			if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
+				h.tail++
+				t.arr.PublishTag(p.idx, p.tag)
+				t.arr.StoreValue(p.idx, p.req.Value)
+				t.used.Add(1)
+				t.live.Add(1)
+				h.finish(p, op, true)
+				return true, false
+			}
+			// Claim race lost: fall into the kernel loop, which re-snapshots.
 		}
-		// Claim race lost: fall into the kernel loop, which re-snapshots.
 	}
 
 	for {
+		if tagged {
+			base := p.idx &^ (table.SlotsPerCacheLine - 1)
+			if t.arr.LineCandidates(base, p.tag)>>(p.idx-base) == 0 {
+				// No lane can match the key and none is empty: skip the
+				// line without loading it.
+				h.stats.TagSkips++
+				valid := t.size - base
+				if valid > table.SlotsPerCacheLine {
+					valid = table.SlotsPerCacheLine
+				}
+				if p.probes+valid-(p.idx-base) >= t.size {
+					h.tail++
+					h.stats.Failed++
+					h.finish(p, op, false)
+					return true, false
+				}
+				p.probes += valid - (p.idx - base)
+				next := base + table.SlotsPerCacheLine
+				if next >= t.size {
+					next = 0
+				}
+				p.idx = next
+				if slotarr.LineOf(next) != slotarr.LineOf(base) {
+					h.tail++
+					h.prefetchNext(next, p.tag)
+					h.stats.Reprobes++
+					h.stats.Lines++
+					h.enqueue(p)
+					return false, false
+				}
+				continue
+			}
+			h.stats.KeyLines++
+		}
 		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
 		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
 		switch res {
 		case simd.HitKey:
+			if tagged {
+				h.stats.TagHits++
+			}
 			h.tail++
 			slot := base + uint64(lane)
 			if add {
@@ -165,7 +275,15 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 		case simd.HitEmpty:
 			slot := base + uint64(lane)
 			if t.arr.CASKey(slot, table.EmptyKey, p.req.Key) {
+				if tagged {
+					h.stats.TagHits++
+				}
 				h.tail++
+				// Publish the fingerprint before the value: the sooner the
+				// tag leaves 0, the sooner concurrent probes can prune this
+				// lane. A reader that still sees 0 just takes the must-check
+				// path — correctness never waits on this store.
+				t.arr.PublishTag(slot, p.tag)
 				t.arr.StoreValue(slot, p.req.Value)
 				t.used.Add(1)
 				t.live.Add(1)
@@ -173,8 +291,12 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 				return true, false
 			}
 			// Claim race lost: the lane now holds some key. Re-snapshot and
-			// rerun the kernel over the same line.
+			// rerun the kernel over the same line (the loop top re-gates on
+			// the tag word, which may now reject the whole line outright).
 			continue
+		}
+		if tagged {
+			h.stats.TagFalse++
 		}
 		if p.probes+valid-(p.idx-base) >= t.size {
 			// Full-table probe: the table is full.
@@ -198,14 +320,17 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
 			h.tail++
-			h.sink += t.arr.Prefetch(next)
+			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++
 			h.enqueue(p)
 			return false, false
 		}
 		// Single-line-table wrap: the probe stays cache-resident; keep
-		// draining.
+		// draining (the loop top re-counts the new visit of the same line).
+		if !tagged {
+			h.stats.KeyLines++
+		}
 	}
 }
 
@@ -215,27 +340,70 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 // path).
 func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 	t := h.t
-	switch k := t.arr.Key(p.idx); k {
-	case p.req.Key:
-		h.tail++
-		if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
-			t.live.Add(-1)
-			h.finish(p, table.Delete, true)
-		} else {
+	tagged := h.filter == table.FilterTags
+	if !tagged {
+		h.stats.KeyLines++
+		switch k := t.arr.Key(p.idx); k {
+		case p.req.Key:
+			h.tail++
+			if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
+				t.live.Add(-1)
+				h.finish(p, table.Delete, true)
+			} else {
+				h.finish(p, table.Delete, false)
+			}
+			return true, false
+		case table.EmptyKey:
+			h.tail++
 			h.finish(p, table.Delete, false)
+			return true, false
 		}
-		return true, false
-	case table.EmptyKey:
-		h.tail++
-		h.finish(p, table.Delete, false)
-		return true, false
 	}
 
 	for {
+		if tagged {
+			base := p.idx &^ (table.SlotsPerCacheLine - 1)
+			if t.arr.LineCandidates(base, p.tag)>>(p.idx-base) == 0 {
+				// The key cannot be in this line and no empty lane ends the
+				// chain: skip the line without loading it. (A tombstoned
+				// incarnation of the key keeps its stale matching tag, so a
+				// line holding it is admitted and the kernel skips it — the
+				// tag can prune only lines that never held this fingerprint.)
+				h.stats.TagSkips++
+				valid := t.size - base
+				if valid > table.SlotsPerCacheLine {
+					valid = table.SlotsPerCacheLine
+				}
+				if p.probes+valid-(p.idx-base) >= t.size {
+					h.tail++
+					h.finish(p, table.Delete, false)
+					return true, false
+				}
+				p.probes += valid - (p.idx - base)
+				next := base + table.SlotsPerCacheLine
+				if next >= t.size {
+					next = 0
+				}
+				p.idx = next
+				if slotarr.LineOf(next) != slotarr.LineOf(base) {
+					h.tail++
+					h.prefetchNext(next, p.tag)
+					h.stats.Reprobes++
+					h.stats.Lines++
+					h.enqueue(p)
+					return false, false
+				}
+				continue
+			}
+			h.stats.KeyLines++
+		}
 		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(p.idx)
 		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.req.Key, table.EmptyKey, int(p.idx-base))
 		switch res {
 		case simd.HitKey:
+			if tagged {
+				h.stats.TagHits++
+			}
 			h.tail++
 			if t.arr.CASKey(base+uint64(lane), p.req.Key, table.TombstoneKey) {
 				t.live.Add(-1)
@@ -245,9 +413,15 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 			}
 			return true, false
 		case simd.HitEmpty:
+			if tagged {
+				h.stats.TagHits++
+			}
 			h.tail++
 			h.finish(p, table.Delete, false)
 			return true, false
+		}
+		if tagged {
+			h.stats.TagFalse++
 		}
 		if p.probes+valid-(p.idx-base) >= t.size {
 			h.tail++
@@ -269,13 +443,16 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
 			h.tail++
-			h.sink += t.arr.Prefetch(next)
+			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++
 			h.enqueue(p)
 			return false, false
 		}
 		// Single-line-table wrap: the probe stays cache-resident; keep
-		// draining.
+		// draining (the loop top re-counts the new visit of the same line).
+		if !tagged {
+			h.stats.KeyLines++
+		}
 	}
 }

@@ -51,6 +51,12 @@ type Config struct {
 	// cache-line-wide probe of the DRAMHiT-P-SIMD variant (§3.4);
 	// table.KernelScalar keeps the slot-by-slot loop for ablation.
 	ProbeKernel table.ProbeKernel
+	// ProbeFilter selects whether the SWAR probe paths (owner-local updates
+	// and the direct/pipelined read paths) consult the packed
+	// tag-fingerprint sidecar before loading key lines. The zero value
+	// (table.FilterTags) is the default; table.FilterNone is the A/B
+	// baseline. Scalar-kernel tables are forced to FilterNone.
+	ProbeFilter table.ProbeFilter
 	// UseSIMD is the legacy switch for the line-wide probe; it is implied
 	// by the default and overrides ProbeKernel when set.
 	UseSIMD bool
@@ -59,16 +65,38 @@ type Config struct {
 // DefaultPrefetchWindow mirrors dramhit.DefaultPrefetchWindow.
 const DefaultPrefetchWindow = 16
 
+// FilterStats counts tag-filter events on one probe path: line visits
+// whose key lanes were loaded (KeyLines), visits rejected from the tag
+// word alone (TagSkips), and admitted visits the kernel resolved (TagHits)
+// or missed (TagFalse, the filter's false positives). With FilterNone only
+// KeyLines advances, so KeyLines(tags) + TagSkips(tags) = KeyLines(none)
+// over the same traversal.
+type FilterStats struct {
+	KeyLines, TagSkips, TagHits, TagFalse uint64
+}
+
+// Add accumulates o into s.
+func (s *FilterStats) Add(o FilterStats) {
+	s.KeyLines += o.KeyLines
+	s.TagSkips += o.TagSkips
+	s.TagHits += o.TagHits
+	s.TagFalse += o.TagFalse
+}
+
 // partition is a single-writer region of the table. The owner thread writes
 // with release stores (value before key), concurrent readers probe with
 // plain atomic loads; no CAS is needed anywhere because writes are
-// serialized by ownership.
+// serialized by ownership. wstats is owner-local too (written only under
+// apply); reader-side filter events live on each ReadHandle instead, so no
+// cache line ping-pongs between readers. The struct is exactly one cache
+// line, keeping partitions off each other's lines.
 type partition struct {
-	arr   *slotarr.Array
-	count uint64 // owner-local: claimed slots (incl. tombstones)
-	live  int64  // owner-local: present entries
-	full  atomic.Bool
-	_     [5]uint64 // keep partitions off each other's lines
+	arr    *slotarr.Array
+	count  uint64 // owner-local: claimed slots (incl. tombstones)
+	live   int64  // owner-local: present entries
+	full   atomic.Bool
+	_      [7]byte
+	wstats FilterStats // owner-local: write-path filter events
 }
 
 // Table is a partitioned DRAMHiT. Obtain WriteHandles (one per writer
@@ -84,6 +112,7 @@ type Table struct {
 	side      slotarr.SidePair
 	fabric    *delegation.Fabric
 	kernel    table.ProbeKernel
+	filter    table.ProbeFilter
 
 	started atomic.Bool
 	wg      sync.WaitGroup
@@ -118,6 +147,11 @@ func New(cfg Config) *Table {
 	if cfg.UseSIMD {
 		kernel = table.KernelSWAR
 	}
+	filter := cfg.ProbeFilter
+	if kernel == table.KernelScalar {
+		// Line-granular filter, slot-granular kernel: nothing to gate.
+		filter = table.FilterNone
+	}
 	nparts := uint64(cfg.Consumers * cfg.PartitionsPerConsumer)
 	partSlots := (cfg.Slots + nparts - 1) / nparts
 	if partSlots == 0 {
@@ -131,6 +165,7 @@ func New(cfg Config) *Table {
 		total:     partSlots * nparts,
 		hash:      cfg.Hash,
 		kernel:    kernel,
+		filter:    filter,
 		fabric: delegation.New(delegation.Config{
 			Producers:     cfg.Producers,
 			Consumers:     cfg.Consumers,
@@ -139,7 +174,11 @@ func New(cfg Config) *Table {
 		}),
 	}
 	for i := range t.parts {
-		t.parts[i].arr = slotarr.New(partSlots)
+		if filter == table.FilterTags {
+			t.parts[i].arr = slotarr.NewTagged(partSlots)
+		} else {
+			t.parts[i].arr = slotarr.New(partSlots)
+		}
 	}
 	return t
 }
@@ -151,6 +190,30 @@ func New(cfg Config) *Table {
 func (t *Table) locate(key uint64) (part, local uint64) {
 	g := hashfn.Fastrange(t.hash(key), t.total)
 	return g / t.partSlots, g % t.partSlots
+}
+
+// locateTag is locate plus the key's tag fingerprint, computed from the
+// same single hash invocation (Fastrange consumes the high bits, TagOf the
+// low byte — disjoint, see table.TagOf).
+func (t *Table) locateTag(key uint64) (part, local uint64, tag uint8) {
+	h := t.hash(key)
+	g := hashfn.Fastrange(h, t.total)
+	return g / t.partSlots, g % t.partSlots, table.TagOf(h)
+}
+
+// Filter returns the effective probe filter (FilterNone on scalar-kernel
+// tables regardless of the configured value).
+func (t *Table) Filter() table.ProbeFilter { return t.filter }
+
+// WriteFilterStats aggregates the owner-local write-path filter counters
+// across all partitions. Exact only when the delegation threads are
+// quiescent (Barrier/Close), like Len.
+func (t *Table) WriteFilterStats() FilterStats {
+	var s FilterStats
+	for i := range t.parts {
+		s.Add(t.parts[i].wstats)
+	}
+	return s
 }
 
 // ownerOf returns the consumer index that owns partition p (round-robin
@@ -223,37 +286,64 @@ func (t *Table) apply(m delegation.Message) {
 		}
 		return
 	}
-	part, local := t.locate(key)
+	part, local, tag := t.locateTag(key)
 	pt := &t.parts[part]
 	switch op {
 	case table.Put:
-		if !t.putLocal(pt, local, key, value, false) {
+		if !t.putLocal(pt, local, key, value, tag, false) {
 			t.dropped.Add(1)
 		}
 	case table.Upsert:
-		if !t.putLocal(pt, local, key, value, true) {
+		if !t.putLocal(pt, local, key, value, tag, true) {
 			t.dropped.Add(1)
 		}
 	case table.Delete:
-		t.deleteLocal(pt, local, key)
+		t.deleteLocal(pt, local, key, tag)
 	}
 }
 
 // putLocal inserts or updates (key, value) in partition pt starting at slot
-// `local`. Single-writer: publication order is value first, then key, so a
-// concurrent reader never observes a claimed-but-unvalued slot. Under the
-// SWAR kernel the probe advances a whole cache line per step; ownership
-// makes the line snapshot authoritative (no claim CAS is needed), so the
-// kernel's verdict is acted on directly.
-func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool {
+// `local`. Single-writer: publication order is value first, then key, then
+// tag — so a concurrent reader never observes a claimed-but-unvalued slot,
+// and a nonzero tag always implies a visible key (which is what lets tag
+// rejections prune the lane). Under the SWAR kernel the probe advances a
+// whole cache line per step; ownership makes the line snapshot
+// authoritative (no claim CAS is needed), so the kernel's verdict is acted
+// on directly. With FilterTags the packed tag word is consulted before
+// each line's key lanes; a rejected line is advanced past unread.
+func (t *Table) putLocal(pt *partition, local, key, value uint64, tag uint8, add bool) bool {
 	arr := pt.arr
 	if t.kernel == table.KernelSWAR {
+		tagged := t.filter == table.FilterTags
 		i := local
 		for probes := uint64(0); ; {
+			if tagged {
+				base := i &^ (table.SlotsPerCacheLine - 1)
+				if arr.LineCandidates(base, tag)>>(i-base) == 0 {
+					pt.wstats.TagSkips++
+					valid := t.partSlots - base
+					if valid > table.SlotsPerCacheLine {
+						valid = table.SlotsPerCacheLine
+					}
+					probes += valid - (i - base)
+					if probes >= t.partSlots {
+						break
+					}
+					i = base + table.SlotsPerCacheLine
+					if i >= t.partSlots {
+						i = 0
+					}
+					continue
+				}
+			}
+			pt.wstats.KeyLines++
 			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
 			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
 			switch res {
 			case simd.HitKey:
+				if tagged {
+					pt.wstats.TagHits++
+				}
 				slot := base + uint64(lane)
 				if add {
 					arr.AddValue(slot, value)
@@ -262,9 +352,13 @@ func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool
 				}
 				return true
 			case simd.HitEmpty:
+				if tagged {
+					pt.wstats.TagHits++
+				}
 				slot := base + uint64(lane)
 				arr.StoreValue(slot, value)
 				arr.StoreKey(slot, key)
+				arr.PublishTag(slot, tag)
 				pt.count++
 				atomic.AddInt64(&pt.live, 1)
 				if pt.count >= t.partSlots {
@@ -274,6 +368,9 @@ func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool
 					pt.full.Store(true)
 				}
 				return true
+			}
+			if tagged {
+				pt.wstats.TagFalse++
 			}
 			probes += valid - (i - base)
 			if probes >= t.partSlots {
@@ -318,21 +415,54 @@ func (t *Table) putLocal(pt *partition, local, key, value uint64, add bool) bool
 	return false
 }
 
-// deleteLocal tombstones key in partition pt.
-func (t *Table) deleteLocal(pt *partition, local, key uint64) {
+// deleteLocal tombstones key in partition pt. The tombstoned slot keeps
+// its stale tag (tags are write-once); a probe for the same fingerprint
+// still admits the line and the kernel skips the tombstone, so staleness
+// costs at most a false positive.
+func (t *Table) deleteLocal(pt *partition, local, key uint64, tag uint8) {
 	arr := pt.arr
 	if t.kernel == table.KernelSWAR {
+		tagged := t.filter == table.FilterTags
 		i := local
 		for probes := uint64(0); ; {
+			if tagged {
+				base := i &^ (table.SlotsPerCacheLine - 1)
+				if arr.LineCandidates(base, tag)>>(i-base) == 0 {
+					pt.wstats.TagSkips++
+					valid := t.partSlots - base
+					if valid > table.SlotsPerCacheLine {
+						valid = table.SlotsPerCacheLine
+					}
+					probes += valid - (i - base)
+					if probes >= t.partSlots {
+						return
+					}
+					i = base + table.SlotsPerCacheLine
+					if i >= t.partSlots {
+						i = 0
+					}
+					continue
+				}
+			}
+			pt.wstats.KeyLines++
 			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
 			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
 			switch res {
 			case simd.HitKey:
+				if tagged {
+					pt.wstats.TagHits++
+				}
 				arr.StoreKey(base+uint64(lane), table.TombstoneKey)
 				atomic.AddInt64(&pt.live, -1)
 				return
 			case simd.HitEmpty:
+				if tagged {
+					pt.wstats.TagHits++
+				}
 				return
+			}
+			if tagged {
+				pt.wstats.TagFalse++
 			}
 			probes += valid - (i - base)
 			if probes >= t.partSlots {
@@ -366,19 +496,52 @@ func (t *Table) deleteLocal(pt *partition, local, key uint64) {
 // lane compare per line; the matched lane's value is loaded after its key
 // was observed, which is all the single-writer publication order
 // value-then-key needs (once the key is visible the value is already
-// published, so the read completes without spinning).
-func (t *Table) getLocal(pt *partition, local, key uint64) (uint64, bool) {
+// published, so the read completes without spinning). With FilterTags each
+// line's packed tag word is consulted first and rejected lines are never
+// loaded; filter events land in fs, which is caller-owned (one per
+// ReadHandle) so concurrent readers share no counter cache lines.
+func (t *Table) getLocal(pt *partition, local, key uint64, tag uint8, fs *FilterStats) (uint64, bool) {
 	arr := pt.arr
 	if t.kernel == table.KernelSWAR {
+		tagged := t.filter == table.FilterTags
 		i := local
 		for probes := uint64(0); ; {
+			if tagged {
+				base := i &^ (table.SlotsPerCacheLine - 1)
+				if arr.LineCandidates(base, tag)>>(i-base) == 0 {
+					fs.TagSkips++
+					valid := t.partSlots - base
+					if valid > table.SlotsPerCacheLine {
+						valid = table.SlotsPerCacheLine
+					}
+					probes += valid - (i - base)
+					if probes >= t.partSlots {
+						return 0, false
+					}
+					i = base + table.SlotsPerCacheLine
+					if i >= t.partSlots {
+						i = 0
+					}
+					continue
+				}
+			}
+			fs.KeyLines++
 			l0, l1, l2, l3, base, valid := arr.LoadKeys4(i)
 			lane, res := simd.ProbeLine4(l0, l1, l2, l3, key, table.EmptyKey, int(i-base))
 			switch res {
 			case simd.HitKey:
+				if tagged {
+					fs.TagHits++
+				}
 				return arr.WaitValue(base + uint64(lane)), true
 			case simd.HitEmpty:
+				if tagged {
+					fs.TagHits++
+				}
 				return 0, false
+			}
+			if tagged {
+				fs.TagFalse++
 			}
 			probes += valid - (i - base)
 			if probes >= t.partSlots {

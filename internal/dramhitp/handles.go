@@ -86,8 +86,12 @@ type ReadHandle struct {
 	window int
 	sink   uint64
 	kernel table.ProbeKernel
+	filter table.ProbeFilter
 	// Gets counts completed lookups; Hits those that found their key.
 	Gets, Hits uint64
+	// Filter accumulates this reader's tag-filter events (handle-local so
+	// concurrent readers never share counter cache lines).
+	Filter FilterStats
 }
 
 type rpending struct {
@@ -96,6 +100,7 @@ type rpending struct {
 	part   uint64
 	idx    uint64 // partition-local
 	probes uint64
+	tag    uint8 // key's tag fingerprint (table.TagOf of the full hash)
 }
 
 // NewReadHandle creates a reader pipeline. Under the default
@@ -112,6 +117,7 @@ func (t *Table) NewReadHandle() *ReadHandle {
 		mask:   capacity - 1,
 		window: t.cfg.PrefetchWindow,
 		kernel: t.kernel,
+		filter: t.filter,
 	}
 }
 
@@ -122,8 +128,8 @@ func (r *ReadHandle) Get(key uint64) (uint64, bool) {
 	if s := t.side.For(key); s != nil {
 		return s.Get()
 	}
-	part, local := t.locate(key)
-	return t.getLocal(&t.parts[part], local, key)
+	part, local, tag := t.locateTag(key)
+	return t.getLocal(&t.parts[part], local, key, tag, &r.Filter)
 }
 
 // Submit pipelines lookup requests; completed responses are appended into
@@ -138,9 +144,19 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 			}
 		}
 		req := reqs[nreq]
-		part, local := t.locate(req.Key)
-		p := rpending{key: req.Key, id: req.ID, part: part, idx: local}
-		r.sink += t.parts[part].arr.Prefetch(local)
+		part, local, tag := t.locateTag(req.Key)
+		p := rpending{key: req.Key, id: req.ID, part: part, idx: local, tag: tag}
+		arr := t.parts[part].arr
+		if r.filter == table.FilterTags {
+			// The cache-hot tag word already proves a doomed home line; only
+			// pull the 64-byte data line when it can matter.
+			base := local &^ (table.SlotsPerCacheLine - 1)
+			if arr.LineCandidates(base, tag)>>(local-base) != 0 {
+				r.sink += arr.Prefetch(local)
+			}
+		} else {
+			r.sink += arr.Prefetch(local)
+		}
 		r.q[r.head&r.mask] = p
 		r.head++
 		nreq++
@@ -238,35 +254,86 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 // costs no second memory touch; a miss reprobes into the next line. On a
 // single-line partition the wrap stays resident and the kernel reruns from
 // lane 0 without a reprobe.
+// With FilterTags the entry peek is replaced by one load of the packed tag
+// word: a rejected line is advanced past with the kernel's exact Miss
+// accounting (so the traversal and out-of-order completion order match
+// FilterNone bit for bit) and neither its key lanes nor — at reprobe time —
+// its data line are touched. A zero (unpublished) tag keeps its lane in
+// the candidate mask, so a write racing through the single-writer
+// value→key→tag publication sequence can never be missed.
 func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpending, arr *slotarr.Array) (blocked bool) {
 	t := r.t
-	switch k := arr.Key(p.idx); k {
-	case p.key:
-		if *nresp >= len(resps) {
-			return true
+	tagged := r.filter == table.FilterTags
+	if !tagged {
+		r.Filter.KeyLines++
+		switch k := arr.Key(p.idx); k {
+		case p.key:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
+			*nresp++
+			r.complete(true)
+			return false
+		case table.EmptyKey:
+			if *nresp >= len(resps) {
+				return true
+			}
+			r.tail++
+			resps[*nresp] = table.Response{ID: p.id, Found: false}
+			*nresp++
+			r.complete(false)
+			return false
 		}
-		r.tail++
-		resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
-		*nresp++
-		r.complete(true)
-		return false
-	case table.EmptyKey:
-		if *nresp >= len(resps) {
-			return true
-		}
-		r.tail++
-		resps[*nresp] = table.Response{ID: p.id, Found: false}
-		*nresp++
-		r.complete(false)
-		return false
 	}
 	for {
+		if tagged {
+			base := p.idx &^ (table.SlotsPerCacheLine - 1)
+			if arr.LineCandidates(base, p.tag)>>(p.idx-base) == 0 {
+				r.Filter.TagSkips++
+				valid := t.partSlots - base
+				if valid > table.SlotsPerCacheLine {
+					valid = table.SlotsPerCacheLine
+				}
+				p.probes += valid - (p.idx - base)
+				if p.probes >= t.partSlots {
+					if *nresp >= len(resps) {
+						return true
+					}
+					r.tail++
+					resps[*nresp] = table.Response{ID: p.id, Found: false}
+					*nresp++
+					r.complete(false)
+					return false
+				}
+				next := base + table.SlotsPerCacheLine
+				if next >= t.partSlots {
+					next = 0
+				}
+				p.idx = next
+				if slotarr.LineOf(next) == slotarr.LineOf(base) {
+					continue
+				}
+				r.tail++
+				if arr.LineCandidates(next, p.tag) != 0 {
+					r.sink += arr.Prefetch(next)
+				}
+				r.q[r.head&r.mask] = p
+				r.head++
+				return false
+			}
+			r.Filter.KeyLines++
+		}
 		l0, l1, l2, l3, base, valid := arr.LoadKeys4(p.idx)
 		lane, res := simd.ProbeLine4(l0, l1, l2, l3, p.key, table.EmptyKey, int(p.idx-base))
 		switch res {
 		case simd.HitKey:
 			if *nresp >= len(resps) {
 				return true
+			}
+			if tagged {
+				r.Filter.TagHits++
 			}
 			r.tail++
 			v := arr.WaitValue(base + uint64(lane))
@@ -278,11 +345,17 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			if *nresp >= len(resps) {
 				return true
 			}
+			if tagged {
+				r.Filter.TagHits++
+			}
 			r.tail++
 			resps[*nresp] = table.Response{ID: p.id, Found: false}
 			*nresp++
 			r.complete(false)
 			return false
+		}
+		if tagged {
+			r.Filter.TagFalse++
 		}
 		p.probes += valid - (p.idx - base)
 		if p.probes >= t.partSlots {
@@ -301,9 +374,19 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 		}
 		p.idx = next
 		if slotarr.LineOf(next) == slotarr.LineOf(base) {
+			if !tagged {
+				r.Filter.KeyLines++
+			}
 			continue
 		}
 		r.tail++
+		if tagged && arr.LineCandidates(next, p.tag) == 0 {
+			// Rejected at reprobe: skip the data prefetch, the drain's gate
+			// will bounce the line from the same cache-hot tag word.
+			r.q[r.head&r.mask] = p
+			r.head++
+			return false
+		}
 		r.sink += arr.Prefetch(p.idx)
 		r.q[r.head&r.mask] = p
 		r.head++

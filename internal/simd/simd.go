@@ -189,3 +189,77 @@ func CopyMask(lanes *[LaneCount]uint64, key, emptyKey uint64, cidx int) uint8 {
 	em := KeyCompare(lanes, emptyKey, cidx)
 	return em & (-em) // lowest empty lane only
 }
+
+// ----- 8-wide byte-lane kernel (tag-fingerprint filter) -----
+//
+// The tag filter packs one fingerprint byte per slot into a []uint64
+// sidecar, so a single word load covers TagLanes slots — two full 64-byte
+// key/value cache lines. The kernel below answers, branch-free, "which of
+// these 8 slots could hold my key?" from that one word, letting the probe
+// loops skip entire key-line loads. Byte lane b of the word is slot base+b
+// (little-endian byte order, matching how slotarr packs tags).
+
+// TagLanes is the number of tag bytes per packed tag word.
+const TagLanes = 8
+
+const (
+	loBytes = 0x0101010101010101 // 0x01 in every byte lane
+	hiBits  = 0x8080808080808080 // 0x80 in every byte lane
+)
+
+// BroadcastByte replicates b into all eight byte lanes of a word — the
+// scalar analogue of _mm512_set1_epi8.
+func BroadcastByte(b uint8) uint64 {
+	return uint64(b) * loBytes
+}
+
+// matchBits returns a word with 0x80 set in exactly the byte lanes of w
+// equal to the broadcast byte pattern bcast, and zero elsewhere. This is the
+// exact byte-equality SWAR: the textbook haszero(w^bcast) form admits
+// cross-byte borrow false positives (a lane holding value 1 is falsely
+// flagged when the lane below it borrows), so instead each lane's low seven
+// bits are summed with 0x7f — carrying into bit 7 iff any of them is set —
+// and the carry is OR-ed with the lane's own bit 7. Bit 7 of the result is
+// then 0 iff the whole lane is zero, with no carry ever crossing a lane
+// boundary. Inverting under the 0x80 mask yields the equal-lane bits.
+func matchBits(w, bcast uint64) uint64 {
+	x := w ^ bcast
+	t := ((x & ^uint64(hiBits)) + ^uint64(hiBits)) | x
+	return ^t & hiBits
+}
+
+// packMask compresses a word holding 0x80-or-0x00 per byte lane into an
+// 8-bit lane mask (bit b set iff lane b's 0x80 was set). The multiply
+// gathers the eight isolated bits into the top byte: after m>>7 each lane
+// contributes a single bit at position 8*lane, and the magic constant's
+// terms shift each of those to a distinct position in bits 56..63 with no
+// two terms ever colliding (all partial products are single bits at
+// distinct offsets, so the multiply is carry-free).
+func packMask(m uint64) uint8 {
+	return uint8(((m >> 7) * 0x0102040810204080) >> 56)
+}
+
+// MatchBytes8 returns the 8-bit lane mask of byte lanes in w equal to b.
+func MatchBytes8(w uint64, b uint8) uint8 {
+	return packMask(matchBits(w, BroadcastByte(b)))
+}
+
+// ZeroBytes8 returns the 8-bit lane mask of zero byte lanes in w.
+func ZeroBytes8(w uint64) uint8 {
+	return packMask(matchBits(w, 0))
+}
+
+// TagCandidates8 returns the candidate-lane mask for probing a key with tag
+// fingerprint tag against the packed tag word w: lanes whose tag byte equals
+// tag (possible match — one-in-255 false positive rate for non-matching
+// keys) plus lanes whose tag byte is zero. Zero means empty or
+// claimed-but-not-yet-published, and both cases must be checked against the
+// key lanes: an empty lane terminates the probe chain, and a claimed lane
+// may hold the probed key with its tag store still in flight. Folding the
+// zero lanes in here is what makes tag filtering false-negative-free — a
+// probe can skip a line only when every lane provably holds some other
+// published key.
+func TagCandidates8(w uint64, tag uint8) uint8 {
+	m := matchBits(w, BroadcastByte(tag)) | matchBits(w, 0)
+	return packMask(m)
+}

@@ -99,6 +99,9 @@ func RunTrace(cfg Config, trace []uint64) Result {
 	cfgd := cfg.defaults(Inserts)
 	la := &lineAlloc{}
 	arr := newArray(la, cfgd.Slots)
+	if cfgd.TagFilter {
+		arr.enableTags(la)
+	}
 	sim := memsim.NewSim(cfgd.Machine, cfgd.Threads)
 
 	switch cfgd.Kind {

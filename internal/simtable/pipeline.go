@@ -13,6 +13,10 @@ type pipeOp struct {
 	idx    uint64
 	probes uint64
 	insert bool
+	// checked marks a tagged op whose current line passed the tag-word gate
+	// and whose data line is already being prefetched; the next head pass
+	// consults the key lanes.
+	checked bool
 	// submitClock records when the request entered the pipeline (latency
 	// CDF experiment).
 	submitClock float64
@@ -30,6 +34,17 @@ type pipeline struct {
 	mask   int
 	window int
 	simd   bool
+	// tagged models the packed tag-fingerprint filter as a pipelined
+	// metadata stream: enqueuing a line visit prefetches the (16x denser)
+	// tag sidecar line; when the op reaches the head, the tag word decides.
+	// A rejected line advances without ever touching its data line — no
+	// DRAM transaction, which is the filter's entire win — while an
+	// admitted line prefetches its data and takes one more queue pass
+	// before the key lanes are scanned. Engaged when the array carries a
+	// sidecar and the pipeline is SIMD — the filter is line-granular, so
+	// the scalar probe runs unfiltered, exactly like the real tables force
+	// FilterNone under KernelScalar.
+	tagged bool
 	// singleWriter selects plain stores over CAS for slot claims
 	// (DRAMHiT-P partition owners).
 	singleWriter bool
@@ -49,6 +64,10 @@ type pipeline struct {
 	ops      uint64
 	hits     uint64
 	reprobes uint64
+	// keyLines / tagSkips mirror the real tables' filter counters: line
+	// visits that consulted key lanes vs visits rejected from the tag word.
+	keyLines uint64
+	tagSkips uint64
 	// onComplete, when set, receives (submitClock, completeClock) pairs.
 	onComplete func(submit, complete float64)
 }
@@ -64,6 +83,7 @@ func newPipeline(a *array, window int, simd, singleWriter bool) *pipeline {
 		mask:         capacity - 1,
 		window:       window,
 		simd:         simd,
+		tagged:       simd && a.tags != nil,
 		singleWriter: singleWriter,
 		submitCost:   hashCycles + queueOpCycles,
 		completeCost: completionCost,
@@ -89,7 +109,11 @@ func (p *pipeline) submit(t *memsim.Thread, h uint64, insert bool) {
 		insert:      insert,
 		submitClock: t.Clock,
 	}
-	t.Prefetch(p.a.line(op.idx))
+	if p.tagged {
+		t.Prefetch(p.a.tagLine(op.idx))
+	} else {
+		t.Prefetch(p.a.line(op.idx))
+	}
 	p.q[p.head&p.mask] = op
 	p.head++
 	for p.pending() >= p.window {
@@ -113,14 +137,51 @@ func (p *pipeline) processOldest(t *memsim.Thread) {
 
 	for {
 		line := a.line(op.idx)
-		// Consume the (ideally prefetched) line.
-		t.Access(line, memsim.Load)
-
-		// Scan slots within this line.
 		lineEnd := (op.idx/table.SlotsPerCacheLine + 1) * table.SlotsPerCacheLine
 		if lineEnd > a.size {
 			lineEnd = a.size
 		}
+		if p.tagged && !op.checked {
+			// The metadata stream: read the (prefetched) tag-sidecar line
+			// and run the register-only byte match.
+			t.Access(a.tagLine(op.idx), memsim.Load)
+			t.Compute(tagCheckCycles)
+			if !a.lineCandidates(op.idx, tag8(op.fp)) {
+				// Rejected from the tag word alone: the data line's key
+				// lanes are never consulted and no DRAM transaction is
+				// issued for it. The cursor still advances exactly as a
+				// full miss scan would, so the traversal matches the
+				// unfiltered pipeline line for line.
+				p.tagSkips++
+				op.probes += lineEnd - op.idx
+				op.idx = lineEnd
+				if op.probes >= a.size {
+					p.complete(t, op, false)
+					return
+				}
+				if op.idx == a.size {
+					op.idx = 0
+				}
+				p.reprobes++
+				t.Compute(queueOpCycles)
+				t.Prefetch(a.tagLine(op.idx))
+				p.q[p.head&p.mask] = op
+				p.head++
+				return
+			}
+			// Candidate line: pull the data line and revisit at the head
+			// once it has (likely) arrived — the extra queue pass is the
+			// filter's latency cost on admitted lines.
+			op.checked = true
+			t.Compute(queueOpCycles)
+			t.Prefetch(a.line(op.idx))
+			p.q[p.head&p.mask] = op
+			p.head++
+			return
+		}
+		p.keyLines++
+		// Consume the (ideally prefetched) line.
+		t.Access(line, memsim.Load)
 		if p.simd {
 			t.Compute(lineScanSIMD)
 		}
@@ -133,6 +194,12 @@ func (p *pipeline) processOldest(t *memsim.Thread) {
 				switch f {
 				case fpEmpty:
 					a.fp[op.idx] = op.fp
+					if a.tags != nil {
+						// Publish the tag: one extra store on the sidecar
+						// line (the real table's PublishTag CAS).
+						a.tags[op.idx] = tag8(op.fp)
+						t.Access(a.tagLine(op.idx), memsim.Store)
+					}
 					p.claim(t, line)
 					p.complete(t, op, true)
 					return
@@ -165,7 +232,12 @@ func (p *pipeline) processOldest(t *memsim.Thread) {
 		// Crossing into the next line: reprobe through the queue.
 		p.reprobes++
 		t.Compute(queueOpCycles)
-		t.Prefetch(a.line(op.idx))
+		if p.tagged {
+			op.checked = false
+			t.Prefetch(a.tagLine(op.idx))
+		} else {
+			t.Prefetch(a.line(op.idx))
+		}
 		p.q[p.head&p.mask] = op
 		p.head++
 		return

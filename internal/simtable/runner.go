@@ -43,6 +43,11 @@ type Config struct {
 	Theta float64
 	// ReadProb applies to Mixed.
 	ReadProb float64
+	// MissRatio is the fraction of lookups redirected to keys that were
+	// never inserted (ranks beyond the prefill region, mirroring
+	// workload.NewKeyStreamMiss): negative lookups walk their full cluster,
+	// the regime where the tag filter pays off most.
+	MissRatio float64
 	// Prefill is the occupancy fraction established untimed before
 	// measurement. Defaults: 0.45 for Inserts (the average fill of an
 	// empty-to-75% run), 0.75 for Finds/Mixed.
@@ -53,6 +58,14 @@ type Config struct {
 	// Pollutions is the number of application cache-line prefetches
 	// injected after every operation (Figure 6c).
 	Pollutions int
+	// TagFilter enables the packed tag-fingerprint sidecar (§3.1.2 of the
+	// design doc): every line visit loads the 16x-denser metadata line
+	// first, and lines the tag word rejects never pay the data access or
+	// prefetch. It engages only on SIMD pipelines (the filter is
+	// line-granular) — i.e. the DRAMHiTPSIMD kind. Opt-in, unlike the real
+	// tables' tags-by-default, so archived simulated figures stay
+	// bit-identical when the flag is absent.
+	TagFilter bool
 	// Seed fixes the run's randomness.
 	Seed int64
 	// LatencySink, when non-nil, receives per-op (submit, complete) cycle
@@ -153,6 +166,9 @@ func Run(c Config, mix OpMix) Result {
 	keyOf := func(rank uint64) uint64 { return hashfn.City64(rank ^ salt) }
 	prefillCount := uint64(float64(cfg.Slots) * cfg.Prefill)
 	arr := prefilled(cfg.Slots, prefillCount, cfg.Seed, keyOf, la)
+	if cfg.TagFilter {
+		arr.enableTags(la)
+	}
 
 	sim := memsim.NewSim(m, cfg.Threads)
 	pollBase := la.alloc(1 << 22) // 256 MB pollution array
@@ -164,6 +180,11 @@ func Run(c Config, mix OpMix) Result {
 	tableLines := cfg.Slots/4 + 1
 	if int(tableLines) <= sim.LLCLinesTotal() {
 		sim.WarmLLC(arr.baseLine, tableLines)
+	}
+	if arr.tags != nil && int(arr.tagLines()) <= sim.LLCLinesTotal() {
+		// The sidecar is 1/16 the data footprint; it is LLC-resident far
+		// beyond the point where the data lines stop fitting.
+		sim.WarmLLC(arr.tagBase, arr.tagLines())
 	}
 
 	switch cfg.Kind {
@@ -193,6 +214,9 @@ type opStream struct {
 	keyOf    func(uint64) uint64
 	mix      OpMix
 	readProb float64
+	// missProb redirects this fraction of reads to absent ranks (beyond the
+	// prefill region), making them guaranteed negative lookups.
+	missProb float64
 	// insertNext hands out fresh unique ranks for insert ops.
 	nextFresh func() uint64
 	theta     float64
@@ -211,9 +235,21 @@ func newOpStream(cfg Config, mix OpMix, keyOf func(uint64) uint64, prefill uint6
 		keyOf:     keyOf,
 		mix:       mix,
 		readProb:  cfg.ReadProb,
+		missProb:  cfg.MissRatio,
 		nextFresh: fresh.next,
 		keySpace:  space,
 	}
+}
+
+// readRank draws the rank for a lookup: with probability missProb it lands
+// in [keySpace, 2*keySpace), ranks no insert path ever placed, so the
+// lookup is structurally negative (same construction as
+// workload.NewKeyStreamMiss).
+func (o *opStream) readRank() uint64 {
+	if o.missProb > 0 && o.rng.Float64() < o.missProb {
+		return o.keySpace + o.zipf.Next()
+	}
+	return o.zipf.Next()
 }
 
 // freshRanks hands out globally unique ranks beyond the prefill region.
@@ -228,10 +264,10 @@ func newFreshRanks(start uint64) *freshRanks {
 func (o *opStream) next() (uint64, bool) {
 	switch o.mix {
 	case Finds:
-		return hashfn.City64(o.keyOf(o.zipf.Next())), true
+		return hashfn.City64(o.keyOf(o.readRank())), true
 	case Mixed:
 		if o.rng.Float64() < o.readProb {
-			return hashfn.City64(o.keyOf(o.zipf.Next())), true
+			return hashfn.City64(o.keyOf(o.readRank())), true
 		}
 		return hashfn.City64(o.keyOf(o.zipf.Next())), false
 	default: // Inserts

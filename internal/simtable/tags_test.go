@@ -1,0 +1,146 @@
+package simtable
+
+import (
+	"testing"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/memsim"
+)
+
+func TestTagSidecarImage(t *testing.T) {
+	la := &lineAlloc{}
+	a := newArray(la, 1024)
+	for h := uint64(1); h < 400; h++ {
+		a.place(h * 0x9e3779b97f4a7c15)
+	}
+	a.enableTags(la)
+	if a.tagBase < a.baseLine+1024/4 {
+		t.Fatalf("tag sidecar overlaps data: tagBase %d, data ends %d", a.tagBase, a.baseLine+1024/4)
+	}
+	for i := uint64(0); i < 1024; i++ {
+		switch f := a.fp[i]; f {
+		case fpEmpty, fpTombstone:
+			if a.tags[i] != 0 {
+				t.Fatalf("slot %d: empty/tombstone but tag %d", i, a.tags[i])
+			}
+		default:
+			if a.tags[i] != tag8(f) {
+				t.Fatalf("slot %d: tag %d, want %d", i, a.tags[i], tag8(f))
+			}
+			if a.tags[i] == 0 {
+				t.Fatalf("slot %d: occupied slot has reserved tag 0", i)
+			}
+		}
+	}
+	// A line of all-occupied nonmatching tags must be rejectable; any zero
+	// byte must force must-check.
+	for i := uint64(0); i < 1024; i += 4 {
+		allOcc := true
+		for s := i; s < i+4; s++ {
+			if a.tags[s] == 0 {
+				allOcc = false
+			}
+		}
+		if !allOcc && !a.lineCandidates(i, 0xFF) {
+			t.Fatalf("line at %d has a zero tag but was rejected", i)
+		}
+	}
+}
+
+// TestTagFilterCutsKeyLineLoads runs the simulated SIMD read pipeline on a
+// miss-heavy stream with and without the sidecar and checks the same
+// accounting identity the real tables obey: the filtered run visits the same
+// lines but resolves most of them from the metadata stream alone.
+func TestTagFilterCutsKeyLineLoads(t *testing.T) {
+	run := func(tagFilter bool) (keyLines, tagSkips, ops uint64) {
+		la := &lineAlloc{}
+		arr := newArray(la, 1<<16)
+		for r := uint64(0); r < (1<<16)*3/4; r++ {
+			arr.place(hashfn.City64(r))
+		}
+		if tagFilter {
+			arr.enableTags(la)
+		}
+		sim := memsim.NewSim(memsim.IntelSkylake(), 1)
+		p := newPipeline(arr, 16, true, false)
+		sim.Run(func(th *memsim.Thread) bool {
+			if ops >= 30000 {
+				p.flush(th)
+				return false
+			}
+			// Probe keys disjoint from the fill (ranks beyond the prefill):
+			// every lookup misses and walks its full cluster.
+			h := hashfn.City64(1<<20 + ops)
+			p.submit(th, h, false)
+			ops++
+			return true
+		})
+		return p.keyLines, p.tagSkips, p.ops
+	}
+	klNone, skNone, opsNone := run(false)
+	klTags, skTags, opsTags := run(true)
+	if opsNone != opsTags || opsNone == 0 {
+		t.Fatalf("op counts diverged: %d vs %d", opsNone, opsTags)
+	}
+	if skNone != 0 {
+		t.Fatalf("unfiltered pipeline recorded %d tag skips", skNone)
+	}
+	// Traversal parity: the filtered pipeline visits exactly the lines the
+	// unfiltered one loads, each either admitted or skipped.
+	if klTags+skTags != klNone {
+		t.Fatalf("line accounting: tags %d+%d != none %d", klTags, skTags, klNone)
+	}
+	// A negative lookup's terminating line holds the empty slot that ends
+	// the probe; its zero tag is must-check, so roughly one admitted line
+	// per op (plus ~1/255-per-lane false positives) is the floor. Every
+	// interior cluster line should be rejected.
+	if klTags*3 >= klNone*2 {
+		t.Fatalf("filter too weak on misses: %d key lines with tags, %d without", klTags, klNone)
+	}
+	if klTags < opsTags || klTags > opsTags*11/10 {
+		t.Fatalf("admitted lines %d out of expected band around ops %d", klTags, opsTags)
+	}
+}
+
+// TestTagFilterSpeedsSimulatedNegativeFinds is the simulator's end-to-end
+// A/B. The filter trades serialized latency (an extra queue pass per
+// admitted line) for DRAM traffic (rejected lines issue no transaction), so
+// it wins exactly when bandwidth is the binding constraint: at 64 threads
+// the unfiltered all-miss run saturates the Skylake channels (~105 GB/s,
+// per-op cycles balloon) while the filtered run cuts traffic roughly in
+// half and posts far higher Mops. At low thread counts — latency-bound, the
+// machine nowhere near its bandwidth ceiling — the filter costs a little,
+// the same asymmetry the real-host BenchmarkProbeFilter capture shows; that
+// direction only gets a sanity bound, not a win requirement.
+func TestTagFilterSpeedsSimulatedNegativeFinds(t *testing.T) {
+	run := func(tagFilter bool, threads int, missRatio float64) Result {
+		return Run(Config{
+			Machine:    memsim.IntelSkylake(),
+			Kind:       DRAMHiTPSIMD,
+			Threads:    threads,
+			Slots:      largeTest,
+			Prefill:    0.75,
+			MissRatio:  missRatio,
+			TagFilter:  tagFilter,
+			MeasureOps: testOps,
+			Seed:       42,
+		}, Finds)
+	}
+	off, on := run(false, 64, 1), run(true, 64, 1)
+	if off.Mops <= 0 || on.Mops <= 0 {
+		t.Fatalf("nonpositive throughput: off %.0f on %.0f", off.Mops, on.Mops)
+	}
+	if on.Mops < off.Mops*1.2 {
+		t.Errorf("tag filter did not speed up bandwidth-bound all-miss finds: %.0f vs %.0f Mops",
+			on.Mops, off.Mops)
+	}
+	if on.GBs >= off.GBs {
+		t.Errorf("tag filter did not reduce DRAM traffic: %.1f vs %.1f GB/s", on.GBs, off.GBs)
+	}
+	// Latency-bound all-hit direction: the filter may cost, but within 2x.
+	offHit, onHit := run(false, 32, 0), run(true, 32, 0)
+	if onHit.Mops*2 < offHit.Mops {
+		t.Errorf("tag filter implausibly slow on all-hit finds: %.0f vs %.0f Mops",
+			onHit.Mops, offHit.Mops)
+	}
+}

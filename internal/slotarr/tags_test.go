@@ -1,0 +1,165 @@
+package slotarr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/simd"
+	"dramhit/internal/table"
+)
+
+func TestNewTaggedLayout(t *testing.T) {
+	// Sizes that leave a partial final line: tags must cover the padding.
+	for _, n := range []uint64{1, 3, 4, 5, 7, 8, 9, 63, 64, 65} {
+		a := NewTagged(n)
+		if !a.HasTags() {
+			t.Fatalf("n=%d: HasTags false", n)
+		}
+		padded := uint64(len(a.words)) / 2
+		if want := (padded + simd.TagLanes - 1) / simd.TagLanes; uint64(len(a.tags)) != want {
+			t.Fatalf("n=%d: %d tag words, want %d", n, len(a.tags), want)
+		}
+		for i := uint64(0); i < padded; i++ {
+			if a.Tag(i) != 0 {
+				t.Fatalf("n=%d slot %d: fresh tag %d", n, i, a.Tag(i))
+			}
+		}
+	}
+	if New(8).HasTags() {
+		t.Fatal("New reported tags")
+	}
+}
+
+func TestPublishTagUntaggedNoop(t *testing.T) {
+	a := New(8)
+	a.PublishTag(3, 7) // must not panic
+	if a.Tag(3) != 0 {
+		t.Fatal("untagged array returned a tag")
+	}
+}
+
+func TestPublishTagAndLineCandidates(t *testing.T) {
+	a := NewTagged(16)
+	a.PublishTag(0, 7)
+	a.PublishTag(5, 7)
+	a.PublishTag(6, 9)
+	// Line 0 (slots 0-3): slot 0 matches tag 7, slots 1-3 are zero.
+	if m := a.LineCandidates(0, 7); m != 0b1111 {
+		t.Fatalf("line 0 tag 7: %04b", m)
+	}
+	// Line 1 (slots 4-7): slot 4 zero, slot 5 matches, slot 6 mismatches, slot 7 zero.
+	if m := a.LineCandidates(4, 7); m != 0b1011 {
+		t.Fatalf("line 1 tag 7: %04b", m)
+	}
+	if m := a.LineCandidates(4, 9); m != 0b1101 {
+		t.Fatalf("line 1 tag 9: %04b", m)
+	}
+	// A probe for an unrelated tag still must check the zero lanes.
+	if m := a.LineCandidates(4, 200); m != 0b1001 {
+		t.Fatalf("line 1 tag 200: %04b", m)
+	}
+}
+
+// TestTagPropertyRandomOps is the satellite property test: after a
+// randomized op sequence (concurrent claim/publish/tombstone under -race),
+// every published slot's tag byte agrees with its key's fingerprint, and
+// every empty or tombstoned slot's tag is either still 0 or the stale
+// fingerprint of the key that once claimed it (nonmatching-safe: the key
+// kernel re-checks every candidate lane, so a stale tag can only cost a
+// false positive, never a wrong answer).
+func TestTagPropertyRandomOps(t *testing.T) {
+	const size = 256
+	const workers = 8
+	const opsPerWorker = 4000
+	a := NewTagged(size)
+	hash := hashfn.City64
+
+	// claimed[i] records the key that won slot i's claim CAS (0 = never
+	// claimed). Written only by the winning worker, read after Wait.
+	var claimed [size]uint64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < opsPerWorker; n++ {
+				key := rng.Uint64()%512 + 1 // avoid reserved keys
+				h := hash(key)
+				i := hashfn.Fastrange(h, size)
+				switch rng.Intn(4) {
+				case 0, 1: // insert attempt: claim, publish tag, publish value
+					if a.CASKey(i, table.EmptyKey, key) {
+						claimed[i] = key
+						a.PublishTag(i, table.TagOf(h))
+						a.StoreValue(i, key*3)
+					}
+				case 2: // read through the filter path
+					base := i &^ (table.SlotsPerCacheLine - 1)
+					cand := a.LineCandidates(base, table.TagOf(h))
+					if a.Key(i) == key && cand>>(i-base)&1 == 0 {
+						t.Errorf("false negative: slot %d holds key %d but lane not candidate", i, key)
+						return
+					}
+				case 3: // tombstone whatever won the slot
+					k := a.Key(i)
+					if k != table.EmptyKey && k != table.TombstoneKey {
+						a.CASKey(i, k, table.TombstoneKey)
+					}
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+
+	for i := uint64(0); i < size; i++ {
+		tag := a.Tag(i)
+		switch k := a.Key(i); k {
+		case table.EmptyKey:
+			if tag != 0 {
+				t.Fatalf("slot %d empty but tag %d", i, tag)
+			}
+		case table.TombstoneKey:
+			// Tag is 0 (tombstoned inside the claim→publish window) or the
+			// stale fingerprint of the claiming key.
+			if tag != 0 && claimed[i] != 0 && tag != table.TagOf(hash(claimed[i])) {
+				t.Fatalf("slot %d tombstoned, tag %d does not match claimer %d", i, tag, claimed[i])
+			}
+		default:
+			want := table.TagOf(hash(k))
+			if tag != 0 && tag != want {
+				t.Fatalf("slot %d key %d: tag %d, want %d", i, k, tag, want)
+			}
+			// All workers that claim have published by Wait, so live slots
+			// must have their fingerprint by now.
+			if tag == 0 {
+				t.Fatalf("slot %d key %d: tag never published", i, k)
+			}
+		}
+	}
+}
+
+// TestPublishTagConcurrentLanes hammers all eight lanes of a single tag
+// word from separate goroutines: the CAS-merge must not lose any lane.
+func TestPublishTagConcurrentLanes(t *testing.T) {
+	for iter := 0; iter < 200; iter++ {
+		a := NewTagged(8)
+		var wg sync.WaitGroup
+		for lane := uint64(0); lane < 8; lane++ {
+			wg.Add(1)
+			go func(l uint64) {
+				defer wg.Done()
+				a.PublishTag(l, uint8(l)+1)
+			}(lane)
+		}
+		wg.Wait()
+		for lane := uint64(0); lane < 8; lane++ {
+			if got := a.Tag(lane); got != uint8(lane)+1 {
+				t.Fatalf("iter %d lane %d: tag %d", iter, lane, got)
+			}
+		}
+	}
+}

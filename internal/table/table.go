@@ -4,6 +4,8 @@
 // the reserved key values used by the open-addressing layout.
 package table
 
+import "fmt"
+
 // Op identifies a hash-table operation.
 type Op uint8
 
@@ -93,6 +95,74 @@ func (k ProbeKernel) String() string {
 		return "scalar"
 	}
 	return "invalid"
+}
+
+// ParseProbeKernel maps a benchmark-flag string back to a kernel.
+func ParseProbeKernel(s string) (ProbeKernel, error) {
+	switch s {
+	case "", "swar":
+		return KernelSWAR, nil
+	case "scalar":
+		return KernelScalar, nil
+	}
+	return 0, fmt.Errorf("unknown probe kernel %q (want swar|scalar)", s)
+}
+
+// ProbeFilter selects whether the SWAR probe loops consult the packed
+// tag-fingerprint sidecar before loading a cache line's key lanes. The zero
+// value is FilterTags, making the filter the default execution model; the
+// unfiltered probe stays selectable for ablation and A/B benchmarks. Tags
+// are a pure accelerator: both settings return bit-identical responses, the
+// filter only skips key-line loads that provably cannot match.
+type ProbeFilter uint8
+
+const (
+	// FilterTags consults one packed tag word (8 slots — two data cache
+	// lines) per probed line and skips lines with no candidate lanes.
+	FilterTags ProbeFilter = iota
+	// FilterNone probes key lanes unconditionally (the pre-filter hot
+	// path, kept as the A/B baseline). Also what scalar-kernel tables run:
+	// the filter is line-granular, so it accelerates only KernelSWAR.
+	FilterNone
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (f ProbeFilter) String() string {
+	switch f {
+	case FilterTags:
+		return "tags"
+	case FilterNone:
+		return "none"
+	}
+	return "invalid"
+}
+
+// ParseProbeFilter maps a benchmark-flag string back to a filter setting.
+func ParseProbeFilter(s string) (ProbeFilter, error) {
+	switch s {
+	case "", "tags":
+		return FilterTags, nil
+	case "none":
+		return FilterNone, nil
+	}
+	return 0, fmt.Errorf("unknown probe filter %q (want tags|none)", s)
+}
+
+// TagOf derives a slot's 1-byte tag fingerprint from its key's full 64-bit
+// hash. Fastrange consumes the hash's HIGH bits for the slot index (the high
+// 64 of the 128-bit product dominate), so the tag takes the LOW byte —
+// the bits the index reduction leaves untouched — exactly as the simulator's
+// fingerprint does; deriving both index and tag from the same bits would
+// alias every key sharing a home slot. Zero is reserved: a published tag is
+// always in 1..255, and tag 0 means "empty or claimed-but-unpublished", which
+// probes must treat as a candidate (the must-check rule that makes false
+// negatives impossible).
+func TagOf(h uint64) uint8 {
+	t := uint8(h)
+	if t == 0 {
+		t = 1
+	}
+	return t
 }
 
 // SlotsPerCacheLine is the number of 16-byte key/value slots in one 64-byte

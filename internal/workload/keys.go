@@ -17,18 +17,44 @@ type KeyStream struct {
 	zipf  *Zipf
 	salt  uint64
 	mixed bool
+	// miss is the fraction of keys drawn from ranks >= n — keys that are
+	// structurally disjoint from the stream's own [0, n) population, so a
+	// lookup for one always misses a table populated from the same stream.
+	miss    float64
+	missRng *rand.Rand
+	n       uint64
 }
 
 // NewKeyStream builds a stream of keys drawn from ranks in [0, n) with the
 // given zipf skew (0 = uniform). Two streams with the same seed and
 // parameters produce identical sequences.
 func NewKeyStream(seed int64, n uint64, theta float64) *KeyStream {
+	return NewKeyStreamMiss(seed, n, theta, 0)
+}
+
+// NewKeyStreamMiss is NewKeyStream with a miss ratio: each draw is, with
+// probability miss, replaced by a key from the disjoint rank range
+// [n, 2n) under the same salt — a key no draw from the positive range can
+// ever produce (ScrambleRank is a bijection), so lookups for it are
+// guaranteed negative against a table populated with this stream's (or
+// UniqueKeys' same-seed) positive keys. miss=0 degenerates to NewKeyStream
+// exactly (same sequence, draw for draw).
+func NewKeyStreamMiss(seed int64, n uint64, theta, miss float64) *KeyStream {
+	if miss < 0 || miss > 1 {
+		panic("workload: miss ratio must be in [0, 1]")
+	}
 	rng := rand.New(rand.NewSource(seed))
-	return &KeyStream{
+	s := &KeyStream{
 		zipf:  NewZipf(rng, n, theta),
 		salt:  rng.Uint64() | 1,
 		mixed: true,
+		miss:  miss,
+		n:     n,
 	}
+	if miss > 0 {
+		s.missRng = rand.New(rand.NewSource(seed ^ 0x6d697373)) // "miss"
+	}
+	return s
 }
 
 // NewRankStream is like NewKeyStream but returns raw ranks without
@@ -42,6 +68,10 @@ func NewRankStream(seed int64, n uint64, theta float64) *KeyStream {
 // Next returns the next key (or rank, for a rank stream).
 func (s *KeyStream) Next() uint64 {
 	r := s.zipf.Next()
+	if s.missRng != nil && s.missRng.Float64() < s.miss {
+		// Redirect to the never-inserted range: uniform over [n, 2n).
+		r = s.n + uint64(s.missRng.Int63n(int64(s.n)))
+	}
 	if !s.mixed {
 		return r
 	}
@@ -77,6 +107,19 @@ func UniqueKeys(seed int64, n int) []uint64 {
 func UniqueKeyAt(seed int64, i uint64) uint64 {
 	salt := rand.New(rand.NewSource(seed)).Uint64() | 1
 	return ScrambleRank(i, salt)
+}
+
+// MissKeys returns count keys guaranteed absent from UniqueKeys(seed, n):
+// the same salted bijection applied to ranks n, n+1, ... — structurally
+// disjoint from the positive ranks [0, n), so the negative-lookup
+// benchmarks need no membership set to certify their misses.
+func MissKeys(seed int64, n, count int) []uint64 {
+	salt := rand.New(rand.NewSource(seed)).Uint64() | 1
+	keys := make([]uint64, count)
+	for i := range keys {
+		keys[i] = ScrambleRank(uint64(n+i), salt)
+	}
+	return keys
 }
 
 // Op is a hash-table operation kind in a generated workload.

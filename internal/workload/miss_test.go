@@ -1,0 +1,73 @@
+package workload
+
+import "testing"
+
+// TestMissKeysDisjointFromUniqueKeys checks the structural guarantee the
+// negative-lookup benchmarks lean on: MissKeys(seed, n, count) never collides
+// with UniqueKeys(seed, n), because both apply the same salted bijection to
+// disjoint rank ranges.
+func TestMissKeysDisjointFromUniqueKeys(t *testing.T) {
+	const n, count = 5000, 3000
+	pos := UniqueKeys(99, n)
+	neg := MissKeys(99, n, count)
+	if len(neg) != count {
+		t.Fatalf("got %d miss keys, want %d", len(neg), count)
+	}
+	seen := make(map[uint64]bool, n)
+	for _, k := range pos {
+		seen[k] = true
+	}
+	for i, k := range neg {
+		if seen[k] {
+			t.Fatalf("miss key %d (%#x) collides with the positive population", i, k)
+		}
+		seen[k] = true // also catches duplicates within the miss set
+	}
+}
+
+// TestKeyStreamMissZeroDegenerates checks that miss=0 reproduces the plain
+// stream draw for draw — the knob must be a pure superset of the old API.
+func TestKeyStreamMissZeroDegenerates(t *testing.T) {
+	a := NewKeyStream(7, 1000, 0.99)
+	b := NewKeyStreamMiss(7, 1000, 0.99, 0)
+	for i := 0; i < 5000; i++ {
+		if ka, kb := a.Next(), b.Next(); ka != kb {
+			t.Fatalf("draw %d diverged: %#x vs %#x", i, ka, kb)
+		}
+	}
+}
+
+// TestKeyStreamMissRedirectsToAbsentKeys checks that a miss-ratio stream
+// produces roughly the requested fraction of keys outside the positive
+// population, and that every redirected key is structurally absent from it.
+func TestKeyStreamMissRedirectsToAbsentKeys(t *testing.T) {
+	const n = 2000
+	pos := make(map[uint64]bool, n)
+	for _, k := range UniqueKeys(7, n) {
+		pos[k] = true
+	}
+	// Same seed => same salt as UniqueKeys(7, ·): in-population draws always
+	// land in pos, redirected draws never can (disjoint ranks, bijection).
+	s := NewKeyStreamMiss(7, n, 0, 0.3)
+	misses := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if !pos[s.Next()] {
+			misses++
+		}
+	}
+	got := float64(misses) / draws
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("miss fraction %.3f, want ~0.30", got)
+	}
+}
+
+// TestKeyStreamMissRatioValidation checks the panic contract.
+func TestKeyStreamMissRatioValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("miss ratio 1.5 did not panic")
+		}
+	}()
+	NewKeyStreamMiss(1, 10, 0, 1.5)
+}

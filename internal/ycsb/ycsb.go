@@ -109,7 +109,18 @@ type Generator struct {
 	salt     uint64
 	inserted uint64 // next fresh rank for Insert ops
 	maxScan  int
+	// miss redirects that fraction of Read ops to guaranteed-absent keys.
+	miss    float64
+	missRng *rand.Rand
+	records uint64
 }
+
+// missRankBase offsets miss ranks far above both the loaded population
+// ([0, records)) and the ranks Insert ops consume (records, records+1, ...),
+// so a redirected Read can never collide with a key any generator with the
+// same seed inserts — ScrambleRank is a bijection, making the misses
+// structural rather than probabilistic.
+const missRankBase = 1 << 40
 
 // Theta is YCSB's default zipfian constant.
 const Theta = 0.99
@@ -129,7 +140,35 @@ func NewGenerator(mix Mix, records uint64, seed int64) *Generator {
 		salt:     rand.New(rand.NewSource(seed)).Uint64() | 1,
 		inserted: records,
 		maxScan:  100,
+		records:  records,
 	}
+}
+
+// NewGeneratorMiss is NewGenerator with a miss ratio: each Read op is, with
+// probability miss, redirected to a key from the rank range
+// [missRankBase, missRankBase+records) under the generator's own salt — a
+// range disjoint from both the loaded ranks and every rank Insert ops can
+// reach, so the lookup misses by construction. miss=0 degenerates to
+// NewGenerator exactly, draw for draw.
+func NewGeneratorMiss(mix Mix, records uint64, seed int64, miss float64) *Generator {
+	if miss < 0 || miss > 1 {
+		panic("ycsb: miss ratio must be in [0, 1]")
+	}
+	g := NewGenerator(mix, records, seed)
+	g.miss = miss
+	if miss > 0 {
+		g.missRng = rand.New(rand.NewSource(seed ^ 0x6d697373)) // "miss"
+	}
+	return g
+}
+
+// readKey draws a Read key, honoring the miss ratio.
+func (g *Generator) readKey() uint64 {
+	if g.missRng != nil && g.missRng.Float64() < g.miss {
+		r := missRankBase + uint64(g.missRng.Int63n(int64(g.records)))
+		return workload.ScrambleRank(r, g.salt)
+	}
+	return g.keys.Next()
 }
 
 // LoadKeys returns the keys of the initial dataset (rank order); use with
@@ -144,7 +183,7 @@ func (g *Generator) Next() Op {
 	m := g.mix
 	switch {
 	case r < m.Read:
-		return Op{Kind: Read, Key: g.keys.Next()}
+		return Op{Kind: Read, Key: g.readKey()}
 	case r < m.Read+m.Update:
 		return Op{Kind: Update, Key: g.keys.Next()}
 	case r < m.Read+m.Update+m.Insert:

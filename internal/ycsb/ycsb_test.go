@@ -139,3 +139,48 @@ func TestRunAgainstTable(t *testing.T) {
 func newTestTable() table.Map {
 	return tblFactory()
 }
+
+// TestGeneratorMissReadsAreAbsent checks the -missratio plumbing: redirected
+// reads must never hit a loaded key or any key an Insert op (same seed) can
+// produce, and miss=0 must reproduce the plain generator exactly.
+func TestGeneratorMissReadsAreAbsent(t *testing.T) {
+	const records, seed = 1000, 3
+	reachable := map[uint64]bool{}
+	for _, k := range LoadKeys(records, seed) {
+		reachable[k] = true
+	}
+	// Workload D inserts fresh keys as it runs; collect the keys a miss-free
+	// twin produces so the miss stream can be checked against all of them.
+	twin := NewGenerator(D, records, seed)
+	for i := 0; i < 50_000; i++ {
+		reachable[twin.Next().Key] = true
+	}
+	g := NewGeneratorMiss(D, records, seed, 0.5)
+	missed := 0
+	reads := 0
+	for i := 0; i < 50_000; i++ {
+		op := g.Next()
+		if op.Kind != Read {
+			continue
+		}
+		reads++
+		if !reachable[op.Key] {
+			missed++
+		}
+	}
+	if reads == 0 {
+		t.Fatal("workload D produced no reads")
+	}
+	frac := float64(missed) / float64(reads)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("miss fraction %.3f, want ~0.50", frac)
+	}
+
+	a := NewGenerator(A, records, seed)
+	b := NewGeneratorMiss(A, records, seed, 0)
+	for i := 0; i < 2000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("miss=0 generator diverged from plain generator")
+		}
+	}
+}
