@@ -31,6 +31,7 @@ func main() {
 	probeKernel := flag.String("probekernel", "", "probe kernel for real-execution experiments: swar|scalar (default swar)")
 	probeFilter := flag.String("probefilter", "", "probe filter for real-execution experiments: tags|none (default tags)")
 	missRatio := flag.Float64("missratio", 0, "fraction of lookups sent to absent keys, for experiments that honor it")
+	combiningFlag := flag.String("combining", "", "in-window request combining for real-execution experiments: on|off (default on)")
 	flag.Parse()
 
 	kernel, err := table.ParseProbeKernel(*probeKernel)
@@ -45,6 +46,11 @@ func main() {
 	}
 	if *missRatio < 0 || *missRatio > 1 {
 		fmt.Fprintln(os.Stderr, "dramhit-bench: -missratio must be in [0,1]")
+		os.Exit(2)
+	}
+	combining, err := table.ParseCombining(*combiningFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
 		os.Exit(2)
 	}
 
@@ -69,6 +75,7 @@ func main() {
 		ProbeKernel: kernel,
 		ProbeFilter: filter,
 		MissRatio:   *missRatio,
+		Combining:   combining,
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -26,6 +26,8 @@ func main() {
 	ops := flag.Int("ops", 2_000_000, "operations in the timed run")
 	workers := flag.Int("workers", 4, "concurrent client goroutines")
 	missRatio := flag.Float64("missratio", 0, "fraction of reads redirected to guaranteed-absent keys")
+	theta := flag.Float64("theta", -1, "zipfian skew of the key stream; negative = workload default")
+	combiningFlag := flag.String("combining", "on", "in-window request combining: on | off")
 	flag.Parse()
 
 	mix, err := ycsb.ByName(*workloadName)
@@ -34,6 +36,13 @@ func main() {
 	}
 	if *missRatio < 0 || *missRatio > 1 {
 		fail(fmt.Errorf("-missratio must be in [0,1], got %v", *missRatio))
+	}
+	if *theta >= 1 {
+		fail(fmt.Errorf("-theta must be negative (default) or in [0,1), got %v", *theta))
+	}
+	combining, err := dramhit.ParseCombining(*combiningFlag)
+	if err != nil {
+		fail(err)
 	}
 
 	// view is the per-worker synchronous face over whichever backend.
@@ -48,7 +57,7 @@ func main() {
 	slots := nextPow2(*records * 2)
 	switch *backend {
 	case "dramhit":
-		t := dramhit.New(dramhit.Config{Slots: slots})
+		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining})
 		h := t.NewHandle()
 		h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
 		mkView = func(int) view {
@@ -74,6 +83,7 @@ func main() {
 	case "dramhit-p":
 		t := dramhit.NewPartitioned(dramhit.PartitionedConfig{
 			Slots: slots, Producers: *workers + 1, Consumers: max(1, *workers/2),
+			Combining: combining,
 		})
 		t.Start()
 		teardown = t.Close
@@ -109,7 +119,7 @@ func main() {
 		go func(wi int) {
 			defer wg.Done()
 			v := mkView(wi)
-			g := ycsb.NewGeneratorMiss(mix, *records, int64(wi+1), *missRatio)
+			g := ycsb.NewGeneratorMissTheta(mix, *records, int64(wi+1), *missRatio, *theta)
 			rec := recs[wi]
 			for i := 0; i < perWorker; i++ {
 				op := g.Next()
@@ -149,6 +159,12 @@ func main() {
 	missNote := ""
 	if *missRatio > 0 {
 		missNote = fmt.Sprintf(", miss %.0f%%", *missRatio*100)
+	}
+	if *theta >= 0 {
+		missNote += fmt.Sprintf(", theta %.2f", *theta)
+	}
+	if combining == dramhit.CombineOff {
+		missNote += ", combining off"
 	}
 	fmt.Printf("ycsb-%s on %s: %d ops, %d workers%s, %v (%.2f Mops)\n",
 		mix.Name, *backend, total, *workers, missNote, elapsed.Round(time.Millisecond),

@@ -104,6 +104,23 @@ const (
 	FilterNone = table.FilterNone
 )
 
+// Combining selects whether handles merge in-flight same-key requests
+// (Config.Combining and PartitionedConfig.Combining): CombineOn (the zero
+// value and default) folds duplicate Upserts and piggybacks duplicate Gets
+// inside the prefetch window; CombineOff disables merging for A/B runs.
+type Combining = table.Combining
+
+// Combining choices.
+const (
+	// CombineOn merges in-window duplicate-key requests (default).
+	CombineOn = table.CombineOn
+	// CombineOff submits every request individually (A/B baseline).
+	CombineOff = table.CombineOff
+)
+
+// ParseCombining maps "on" (or "") and "off" to the Combining values.
+func ParseCombining(s string) (Combining, error) { return table.ParseCombining(s) }
+
 // Config parameterizes the core table.
 type Config = idramhit.Config
 

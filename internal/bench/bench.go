@@ -29,6 +29,10 @@ type Config struct {
 	// MissRatio is the fraction of lookups redirected to structurally
 	// absent keys in experiments that honor it (tags-ab's mixed phase).
 	MissRatio float64
+	// Combining configures in-window request combining on the real tables
+	// (zero value = on, the package default). The combine-ab experiment
+	// ignores it — it runs both sides of the A/B by construction.
+	Combining table.Combining
 }
 
 // ops returns the measured-op budget. Quick mode is sized so the whole

@@ -65,21 +65,26 @@ func (p *Pool) alloc(key uint64) *node {
 // Count adds one occurrence of key, inserting a node if absent. The insert
 // path CASes the bucket head; the update path is a single atomic add on the
 // node's counter.
-func (p *Pool) Count(key uint64) {
+func (p *Pool) Count(key uint64) { p.CountN(key, 1) }
+
+// CountN adds cnt occurrences of key in one traversal — the sink for
+// callers that coalesce duplicate keys upstream (a folded run of k-mers
+// pays one bucket walk and one atomic add instead of cnt of each).
+func (p *Pool) CountN(key, cnt uint64) {
 	t := p.t
 	b := &t.buckets[hashfn.Fastrange(hashfn.City64(key), t.nb)]
 	for {
 		head := b.Load()
 		for n := head; n != nil; n = n.next {
 			if n.key == key {
-				n.count.Add(1)
+				n.count.Add(cnt)
 				return
 			}
 		}
 		// Not found: push a new node. A racing push of the same key makes
 		// us re-scan (the fresh head may now contain it).
 		n := p.alloc(key)
-		n.count.Store(1)
+		n.count.Store(cnt)
 		n.next = head
 		if b.CompareAndSwap(head, n) {
 			return

@@ -61,6 +61,15 @@ type Config struct {
 	// The filter is line-granular and accelerates only KernelSWAR; a
 	// KernelScalar table is forced to FilterNone.
 	ProbeFilter table.ProbeFilter
+	// Combining selects whether Submit merges a request whose key already
+	// has a pending request in the handle's prefetch queue instead of
+	// enqueueing it. The zero value (table.CombineOn) coalesces duplicate
+	// upserts, piggybacks duplicate Gets on one probe, and forwards
+	// Get-after-Put/Upsert from the in-flight value; table.CombineOff keeps
+	// the one-request-one-probe pipeline as the A/B baseline. Combining is
+	// kernel- and filter-independent: the merge decision reads only the
+	// handle's own ring, never the table.
+	Combining table.Combining
 }
 
 // Table is the shared state of a DRAMHiT hash table. Create per-goroutine
@@ -68,15 +77,16 @@ type Config struct {
 // slot accesses are safe for concurrent use. Values equal to
 // slotarr.InFlightValue are reserved.
 type Table struct {
-	arr    *slotarr.Array
-	side   slotarr.SidePair
-	hash   func(uint64) uint64
-	size   uint64
-	window int
-	kernel table.ProbeKernel
-	filter table.ProbeFilter
-	used   atomic.Int64
-	live   atomic.Int64
+	arr     *slotarr.Array
+	side    slotarr.SidePair
+	hash    func(uint64) uint64
+	size    uint64
+	window  int
+	kernel  table.ProbeKernel
+	filter  table.ProbeFilter
+	combine table.Combining
+	used    atomic.Int64
+	live    atomic.Int64
 }
 
 // New creates a table from cfg.
@@ -107,12 +117,13 @@ func New(cfg Config) *Table {
 		arr = slotarr.NewTagged(cfg.Slots)
 	}
 	return &Table{
-		arr:    arr,
-		hash:   h,
-		size:   cfg.Slots,
-		window: w,
-		kernel: cfg.ProbeKernel,
-		filter: f,
+		arr:     arr,
+		hash:    h,
+		size:    cfg.Slots,
+		window:  w,
+		kernel:  cfg.ProbeKernel,
+		filter:  f,
+		combine: cfg.Combining,
 	}
 }
 
@@ -122,6 +133,9 @@ func (t *Table) Kernel() table.ProbeKernel { return t.kernel }
 // Filter returns the effective probe filter (FilterNone on scalar-kernel
 // tables regardless of the configured value).
 func (t *Table) Filter() table.ProbeFilter { return t.filter }
+
+// Combining returns the configured in-window combining setting.
+func (t *Table) Combining() table.Combining { return t.combine }
 
 // Len returns the number of live entries.
 func (t *Table) Len() int { return int(t.live.Load()) + t.side.Count() }
@@ -135,13 +149,20 @@ func (t *Table) Fill() float64 { return float64(t.used.Load()) / float64(t.size)
 // Window returns the configured prefetch window.
 func (t *Table) Window() int { return t.window }
 
-// pending is one in-flight request on a handle's prefetch queue.
+// pending is one in-flight request on a handle's prefetch queue. When
+// combining is on, a pending may be a combine leader: chain links the
+// piggybacked/forwarded Gets that share its probe, and an Upsert leader's
+// req.Value carries the folded sum of every absorbed increment.
 type pending struct {
 	req     table.Request
 	idx     uint64 // next slot to inspect
 	probes  uint64 // slots inspected so far (full-table bound)
 	startNS int64  // submission time, set only when latency tracking is on
+	rval    uint64 // resolved value of a parked leader (state != stateProbing)
+	chain   int32  // 1+index into Handle.merged of the newest combined Get; 0 = none
+	ngets   int32  // combined Gets on chain (bounds tryCombine's absorption)
 	tag     uint8  // key's tag fingerprint (table.TagOf of the full hash)
+	state   uint8  // stateProbing, or the parked resolution (chain mid-emission)
 }
 
 // Stats accumulates per-handle observability counters.
@@ -174,19 +195,37 @@ type Stats struct {
 	// the filter's false positives (a colliding fingerprint or a
 	// must-check zero tag on a lane that resolved nothing).
 	TagFalse uint64
+	// CombinedUpserts counts Upserts folded into a pending same-key Upsert
+	// at Submit time. Each is also counted in Upserts — combining changes
+	// how an operation executes, never whether it completed.
+	CombinedUpserts uint64
+	// PiggybackedGets counts Gets that shared a pending same-key Get's
+	// probe, each receiving its own response from the one result.
+	PiggybackedGets uint64
+	// ForwardedGets counts Gets answered by store-to-load forwarding from a
+	// pending same-key Put/Upsert's in-flight value.
+	ForwardedGets uint64
+	// CASAttempts counts atomic updates issued against slot words (key
+	// claim/delete CASes plus value stores and adds). KeyLines+CASAttempts
+	// per op is the combine A/B's memory-transaction metric: a combined
+	// request adds zero to either term.
+	CASAttempts uint64
 }
 
 // Ops returns the total completed operation count.
 func (s *Stats) Ops() uint64 { return s.Gets + s.Puts + s.Upserts + s.Deletes }
 
 // Core returns the counters every probe configuration must agree on: the
-// filter-observability fields (KeyLines, TagSkips, TagHits, TagFalse) are
-// zeroed because they intentionally differ across kernels and filters,
-// while completions, hits, failures, reprobes and line touches are
-// execution-model-invariant. The equivalence property tests compare Cores.
+// filter-observability fields (KeyLines, TagSkips, TagHits, TagFalse) and
+// CASAttempts are zeroed because they intentionally differ across kernels
+// and filters, while completions, hits, failures, reprobes, line touches
+// and the combine counters are execution-model-invariant (a merge decision
+// reads only the handle's ring, which evolves identically under every
+// kernel and filter). The equivalence property tests compare Cores.
 func (s Stats) Core() Stats {
 	c := s
 	c.KeyLines, c.TagSkips, c.TagHits, c.TagFalse = 0, 0, 0, 0
+	c.CASAttempts = 0
 	return c
 }
 
@@ -194,14 +233,36 @@ func (s Stats) Core() Stats {
 // must not be shared between goroutines; create one per worker. Any number
 // of handles may operate on the same Table concurrently.
 type Handle struct {
-	t      *Table
-	q      []pending // ring buffer, len power of two
-	mask   int
-	head   int // enqueue position
-	tail   int // dequeue position (oldest)
-	window int
-	kernel table.ProbeKernel
-	filter table.ProbeFilter
+	t       *Table
+	q       []pending // ring buffer, len power of two
+	mask    int
+	head    int // enqueue position
+	tail    int // dequeue position (oldest)
+	window  int
+	kernel  table.ProbeKernel
+	filter  table.ProbeFilter
+	combine bool
+
+	// ptags mirrors each ring slot's tag fingerprint, one byte per slot
+	// packed eight to a word, so the combine scan checks the whole window
+	// with a handful of SWAR byte-matches instead of touching any pending
+	// struct. Bytes are written at enqueue and never cleared at dequeue;
+	// liveness is decided positionally (see combineScan). Nil when
+	// combining is off.
+	ptags []uint64
+	// tagcnt counts live pending requests per tag byte. It gates the combine
+	// scan down to one L1 load on the (overwhelmingly common, under low skew)
+	// submissions whose tag matches nothing in flight: enqueue increments,
+	// position retirement decrements (reading the tag back from ptags), and
+	// Submit scans only when tagcnt[tag] != 0. Entry 0 absorbs the
+	// decrements of parked slots, whose bytes were cleared (and counts
+	// released) at park time; published tags are 1..255, so it is never read.
+	tagcnt [256]int32
+	// merged is the arena of combined Gets riding pending leaders; free
+	// entries are linked through next with the same 1+index encoding the
+	// chains use, headed by mfree. Steady state allocates nothing.
+	merged []mergedGet
+	mfree  int32
 
 	stats Stats
 	sink  uint64 // accumulates prefetch loads so they are not dead code
@@ -217,14 +278,19 @@ func (t *Table) NewHandle() *Handle {
 	for capacity < t.window+1 {
 		capacity <<= 1
 	}
-	return &Handle{
-		t:      t,
-		q:      make([]pending, capacity),
-		mask:   capacity - 1,
-		window: t.window,
-		kernel: t.kernel,
-		filter: t.filter,
+	h := &Handle{
+		t:       t,
+		q:       make([]pending, capacity),
+		mask:    capacity - 1,
+		window:  t.window,
+		kernel:  t.kernel,
+		filter:  t.filter,
+		combine: t.combine == table.CombineOn,
 	}
+	if h.combine {
+		h.ptags = make([]uint64, (capacity+7)/8)
+	}
+	return h
 }
 
 // SetLatencyHook installs a completion callback; pass nil to disable.
@@ -240,13 +306,32 @@ func (h *Handle) Stats() Stats { return h.stats }
 func (h *Handle) Pending() int { return h.head - h.tail }
 
 func (h *Handle) enqueue(p pending) {
-	h.q[h.head&h.mask] = p
+	s := h.head & h.mask
+	h.q[s] = p
+	if h.combine {
+		shift := uint(s&7) * 8
+		h.ptags[s>>3] = h.ptags[s>>3]&^(0xff<<shift) | uint64(p.tag)<<shift
+		h.tagcnt[p.tag]++
+	}
 	h.head++
+}
+
+// pop retires the queue-head position. With combining on it releases the
+// slot's tag byte from the per-tag occupancy counts; a reprobe's re-enqueue
+// re-increments the same tag, and a parked leader released its count (and
+// cleared its byte) when it parked, so the byte read here is 0 and the
+// decrement lands on the never-consulted entry 0.
+func (h *Handle) pop() {
+	if h.combine {
+		s := h.tail & h.mask
+		h.tagcnt[uint8(h.ptags[s>>3]>>(uint(s&7)*8))]--
+	}
+	h.tail++
 }
 
 func (h *Handle) dequeue() pending {
 	p := h.q[h.tail&h.mask]
-	h.tail++
+	h.pop()
 	return p
 }
 
@@ -265,8 +350,37 @@ func (h *Handle) dequeue() pending {
 // submitted after a Put of the same key may therefore miss it. When
 // read-your-writes is needed, Flush between the write and the read; this is
 // the latency-for-throughput trade the paper makes explicit.
+//
+// With combining on (the default), a request whose key already has a
+// pending request in this handle's queue may be merged into it instead of
+// enqueueing: it still completes (and a Get still gets its own response
+// carrying its own ID), but shares the pending request's probe instead of
+// issuing its own prefetch, line loads and atomics. A merged Get is ordered
+// after the pending write it forwarded from — a strictly stronger ordering
+// than the uncombined pipeline gives same-key pairs.
 func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
 	for nreq < len(reqs) {
+		req := reqs[nreq]
+		var hv uint64
+		hashed := false
+		if h.combine && h.head != h.tail && req.Op != table.Delete &&
+			req.Key != table.EmptyKey && req.Key != table.TombstoneKey {
+			// Absorbing never grows the queue, so a merge skips the drain
+			// loop entirely: a same-key burst completes without a single
+			// additional memory transaction.
+			hv = h.t.hash(req.Key)
+			hashed = true
+			// tagcnt gates the ring scan down to one L1 load when nothing in
+			// flight shares the tag byte — the overwhelmingly common case
+			// under low skew, which keeps the uniform workload at the
+			// uncombined pipeline's speed.
+			if tag := table.TagOf(hv); h.tagcnt[tag] != 0 {
+				if pos := h.combineScan(req.Key, tag); pos >= 0 && h.tryCombine(req, pos) {
+					nreq++
+					continue
+				}
+			}
+		}
 		for h.Pending() >= h.window {
 			wrote, blocked := h.processOldest(resps, &nresp)
 			if blocked {
@@ -274,11 +388,13 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 			}
 			_ = wrote
 		}
-		p := pending{req: reqs[nreq]}
+		p := pending{req: req}
 		if h.onComplete != nil {
 			p.startNS = time.Now().UnixNano()
 		}
-		hv := h.t.hash(p.req.Key)
+		if !hashed {
+			hv = h.t.hash(p.req.Key)
+		}
 		p.idx = hashfn.Fastrange(hv, h.t.size)
 		p.tag = table.TagOf(hv)
 		if h.filter == table.FilterTags {
@@ -325,13 +441,25 @@ func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
 func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, blocked bool) {
 	p := h.q[h.tail&h.mask]
 
+	// A parked leader already resolved; only its combined-Get chain is
+	// still waiting for response space. Resume emitting where retire
+	// stopped.
+	if p.state != stateProbing {
+		if h.emitChain(&p, p.rval, p.state == stateHit, resps, nresp) {
+			h.pop()
+			return true, false
+		}
+		h.q[h.tail&h.mask] = p // chain shrank; stay parked at the head
+		return false, true
+	}
+
 	// Reserved keys bypass the array entirely (side slots are always
 	// cache-hot); resolve immediately.
 	if s := h.t.side.For(p.req.Key); s != nil {
 		if p.req.Op == table.Get && *nresp >= len(resps) {
 			return false, true
 		}
-		h.tail++
+		h.pop()
 		h.completeSide(s, p, resps, nresp)
 		return true, false
 	}
@@ -343,9 +471,9 @@ func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, block
 	case table.Get:
 		return h.drainGet(p, resps, nresp)
 	case table.Put:
-		return h.drainUpdate(p, false)
+		return h.drainUpdate(p, false, resps, nresp)
 	case table.Upsert:
-		return h.drainUpdate(p, true)
+		return h.drainUpdate(p, true, resps, nresp)
 	default:
 		return h.drainDelete(p)
 	}
@@ -381,11 +509,9 @@ func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (w
 				if p.req.Op == table.Get && *nresp >= len(resps) {
 					return false, true
 				}
-				h.tail++
-				h.completeFailed(p, resps, nresp)
-				return true, false
+				return h.completeFailed(p, resps, nresp)
 			}
-			h.tail++
+			h.pop()
 			h.sink += t.arr.Prefetch(p.idx)
 			h.stats.Reprobes++
 			h.stats.Lines++
@@ -401,21 +527,17 @@ func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (w
 				if *nresp >= len(resps) {
 					return false, true
 				}
-				h.tail++
-				v := t.arr.WaitValue(p.idx)
-				resps[*nresp] = table.Response{ID: p.req.ID, Value: v, Found: true}
-				*nresp++
-				h.finish(p, table.Get, true)
+				return h.retire(p, table.Get, t.arr.WaitValue(p.idx), true, false, resps, nresp)
 			case table.Put:
-				h.tail++
+				h.stats.CASAttempts++
 				t.arr.StoreValue(p.idx, p.req.Value)
-				h.finish(p, table.Put, true)
+				return h.retire(p, table.Put, p.req.Value, true, false, resps, nresp)
 			case table.Upsert:
-				h.tail++
-				t.arr.AddValue(p.idx, p.req.Value)
-				h.finish(p, table.Upsert, true)
+				h.stats.CASAttempts++
+				return h.retire(p, table.Upsert, t.arr.AddValue(p.idx, p.req.Value), true, false, resps, nresp)
 			case table.Delete:
-				h.tail++
+				h.pop()
+				h.stats.CASAttempts++
 				if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
 					t.live.Add(-1)
 					h.finish(p, table.Delete, true)
@@ -427,26 +549,24 @@ func (h *Handle) processScalar(p pending, resps []table.Response, nresp *int) (w
 
 		case k == table.EmptyKey:
 			switch p.req.Op {
-			case table.Get, table.Delete:
-				if p.req.Op == table.Get && *nresp >= len(resps) {
+			case table.Get:
+				if *nresp >= len(resps) {
 					return false, true
 				}
-				h.tail++
-				if p.req.Op == table.Get {
-					resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
-					*nresp++
-				}
-				h.finish(p, p.req.Op, false)
+				return h.retire(p, table.Get, 0, false, false, resps, nresp)
+			case table.Delete:
+				h.pop()
+				h.finish(p, table.Delete, false)
 				return true, false
 			case table.Put, table.Upsert:
+				h.stats.CASAttempts++
 				if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
-					h.tail++
 					t.arr.PublishTag(p.idx, p.tag)
+					h.stats.CASAttempts++
 					t.arr.StoreValue(p.idx, p.req.Value)
 					t.used.Add(1)
 					t.live.Add(1)
-					h.finish(p, p.req.Op, true)
-					return true, false
+					return h.retire(p, p.req.Op, p.req.Value, true, false, resps, nresp)
 				}
 				// Claim race lost: the slot now holds some key; re-inspect
 				// it without advancing.
@@ -486,18 +606,19 @@ func (h *Handle) completeSide(s *slotarr.SideSlot, p pending, resps []table.Resp
 	}
 }
 
-// completeFailed resolves a request whose probe exhausted the table.
-func (h *Handle) completeFailed(p pending, resps []table.Response, nresp *int) {
+// completeFailed resolves a request whose probe exhausted the table. The
+// caller must have verified response space for a Get leader and must NOT
+// have advanced h.tail (retire does, or parks the leader's chain).
+func (h *Handle) completeFailed(p pending, resps []table.Response, nresp *int) (wrote, blocked bool) {
 	switch p.req.Op {
 	case table.Get:
-		resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
-		*nresp++
-		h.finish(p, table.Get, false)
+		return h.retire(p, table.Get, 0, false, false, resps, nresp)
 	case table.Put, table.Upsert:
-		h.stats.Failed++
-		h.finish(p, p.req.Op, false)
-	case table.Delete:
+		return h.retire(p, p.req.Op, 0, false, true, resps, nresp)
+	default:
+		h.pop()
 		h.finish(p, table.Delete, false)
+		return true, false
 	}
 }
 

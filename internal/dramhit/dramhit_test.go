@@ -425,4 +425,44 @@ func TestStatsAccounting(t *testing.T) {
 	if st.Lines < st.Ops() {
 		t.Fatalf("lines %d < ops %d", st.Lines, st.Ops())
 	}
+
+	// Combined requests count exactly once each: a duplicate-heavy segment
+	// must keep Gets+Puts+Upserts+Deletes equal to the requests submitted,
+	// with the combine counters carving out a subset, not adding to it.
+	reqs := make([]table.Request, 0, 40)
+	for i := 0; i < 10; i++ {
+		k := keys[i%2]
+		reqs = append(reqs,
+			table.Request{Op: table.Upsert, Key: k, Value: 1},
+			table.Request{Op: table.Get, Key: k, ID: uint64(i)},
+			table.Request{Op: table.Put, Key: k, Value: 9},
+			table.Request{Op: table.Delete, Key: k},
+		)
+	}
+	resps := make([]table.Response, len(reqs))
+	rem := reqs
+	nr := 0
+	for len(rem) > 0 {
+		n, w := h.Submit(rem, resps[nr:])
+		rem = rem[n:]
+		nr += w
+	}
+	for {
+		w, done := h.Flush(resps[nr:])
+		nr += w
+		if done {
+			break
+		}
+	}
+	st2 := h.Stats()
+	if got := st2.Ops() - st.Ops(); got != uint64(len(reqs)) {
+		t.Fatalf("op counters grew by %d, want %d (each combined request once)", got, len(reqs))
+	}
+	combined := st2.CombinedUpserts + st2.PiggybackedGets + st2.ForwardedGets
+	if combined > st2.Ops() {
+		t.Fatalf("combine counters %d exceed ops %d", combined, st2.Ops())
+	}
+	if nr != 10 {
+		t.Fatalf("%d Get responses, want 10", nr)
+	}
 }

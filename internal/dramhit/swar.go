@@ -58,20 +58,12 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 			if *nresp >= len(resps) {
 				return false, true
 			}
-			h.tail++
-			resps[*nresp] = table.Response{ID: p.req.ID, Value: t.arr.WaitValue(p.idx), Found: true}
-			*nresp++
-			h.finish(p, table.Get, true)
-			return true, false
+			return h.retire(p, table.Get, t.arr.WaitValue(p.idx), true, false, resps, nresp)
 		case table.EmptyKey:
 			if *nresp >= len(resps) {
 				return false, true
 			}
-			h.tail++
-			resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
-			*nresp++
-			h.finish(p, table.Get, false)
-			return true, false
+			return h.retire(p, table.Get, 0, false, false, resps, nresp)
 		}
 	}
 
@@ -90,9 +82,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 					if *nresp >= len(resps) {
 						return false, true
 					}
-					h.tail++
-					h.completeFailed(p, resps, nresp)
-					return true, false
+					return h.completeFailed(p, resps, nresp)
 				}
 				p.probes += valid - (p.idx - base)
 				next := base + table.SlotsPerCacheLine
@@ -101,7 +91,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 				}
 				p.idx = next
 				if slotarr.LineOf(next) != slotarr.LineOf(base) {
-					h.tail++
+					h.pop()
 					h.prefetchNext(next, p.tag)
 					h.stats.Reprobes++
 					h.stats.Lines++
@@ -122,12 +112,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 			if tagged {
 				h.stats.TagHits++
 			}
-			h.tail++
-			v := t.arr.WaitValue(base + uint64(lane))
-			resps[*nresp] = table.Response{ID: p.req.ID, Value: v, Found: true}
-			*nresp++
-			h.finish(p, table.Get, true)
-			return true, false
+			return h.retire(p, table.Get, t.arr.WaitValue(base+uint64(lane)), true, false, resps, nresp)
 		case simd.HitEmpty:
 			if *nresp >= len(resps) {
 				return false, true
@@ -135,11 +120,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 			if tagged {
 				h.stats.TagHits++
 			}
-			h.tail++
-			resps[*nresp] = table.Response{ID: p.req.ID, Found: false}
-			*nresp++
-			h.finish(p, table.Get, false)
-			return true, false
+			return h.retire(p, table.Get, 0, false, false, resps, nresp)
 		}
 		if tagged {
 			h.stats.TagFalse++
@@ -149,9 +130,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 			if *nresp >= len(resps) {
 				return false, true
 			}
-			h.tail++
-			h.completeFailed(p, resps, nresp)
-			return true, false
+			return h.completeFailed(p, resps, nresp)
 		}
 		// Missed line: advance past it. Lanes before the entry offset were
 		// examined on an earlier pass (or never); only cidx..valid-1 count
@@ -167,7 +146,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 		p.idx = next
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
-			h.tail++
+			h.pop()
 			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++
@@ -188,7 +167,7 @@ func (h *Handle) drainGet(p pending, resps []table.Response, nresp *int) (wrote,
 // transitions (empty → key → tombstone, never reused) guarantee the rerun
 // observes the interfering claim and either matches it (same key) or probes
 // past it.
-func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
+func (h *Handle) drainUpdate(p pending, add bool, resps []table.Response, nresp *int) (wrote, blocked bool) {
 	t := h.t
 	op := table.Put
 	if add {
@@ -199,23 +178,23 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 		h.stats.KeyLines++
 		switch k := t.arr.Key(p.idx); k {
 		case p.req.Key:
-			h.tail++
+			h.stats.CASAttempts++
+			v := p.req.Value
 			if add {
-				t.arr.AddValue(p.idx, p.req.Value)
+				v = t.arr.AddValue(p.idx, p.req.Value)
 			} else {
 				t.arr.StoreValue(p.idx, p.req.Value)
 			}
-			h.finish(p, op, true)
-			return true, false
+			return h.retire(p, op, v, true, false, resps, nresp)
 		case table.EmptyKey:
+			h.stats.CASAttempts++
 			if t.arr.CASKey(p.idx, table.EmptyKey, p.req.Key) {
-				h.tail++
 				t.arr.PublishTag(p.idx, p.tag)
+				h.stats.CASAttempts++
 				t.arr.StoreValue(p.idx, p.req.Value)
 				t.used.Add(1)
 				t.live.Add(1)
-				h.finish(p, op, true)
-				return true, false
+				return h.retire(p, op, p.req.Value, true, false, resps, nresp)
 			}
 			// Claim race lost: fall into the kernel loop, which re-snapshots.
 		}
@@ -233,10 +212,7 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 					valid = table.SlotsPerCacheLine
 				}
 				if p.probes+valid-(p.idx-base) >= t.size {
-					h.tail++
-					h.stats.Failed++
-					h.finish(p, op, false)
-					return true, false
+					return h.retire(p, op, 0, false, true, resps, nresp)
 				}
 				p.probes += valid - (p.idx - base)
 				next := base + table.SlotsPerCacheLine
@@ -245,7 +221,7 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 				}
 				p.idx = next
 				if slotarr.LineOf(next) != slotarr.LineOf(base) {
-					h.tail++
+					h.pop()
 					h.prefetchNext(next, p.tag)
 					h.stats.Reprobes++
 					h.stats.Lines++
@@ -263,32 +239,32 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 			if tagged {
 				h.stats.TagHits++
 			}
-			h.tail++
 			slot := base + uint64(lane)
+			h.stats.CASAttempts++
+			v := p.req.Value
 			if add {
-				t.arr.AddValue(slot, p.req.Value)
+				v = t.arr.AddValue(slot, p.req.Value)
 			} else {
 				t.arr.StoreValue(slot, p.req.Value)
 			}
-			h.finish(p, op, true)
-			return true, false
+			return h.retire(p, op, v, true, false, resps, nresp)
 		case simd.HitEmpty:
 			slot := base + uint64(lane)
+			h.stats.CASAttempts++
 			if t.arr.CASKey(slot, table.EmptyKey, p.req.Key) {
 				if tagged {
 					h.stats.TagHits++
 				}
-				h.tail++
 				// Publish the fingerprint before the value: the sooner the
 				// tag leaves 0, the sooner concurrent probes can prune this
 				// lane. A reader that still sees 0 just takes the must-check
 				// path — correctness never waits on this store.
 				t.arr.PublishTag(slot, p.tag)
+				h.stats.CASAttempts++
 				t.arr.StoreValue(slot, p.req.Value)
 				t.used.Add(1)
 				t.live.Add(1)
-				h.finish(p, op, true)
-				return true, false
+				return h.retire(p, op, p.req.Value, true, false, resps, nresp)
 			}
 			// Claim race lost: the lane now holds some key. Re-snapshot and
 			// rerun the kernel over the same line (the loop top re-gates on
@@ -300,10 +276,7 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 		}
 		if p.probes+valid-(p.idx-base) >= t.size {
 			// Full-table probe: the table is full.
-			h.tail++
-			h.stats.Failed++
-			h.finish(p, op, false)
-			return true, false
+			return h.retire(p, op, 0, false, true, resps, nresp)
 		}
 		// Missed line: advance past it. Lanes before the entry offset were
 		// examined on an earlier pass (or never); only cidx..valid-1 count
@@ -319,7 +292,7 @@ func (h *Handle) drainUpdate(p pending, add bool) (wrote, blocked bool) {
 		p.idx = next
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
-			h.tail++
+			h.pop()
 			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++
@@ -345,7 +318,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 		h.stats.KeyLines++
 		switch k := t.arr.Key(p.idx); k {
 		case p.req.Key:
-			h.tail++
+			h.pop()
 			if t.arr.CASKey(p.idx, p.req.Key, table.TombstoneKey) {
 				t.live.Add(-1)
 				h.finish(p, table.Delete, true)
@@ -354,7 +327,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 			}
 			return true, false
 		case table.EmptyKey:
-			h.tail++
+			h.pop()
 			h.finish(p, table.Delete, false)
 			return true, false
 		}
@@ -375,7 +348,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 					valid = table.SlotsPerCacheLine
 				}
 				if p.probes+valid-(p.idx-base) >= t.size {
-					h.tail++
+					h.pop()
 					h.finish(p, table.Delete, false)
 					return true, false
 				}
@@ -386,7 +359,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 				}
 				p.idx = next
 				if slotarr.LineOf(next) != slotarr.LineOf(base) {
-					h.tail++
+					h.pop()
 					h.prefetchNext(next, p.tag)
 					h.stats.Reprobes++
 					h.stats.Lines++
@@ -404,7 +377,8 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 			if tagged {
 				h.stats.TagHits++
 			}
-			h.tail++
+			h.pop()
+			h.stats.CASAttempts++
 			if t.arr.CASKey(base+uint64(lane), p.req.Key, table.TombstoneKey) {
 				t.live.Add(-1)
 				h.finish(p, table.Delete, true)
@@ -416,7 +390,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 			if tagged {
 				h.stats.TagHits++
 			}
-			h.tail++
+			h.pop()
 			h.finish(p, table.Delete, false)
 			return true, false
 		}
@@ -424,7 +398,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 			h.stats.TagFalse++
 		}
 		if p.probes+valid-(p.idx-base) >= t.size {
-			h.tail++
+			h.pop()
 			h.finish(p, table.Delete, false)
 			return true, false
 		}
@@ -442,7 +416,7 @@ func (h *Handle) drainDelete(p pending) (wrote, blocked bool) {
 		p.idx = next
 		if slotarr.LineOf(next) != slotarr.LineOf(base) {
 			// Crossing into a new line: re-enqueue behind a fresh prefetch.
-			h.tail++
+			h.pop()
 			h.prefetchNext(next, p.tag)
 			h.stats.Reprobes++
 			h.stats.Lines++

@@ -60,6 +60,12 @@ type Config struct {
 	// UseSIMD is the legacy switch for the line-wide probe; it is implied
 	// by the default and overrides ProbeKernel when set.
 	UseSIMD bool
+	// Combining selects whether handles merge same-key requests in flight:
+	// WriteHandles fold duplicate-key Upserts into one delegated message,
+	// ReadHandles piggyback duplicate-key Gets on one pipelined probe. The
+	// zero value (table.CombineOn) is the default; table.CombineOff is the
+	// A/B baseline.
+	Combining table.Combining
 }
 
 // DefaultPrefetchWindow mirrors dramhit.DefaultPrefetchWindow.
@@ -113,6 +119,7 @@ type Table struct {
 	fabric    *delegation.Fabric
 	kernel    table.ProbeKernel
 	filter    table.ProbeFilter
+	combine   table.Combining
 
 	started atomic.Bool
 	wg      sync.WaitGroup
@@ -166,6 +173,7 @@ func New(cfg Config) *Table {
 		hash:      cfg.Hash,
 		kernel:    kernel,
 		filter:    filter,
+		combine:   cfg.Combining,
 		fabric: delegation.New(delegation.Config{
 			Producers:     cfg.Producers,
 			Consumers:     cfg.Consumers,
@@ -204,6 +212,9 @@ func (t *Table) locateTag(key uint64) (part, local uint64, tag uint8) {
 // Filter returns the effective probe filter (FilterNone on scalar-kernel
 // tables regardless of the configured value).
 func (t *Table) Filter() table.ProbeFilter { return t.filter }
+
+// Combining reports whether handles merge in-flight same-key requests.
+func (t *Table) Combining() table.Combining { return t.combine }
 
 // WriteFilterStats aggregates the owner-local write-path filter counters
 // across all partitions. Exact only when the delegation threads are

@@ -9,11 +9,21 @@ import (
 )
 
 // WriteHandle is a per-goroutine writer endpoint. Updates are delegated to
-// partition owners and return no result. Obtain with NewWriteHandle and
-// Close when the goroutine is done writing.
+// partition owners and return no result. With combining on (the default),
+// duplicate-key Upserts fold into a small held window before delegation;
+// held deltas drain on Flush, Barrier, Close, window overflow, and
+// same-key Put/Delete, so owners still see one linearizable per-key
+// stream. Obtain with NewWriteHandle and Close when the goroutine is done
+// writing.
 type WriteHandle struct {
-	t *Table
-	p *delegation.Producer
+	t        *Table
+	p        *delegation.Producer
+	coalesce bool
+	cn       int
+	ckeys    [coalesceWindow]uint64
+	cvals    [coalesceWindow]uint64
+	// Combined counts Upserts folded into a held entry instead of sent.
+	Combined uint64
 }
 
 // NewWriteHandle allocates the next producer slot. It panics if more
@@ -23,7 +33,7 @@ func (t *Table) NewWriteHandle() *WriteHandle {
 	if id >= t.cfg.Producers {
 		panic("dramhitp: more WriteHandles requested than Config.Producers")
 	}
-	return &WriteHandle{t: t, p: t.fabric.Producer(id)}
+	return &WriteHandle{t: t, p: t.fabric.Producer(id), coalesce: t.combine == table.CombineOn}
 }
 
 // send routes an update to the owner of the key's partition, checking the
@@ -46,49 +56,100 @@ func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
 }
 
 // Put requests an insert/overwrite. It returns false if the destination
-// partition is full (the update is dropped, fire-and-forget semantics).
+// partition is full (the update is dropped, fire-and-forget semantics). A
+// held coalesced Upsert of the same key is released first so the owner
+// applies the two in submission order.
 func (w *WriteHandle) Put(key, value uint64) bool {
+	if w.cn > 0 {
+		w.flushKey(key)
+	}
 	return w.send(table.Put, key, value)
 }
 
-// Upsert requests an insert-or-add of delta.
+// Upsert requests an insert-or-add of delta. With combining on, duplicate
+// keys fold locally (see holdUpsert) and a window of distinct keys rides
+// one delegation flush.
 func (w *WriteHandle) Upsert(key, delta uint64) bool {
-	return w.send(table.Upsert, key, delta)
+	if !w.coalesce || w.t.side.For(key) != nil {
+		return w.send(table.Upsert, key, delta)
+	}
+	return w.holdUpsert(key, delta)
 }
 
-// Delete requests a tombstone.
+// Delete requests a tombstone, releasing any held same-key Upsert first so
+// the owner applies the two in submission order.
 func (w *WriteHandle) Delete(key uint64) {
+	if w.cn > 0 {
+		w.flushKey(key)
+	}
 	w.send(table.Delete, key, 0)
 }
 
-// Flush publishes partially filled delegation sections. Call at batch
-// boundaries so trailing updates are not stranded.
-func (w *WriteHandle) Flush() { w.p.Flush() }
+// Flush publishes partially filled delegation sections, including any held
+// coalesced Upserts. Call at batch boundaries so trailing updates are not
+// stranded.
+func (w *WriteHandle) Flush() {
+	if w.cn > 0 {
+		w.flushHeld()
+	}
+	w.p.Flush()
+}
 
 // Barrier blocks until every update this handle sent has been executed by
-// the partition owners (read-your-writes point).
-func (w *WriteHandle) Barrier() { w.p.Barrier() }
+// the partition owners (read-your-writes point). Held coalesced Upserts
+// are released first so they are covered by the barrier.
+func (w *WriteHandle) Barrier() {
+	if w.cn > 0 {
+		w.flushHeld()
+	}
+	w.p.Barrier()
+}
 
 // Close flushes and releases the producer slot. Must be called exactly once
 // per handle; the table cannot shut down until all issued handles are
 // closed.
-func (w *WriteHandle) Close() { w.p.Close() }
+func (w *WriteHandle) Close() {
+	if w.cn > 0 {
+		w.flushHeld()
+	}
+	w.p.Close()
+}
 
 // ReadHandle is a per-goroutine reader with the same prefetch-window
 // pipeline as base DRAMHiT, probing partitions directly (reads are not
 // delegated; any thread may read any partition).
 type ReadHandle struct {
-	t      *Table
-	q      []rpending
-	mask   int
-	head   int
-	tail   int
-	window int
-	sink   uint64
-	kernel table.ProbeKernel
-	filter table.ProbeFilter
+	t       *Table
+	q       []rpending
+	mask    int
+	head    int
+	tail    int
+	window  int
+	sink    uint64
+	kernel  table.ProbeKernel
+	filter  table.ProbeFilter
+	combine bool
+	// rtags mirrors the tag byte of each live ring slot (one byte per
+	// slot, eight slots per word) so Submit can spot an in-flight lookup
+	// of the same key without touching the pending structs. Nil when
+	// combining is off.
+	rtags []uint64
+	// tagcnt counts live pending lookups per tag byte: push increments,
+	// position retirement decrements (reading the byte back from rtags), and
+	// Submit runs combineScan only when tagcnt[tag] != 0 — one L1 load on
+	// the common no-duplicate submission. Entry 0 absorbs the pops of parked
+	// slots (byte cleared, count released at park time) and is never read:
+	// published tags are 1..255.
+	tagcnt [256]int32
+	// merged is the piggybacked-Get node arena; mfree heads its free list
+	// (1+index encoding, 0 = empty).
+	merged []rmerged
+	mfree  int32
 	// Gets counts completed lookups; Hits those that found their key.
 	Gets, Hits uint64
+	// Piggybacked counts Gets answered by an in-flight same-key probe
+	// instead of issuing their own.
+	Piggybacked uint64
 	// Filter accumulates this reader's tag-filter events (handle-local so
 	// concurrent readers never share counter cache lines).
 	Filter FilterStats
@@ -100,7 +161,11 @@ type rpending struct {
 	part   uint64
 	idx    uint64 // partition-local
 	probes uint64
+	rval   uint64 // resolved value of a parked leader (state != stateProbing)
+	chain  int32  // 1+index into merged of the newest piggybacked Get; 0 = none
+	ngets  int32
 	tag    uint8 // key's tag fingerprint (table.TagOf of the full hash)
+	state  uint8
 }
 
 // NewReadHandle creates a reader pipeline. Under the default
@@ -111,14 +176,19 @@ func (t *Table) NewReadHandle() *ReadHandle {
 	for capacity < t.cfg.PrefetchWindow+1 {
 		capacity <<= 1
 	}
-	return &ReadHandle{
-		t:      t,
-		q:      make([]rpending, capacity),
-		mask:   capacity - 1,
-		window: t.cfg.PrefetchWindow,
-		kernel: t.kernel,
-		filter: t.filter,
+	r := &ReadHandle{
+		t:       t,
+		q:       make([]rpending, capacity),
+		mask:    capacity - 1,
+		window:  t.cfg.PrefetchWindow,
+		kernel:  t.kernel,
+		filter:  t.filter,
+		combine: t.combine == table.CombineOn,
 	}
+	if r.combine {
+		r.rtags = make([]uint64, (capacity+7)/8)
+	}
+	return r
 }
 
 // Get is the direct synchronous read path (two loads, no atomics beyond
@@ -133,18 +203,38 @@ func (r *ReadHandle) Get(key uint64) (uint64, bool) {
 }
 
 // Submit pipelines lookup requests; completed responses are appended into
-// resps exactly as in dramhit.Handle.Submit. Returns requests consumed and
-// responses written.
+// resps exactly as in dramhit.Handle.Submit. With combining on, a request
+// whose key already has a pending lookup in the window piggybacks on it
+// (one probe, N responses) instead of enqueueing. Returns requests
+// consumed and responses written.
 func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
 	t := r.t
 	for nreq < len(reqs) {
+		req := reqs[nreq]
+		var part, local uint64
+		var tag uint8
+		hashed := false
+		if r.combine && r.head != r.tail && t.side.For(req.Key) == nil {
+			part, local, tag = t.locateTag(req.Key)
+			hashed = true
+			// tagcnt gates the ring scan down to one L1 load when nothing in
+			// flight shares the tag byte — the overwhelmingly common case
+			// under low skew.
+			if r.tagcnt[tag] != 0 {
+				if pos := r.combineScan(req.Key, tag); pos >= 0 && r.tryCombine(req.ID, pos) {
+					nreq++
+					continue
+				}
+			}
+		}
 		for r.head-r.tail >= r.window {
 			if blocked := r.processOldest(resps, &nresp); blocked {
 				return nreq, nresp
 			}
 		}
-		req := reqs[nreq]
-		part, local, tag := t.locateTag(req.Key)
+		if !hashed {
+			part, local, tag = t.locateTag(req.Key)
+		}
 		p := rpending{key: req.Key, id: req.ID, part: part, idx: local, tag: tag}
 		arr := t.parts[part].arr
 		if r.filter == table.FilterTags {
@@ -157,8 +247,7 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 		} else {
 			r.sink += arr.Prefetch(local)
 		}
-		r.q[r.head&r.mask] = p
-		r.head++
+		r.push(p)
 		nreq++
 	}
 	return nreq, nresp
@@ -175,20 +264,26 @@ func (r *ReadHandle) Flush(resps []table.Response) (nresp int, done bool) {
 }
 
 // processOldest resolves the oldest pending lookup over its current line,
-// reprobing with a fresh prefetch on line crossings.
+// reprobing with a fresh prefetch on line crossings. A parked leader (its
+// probe already resolved, chain emission stalled on response space) is
+// resumed before anything else.
 func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked bool) {
 	p := r.q[r.tail&r.mask]
+	if p.state != stateProbing {
+		if r.emitChain(&p, p.rval, p.state == stateHit, resps, nresp) {
+			r.pop()
+			return false
+		}
+		r.q[r.tail&r.mask] = p
+		return true
+	}
 	t := r.t
 	if s := t.side.For(p.key); s != nil {
 		if *nresp >= len(resps) {
 			return true
 		}
-		r.tail++
 		v, ok := s.Get()
-		resps[*nresp] = table.Response{ID: p.id, Value: v, Found: ok}
-		*nresp++
-		r.complete(ok)
-		return false
+		return r.retire(p, v, ok, resps, nresp)
 	}
 	arr := t.parts[p.part].arr
 	if r.kernel == table.KernelSWAR {
@@ -201,16 +296,11 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 				if *nresp >= len(resps) {
 					return true
 				}
-				r.tail++
-				resps[*nresp] = table.Response{ID: p.id, Found: false}
-				*nresp++
-				r.complete(false)
-				return false
+				return r.retire(p, 0, false, resps, nresp)
 			}
-			r.tail++
+			r.pop()
 			r.sink += arr.Prefetch(p.idx)
-			r.q[r.head&r.mask] = p
-			r.head++
+			r.push(p)
 			return false
 		}
 		switch k := arr.Key(p.idx); k {
@@ -218,20 +308,12 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 			if *nresp >= len(resps) {
 				return true
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
-			*nresp++
-			r.complete(true)
-			return false
+			return r.retire(p, arr.WaitValue(p.idx), true, resps, nresp)
 		case table.EmptyKey:
 			if *nresp >= len(resps) {
 				return true
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Found: false}
-			*nresp++
-			r.complete(false)
-			return false
+			return r.retire(p, 0, false, resps, nresp)
 		default:
 			p.idx++
 			if p.idx == t.partSlots {
@@ -271,20 +353,12 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			if *nresp >= len(resps) {
 				return true
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Value: arr.WaitValue(p.idx), Found: true}
-			*nresp++
-			r.complete(true)
-			return false
+			return r.retire(p, arr.WaitValue(p.idx), true, resps, nresp)
 		case table.EmptyKey:
 			if *nresp >= len(resps) {
 				return true
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Found: false}
-			*nresp++
-			r.complete(false)
-			return false
+			return r.retire(p, 0, false, resps, nresp)
 		}
 	}
 	for {
@@ -301,11 +375,7 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 					if *nresp >= len(resps) {
 						return true
 					}
-					r.tail++
-					resps[*nresp] = table.Response{ID: p.id, Found: false}
-					*nresp++
-					r.complete(false)
-					return false
+					return r.retire(p, 0, false, resps, nresp)
 				}
 				next := base + table.SlotsPerCacheLine
 				if next >= t.partSlots {
@@ -315,12 +385,11 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 				if slotarr.LineOf(next) == slotarr.LineOf(base) {
 					continue
 				}
-				r.tail++
+				r.pop()
 				if arr.LineCandidates(next, p.tag) != 0 {
 					r.sink += arr.Prefetch(next)
 				}
-				r.q[r.head&r.mask] = p
-				r.head++
+				r.push(p)
 				return false
 			}
 			r.Filter.KeyLines++
@@ -335,12 +404,7 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			if tagged {
 				r.Filter.TagHits++
 			}
-			r.tail++
-			v := arr.WaitValue(base + uint64(lane))
-			resps[*nresp] = table.Response{ID: p.id, Value: v, Found: true}
-			*nresp++
-			r.complete(true)
-			return false
+			return r.retire(p, arr.WaitValue(base+uint64(lane)), true, resps, nresp)
 		case simd.HitEmpty:
 			if *nresp >= len(resps) {
 				return true
@@ -348,11 +412,7 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			if tagged {
 				r.Filter.TagHits++
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Found: false}
-			*nresp++
-			r.complete(false)
-			return false
+			return r.retire(p, 0, false, resps, nresp)
 		}
 		if tagged {
 			r.Filter.TagFalse++
@@ -362,11 +422,7 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			if *nresp >= len(resps) {
 				return true
 			}
-			r.tail++
-			resps[*nresp] = table.Response{ID: p.id, Found: false}
-			*nresp++
-			r.complete(false)
-			return false
+			return r.retire(p, 0, false, resps, nresp)
 		}
 		next := base + table.SlotsPerCacheLine
 		if next >= t.partSlots {
@@ -379,17 +435,15 @@ func (r *ReadHandle) processOldestSWAR(resps []table.Response, nresp *int, p rpe
 			}
 			continue
 		}
-		r.tail++
+		r.pop()
 		if tagged && arr.LineCandidates(next, p.tag) == 0 {
 			// Rejected at reprobe: skip the data prefetch, the drain's gate
 			// will bounce the line from the same cache-hot tag word.
-			r.q[r.head&r.mask] = p
-			r.head++
+			r.push(p)
 			return false
 		}
 		r.sink += arr.Prefetch(p.idx)
-		r.q[r.head&r.mask] = p
-		r.head++
+		r.push(p)
 		return false
 	}
 }

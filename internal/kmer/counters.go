@@ -99,19 +99,54 @@ func (c PartitionedCounter) Get(kmer uint64) (uint64, bool) {
 	return c.R.Get(kmer)
 }
 
-// CHTKCCounter counts through the chained baseline.
+// CHTKCCounter counts through the chained baseline, coalescing duplicate
+// k-mers in a small window before touching the shared table: genomic
+// streams repeat k-mers in close succession (homopolymer runs, repeats),
+// and a folded run pays one bucket walk and one atomic add via
+// chtkc.Pool.CountN instead of one of each per occurrence.
 type CHTKCCounter struct {
-	T *chtkc.Table
-	P *chtkc.Pool
+	T     *chtkc.Table
+	P     *chtkc.Pool
+	ckeys [16]uint64
+	ccnts [16]uint64
+	cn    int
+	// Combined counts occurrences folded into a held entry.
+	Combined uint64
 }
 
 // NewCHTKCCounter creates a counter with its own node pool.
-func NewCHTKCCounter(t *chtkc.Table) CHTKCCounter {
-	return CHTKCCounter{T: t, P: t.NewPool()}
+func NewCHTKCCounter(t *chtkc.Table) *CHTKCCounter {
+	return &CHTKCCounter{T: t, P: t.NewPool()}
 }
 
 // Count implements Counter.
-func (c CHTKCCounter) Count(kmer uint64) { c.P.Count(kmer) }
+func (c *CHTKCCounter) Count(kmer uint64) {
+	for i := 0; i < c.cn; i++ {
+		if c.ckeys[i] == kmer {
+			c.ccnts[i]++
+			c.Combined++
+			return
+		}
+	}
+	if c.cn == len(c.ckeys) {
+		c.Flush()
+	}
+	c.ckeys[c.cn] = kmer
+	c.ccnts[c.cn] = 1
+	c.cn++
+}
+
+// Flush releases held counts into the shared table; call at the end of the
+// dataset (Get flushes implicitly).
+func (c *CHTKCCounter) Flush() {
+	for i := 0; i < c.cn; i++ {
+		c.P.CountN(c.ckeys[i], c.ccnts[i])
+	}
+	c.cn = 0
+}
 
 // Get implements Counter.
-func (c CHTKCCounter) Get(kmer uint64) (uint64, bool) { return c.T.Get(kmer) }
+func (c *CHTKCCounter) Get(kmer uint64) (uint64, bool) {
+	c.Flush()
+	return c.T.Get(kmer)
+}

@@ -261,6 +261,7 @@ func TestCHTKCConcurrent(t *testing.T) {
 				pool.Count(km)
 				local.Count(km)
 			}
+			pool.Flush() // release coalesced counts before reporting
 			done <- local
 		}(r)
 	}

@@ -1,0 +1,82 @@
+package simtable
+
+import (
+	"testing"
+
+	"dramhit/internal/memsim"
+)
+
+// TestCombiningWinsOnSkew is the simulator's A/B for in-window request
+// combining: on a zipf-skewed upsert stream, duplicate keys land inside the
+// prefetch window constantly, and each fold saves a whole DRAM round trip —
+// throughput must rise and traffic must fall. At Theta = 0 duplicates
+// essentially never collide inside a 16-deep window over a large key space,
+// so combining must be free: the same run with the flag on stays within a
+// few percent.
+func TestCombiningWinsOnSkew(t *testing.T) {
+	run := func(combining bool, theta float64) Result {
+		return Run(Config{
+			Machine:    memsim.IntelSkylake(),
+			Kind:       DRAMHiT,
+			Threads:    64,
+			Slots:      largeTest,
+			Theta:      theta,
+			Combining:  combining,
+			MeasureOps: testOps,
+			Seed:       42,
+		}, Inserts)
+	}
+	off, on := run(false, 0.99), run(true, 0.99)
+	if off.Mops <= 0 || on.Mops <= 0 {
+		t.Fatalf("nonpositive throughput: off %.0f on %.0f", off.Mops, on.Mops)
+	}
+	if on.Mops <= off.Mops {
+		t.Errorf("combining did not speed up skewed upserts: %.0f vs %.0f Mops",
+			on.Mops, off.Mops)
+	}
+	// GBs is an achieved rate and rises with throughput; the per-op
+	// traffic (GB/s over Mops ∝ bytes per op) is what folds must cut.
+	if on.GBs/on.Mops >= off.GBs/off.Mops {
+		t.Errorf("combining did not reduce DRAM traffic per op: %.4f vs %.4f KB/op",
+			on.GBs/on.Mops, off.GBs/off.Mops)
+	}
+	t.Logf("theta 0.99: %.0f vs %.0f Mops (%.2fx), %.4f vs %.4f KB/op",
+		on.Mops, off.Mops, on.Mops/off.Mops, on.GBs/on.Mops, off.GBs/off.Mops)
+
+	// Uniform direction: the scan is register-only work over at most
+	// window entries; the run must stay within 3% of the baseline.
+	offU, onU := run(false, 0), run(true, 0)
+	if onU.Mops < offU.Mops*0.97 {
+		t.Errorf("combining regressed uniform inserts beyond 3%%: %.0f vs %.0f Mops",
+			onU.Mops, offU.Mops)
+	}
+}
+
+// TestCombiningFoldAccounting pins the pipeline-level contract: every
+// submitted op completes exactly once (folded or probed), and folds charge
+// no line accesses — keyLines counts only the non-combined ops' visits.
+func TestCombiningFoldAccounting(t *testing.T) {
+	la := &lineAlloc{}
+	arr := newArray(la, 4096)
+	m := memsim.IntelSkylake()
+	sim := memsim.NewSim(m, 1)
+	p := newPipeline(arr, 16, true, false, true)
+	const dups = 128
+	h := uint64(0x9e3779b97f4a7c15)
+	sim.Run(func(t *memsim.Thread) bool {
+		for i := 0; i < dups; i++ {
+			p.submit(t, h, true)
+		}
+		p.flush(t)
+		return false
+	})
+	if p.ops != dups {
+		t.Fatalf("ops = %d, want %d (every submit completes once)", p.ops, dups)
+	}
+	if p.combined != dups-1 {
+		t.Fatalf("combined = %d, want %d (all but the leader fold)", p.combined, dups-1)
+	}
+	if p.keyLines != 1 {
+		t.Fatalf("keyLines = %d, want 1 (folds touch no lines)", p.keyLines)
+	}
+}

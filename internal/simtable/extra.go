@@ -156,7 +156,7 @@ func runTraceDRAMHiT(sim *memsim.Sim, arr *array, cfg Config, trace []uint64) {
 	pos := make([]int, cfg.Threads)
 	pipes := make([]*pipeline, cfg.Threads)
 	for i := range pipes {
-		pipes[i] = newPipeline(arr, cfg.Window, false, false)
+		pipes[i] = newPipeline(arr, cfg.Window, false, false, cfg.Combining)
 		pipes[i].upsert = true // counting semantics: adds are atomic
 	}
 	sim.Run(func(t *memsim.Thread) bool {
@@ -196,7 +196,7 @@ func runTraceDRAMHiTP(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, tr
 	pos := make([]int, producers)
 	pipes := make([]*pipeline, consumers)
 	for c := 0; c < consumers; c++ {
-		pipes[c] = newPipeline(arr, cfg.Window, simd, true)
+		pipes[c] = newPipeline(arr, cfg.Window, simd, true, cfg.Combining)
 		sim.Threads[producers+c].ProbeExempt = true
 	}
 	producersDone := 0

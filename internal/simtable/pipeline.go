@@ -48,6 +48,13 @@ type pipeline struct {
 	// singleWriter selects plain stores over CAS for slot claims
 	// (DRAMHiT-P partition owners).
 	singleWriter bool
+	// combining models in-window request combining: a submitted hash that
+	// already has a pending op in the window folds onto it — duplicate
+	// upserts merge their deltas, duplicate reads piggyback one probe —
+	// paying only the completion work. No prefetch, no line access, no
+	// queue slot: a combined op is zero additional DRAM transactions,
+	// which is the entire win on skewed streams.
+	combining bool
 	// submitCost/completeCost are the engine compute charges. The
 	// concurrent table pays full request marshaling and response handling;
 	// a partition owner applying delegated fire-and-forget updates has no
@@ -68,11 +75,13 @@ type pipeline struct {
 	// visits that consulted key lanes vs visits rejected from the tag word.
 	keyLines uint64
 	tagSkips uint64
+	// combined counts ops folded onto a pending in-window duplicate.
+	combined uint64
 	// onComplete, when set, receives (submitClock, completeClock) pairs.
 	onComplete func(submit, complete float64)
 }
 
-func newPipeline(a *array, window int, simd, singleWriter bool) *pipeline {
+func newPipeline(a *array, window int, simd, singleWriter, combining bool) *pipeline {
 	capacity := 1
 	for capacity < window+1 {
 		capacity <<= 1
@@ -85,6 +94,7 @@ func newPipeline(a *array, window int, simd, singleWriter bool) *pipeline {
 		simd:         simd,
 		tagged:       simd && a.tags != nil,
 		singleWriter: singleWriter,
+		combining:    combining,
 		submitCost:   hashCycles + queueOpCycles,
 		completeCost: completionCost,
 	}
@@ -102,6 +112,25 @@ func (p *pipeline) pending() int { return p.head - p.tail }
 // pipeline head while the window is full.
 func (p *pipeline) submit(t *memsim.Thread, h uint64, insert bool) {
 	t.Compute(p.submitCost)
+	if p.combining {
+		for i := p.tail; i < p.head; i++ {
+			if p.q[i&p.mask].h == h {
+				// In-window duplicate: fold onto the pending op (merged
+				// delta or piggybacked read). Only the completion work is
+				// charged — the op issues no prefetch, takes no queue slot,
+				// and touches no cache line. Skewed duplicates overwhelmingly
+				// target resident keys, so the fold counts as a hit.
+				p.combined++
+				p.ops++
+				p.hits++
+				t.Compute(p.completeCost)
+				if p.onComplete != nil {
+					p.onComplete(t.Clock, t.Clock)
+				}
+				return
+			}
+		}
+	}
 	op := pipeOp{
 		h:           h,
 		fp:          fpOf(h),

@@ -66,6 +66,13 @@ type Config struct {
 	// tables' tags-by-default, so archived simulated figures stay
 	// bit-identical when the flag is absent.
 	TagFilter bool
+	// Combining enables in-window request combining: a submitted key whose
+	// hash already has a pending op in the prefetch window folds onto it
+	// (merged upsert delta / piggybacked read) for just the completion
+	// cost — zero additional DRAM transactions. Opt-in like TagFilter so
+	// archived simulated figures stay bit-identical when the flag is
+	// absent; the win grows with zipf skew and vanishes at Theta = 0.
+	Combining bool
 	// Seed fixes the run's randomness.
 	Seed int64
 	// LatencySink, when non-nil, receives per-op (submit, complete) cycle
@@ -344,7 +351,7 @@ func runDRAMHiT(sim *memsim.Sim, arr *array, cfg Config, mix OpMix, keyOf func(u
 		streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
 		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
 		remaining[i] = per[i]
-		pipes[i] = newPipeline(arr, cfg.Window, false, false)
+		pipes[i] = newPipeline(arr, cfg.Window, false, false, cfg.Combining)
 		pipes[i].onComplete = wrapSink(cfg.LatencySink)
 	}
 	sim.Run(func(t *memsim.Thread) bool {
@@ -394,7 +401,7 @@ func runDRAMHiTP(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, mix OpM
 			streams[i] = newOpStream(cfg, mix, keyOf, prefill, i, fresh)
 			polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
 			remaining[i] = per[i]
-			pipes[i] = newPipeline(arr, cfg.Window, simd, false)
+			pipes[i] = newPipeline(arr, cfg.Window, simd, false, cfg.Combining)
 			pipes[i].onComplete = wrapSink(cfg.LatencySink)
 		}
 		sim.Run(func(t *memsim.Thread) bool {
@@ -470,13 +477,13 @@ func runDRAMHiTP(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, mix OpM
 	pipes := make([]*pipeline, consumers)
 	readPipes := make([]*pipeline, producers)
 	for c := 0; c < consumers; c++ {
-		pipes[c] = newPipeline(arr, cfg.Window, simd, true)
+		pipes[c] = newPipeline(arr, cfg.Window, simd, true, cfg.Combining)
 		// Partition lines are only ever cached by their owner: the probe
 		// filter resolves them without cross-CCX broadcasts.
 		sim.Threads[producers+c].ProbeExempt = true
 	}
 	for p := 0; p < producers; p++ {
-		readPipes[p] = newPipeline(arr, cfg.Window, simd, false)
+		readPipes[p] = newPipeline(arr, cfg.Window, simd, false, cfg.Combining)
 	}
 	producersDone := 0
 	rr := make([]int, consumers)
@@ -610,10 +617,10 @@ func runDRAMHiTPMixed(sim *memsim.Sim, arr *array, la *lineAlloc, cfg Config, ke
 		streams[i] = newOpStream(cfg, Mixed, keyOf, prefill, i, fresh)
 		remaining[i] = per[i]
 		polls[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
-		readPipes[i] = newPipeline(arr, cfg.Window, simd, false)
+		readPipes[i] = newPipeline(arr, cfg.Window, simd, false, cfg.Combining)
 	}
 	for c := 0; c < consumers; c++ {
-		applyPipes[c] = newPipeline(arr, cfg.Window, simd, true)
+		applyPipes[c] = newPipeline(arr, cfg.Window, simd, true, cfg.Combining)
 		sim.Threads[producersOnly+c].ProbeExempt = true
 	}
 	closed := make([]bool, threads)

@@ -62,7 +62,7 @@ func TestTagFilterCutsKeyLineLoads(t *testing.T) {
 			arr.enableTags(la)
 		}
 		sim := memsim.NewSim(memsim.IntelSkylake(), 1)
-		p := newPipeline(arr, 16, true, false)
+		p := newPipeline(arr, 16, true, false, false)
 		sim.Run(func(th *memsim.Thread) bool {
 			if ops >= 30000 {
 				p.flush(th)

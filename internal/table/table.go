@@ -148,6 +148,49 @@ func ParseProbeFilter(s string) (ProbeFilter, error) {
 	return 0, fmt.Errorf("unknown probe filter %q (want tags|none)", s)
 }
 
+// Combining selects whether a handle's Submit merges a request whose key
+// already has a pending request in the prefetch queue instead of enqueueing
+// it (duplicate-key coalescing and read piggybacking). The zero value is
+// CombineOn, making in-window combining the default execution model; the
+// uncombined pipeline stays selectable for ablation and A/B benchmarks.
+// Combining changes neither the set of responses nor their per-ID values —
+// only how many memory transactions produce them.
+type Combining uint8
+
+const (
+	// CombineOn merges same-key requests inside the prefetch window:
+	// Upsert-on-Upsert folds the increment, Get-on-Get piggybacks one probe
+	// result to N responses, Get-after-Put/Upsert is answered by
+	// store-to-load forwarding from the in-flight value. Delete is a
+	// combine barrier for its key in both directions.
+	CombineOn Combining = iota
+	// CombineOff enqueues every request individually (the pre-combining hot
+	// path, kept as the A/B baseline).
+	CombineOff
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (c Combining) String() string {
+	switch c {
+	case CombineOn:
+		return "on"
+	case CombineOff:
+		return "off"
+	}
+	return "invalid"
+}
+
+// ParseCombining maps a benchmark-flag string back to a combining setting.
+func ParseCombining(s string) (Combining, error) {
+	switch s {
+	case "", "on":
+		return CombineOn, nil
+	case "off":
+		return CombineOff, nil
+	}
+	return 0, fmt.Errorf("unknown combining setting %q (want on|off)", s)
+}
+
 // TagOf derives a slot's 1-byte tag fingerprint from its key's full 64-bit
 // hash. Fastrange consumes the hash's HIGH bits for the slot index (the high
 // 64 of the 128-bit product dominate), so the tag takes the LOW byte —

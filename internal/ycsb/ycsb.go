@@ -129,9 +129,21 @@ const Theta = 0.99
 // Insert operations extend the space with fresh keys. Generators with the
 // same seed produce identical streams.
 func NewGenerator(mix Mix, records uint64, seed int64) *Generator {
-	theta := 0.0
-	if mix.Zipfian {
-		theta = Theta
+	theta := -1.0
+	return NewGeneratorTheta(mix, records, seed, theta)
+}
+
+// NewGeneratorTheta is NewGenerator with an explicit zipfian constant.
+// theta < 0 selects the mix's default (Theta when the mix is zipfian, 0 —
+// uniform — otherwise); theta = 0 forces a uniform draw even on zipfian
+// mixes, and any positive value sets the skew directly, which is how the
+// combining A/B experiments sweep hot-key density.
+func NewGeneratorTheta(mix Mix, records uint64, seed int64, theta float64) *Generator {
+	if theta < 0 {
+		theta = 0
+		if mix.Zipfian {
+			theta = Theta
+		}
 	}
 	return &Generator{
 		mix:      mix,
@@ -151,10 +163,16 @@ func NewGenerator(mix Mix, records uint64, seed int64) *Generator {
 // reach, so the lookup misses by construction. miss=0 degenerates to
 // NewGenerator exactly, draw for draw.
 func NewGeneratorMiss(mix Mix, records uint64, seed int64, miss float64) *Generator {
+	return NewGeneratorMissTheta(mix, records, seed, miss, -1)
+}
+
+// NewGeneratorMissTheta combines the miss-ratio and explicit-theta
+// parameters (theta < 0 selects the mix's default, see NewGeneratorTheta).
+func NewGeneratorMissTheta(mix Mix, records uint64, seed int64, miss, theta float64) *Generator {
 	if miss < 0 || miss > 1 {
 		panic("ycsb: miss ratio must be in [0, 1]")
 	}
-	g := NewGenerator(mix, records, seed)
+	g := NewGeneratorTheta(mix, records, seed, theta)
 	g.miss = miss
 	if miss > 0 {
 		g.missRng = rand.New(rand.NewSource(seed ^ 0x6d697373)) // "miss"
