@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dramhit/internal/bench"
+	"dramhit/internal/obs"
 	"dramhit/internal/table"
 )
 
@@ -27,7 +28,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	quick := flag.Bool("quick", false, "reduced op counts and sweep points")
 	seed := flag.Int64("seed", 42, "random seed")
-	out := flag.String("out", "", "directory to also write one text file per experiment")
+	out := flag.String("out", "", "directory to also write one text + one JSON file per experiment")
+	benchjson := flag.String("benchjson", "", "run the ycsb experiment and write its machine-readable summary (schema "+bench.YCSBSchema+") to this path")
+	metrics := flag.String("metrics", "", "serve observability (Prometheus /metrics, /trace, pprof) on this address while experiments run, e.g. :8090")
 	probeKernel := flag.String("probekernel", "", "probe kernel for real-execution experiments: swar|scalar (default swar)")
 	probeFilter := flag.String("probefilter", "", "probe filter for real-execution experiments: tags|none (default tags)")
 	missRatio := flag.Float64("missratio", 0, "fraction of lookups sent to absent keys, for experiments that honor it")
@@ -60,14 +63,28 @@ func main() {
 		}
 		return
 	}
-	if *exp == "" {
+	var liveReg *obs.Registry
+	if *metrics != "" {
+		liveReg = obs.New()
+		srv, err := obs.Serve(*metrics, liveReg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
+	}
+	if *exp == "" && *benchjson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = bench.IDs()
+	var ids []string
+	if *exp != "" {
+		ids = []string{*exp}
+		if *exp == "all" {
+			ids = bench.IDs()
+		}
 	}
 	cfg := bench.Config{
 		Quick:       *quick,
@@ -76,6 +93,18 @@ func main() {
 		ProbeFilter: filter,
 		MissRatio:   *missRatio,
 		Combining:   combining,
+		Observe:     liveReg,
+	}
+	if *benchjson != "" {
+		start := time.Now()
+		a, sum := bench.RunYCSB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(ycsb in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*benchjson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *benchjson)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -97,6 +126,14 @@ func main() {
 		if *out != "" {
 			path := filepath.Join(*out, id+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+				os.Exit(1)
+			}
+			js, err := a.JSON()
+			if err == nil {
+				err = os.WriteFile(filepath.Join(*out, id+".json"), js, 0o644)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
 				os.Exit(1)
 			}

@@ -5,6 +5,13 @@
 //
 //	loadgen -workload A -table dramhit -records 1000000 -ops 2000000
 //	loadgen -workload C -table dramhit-p -workers 8
+//	loadgen -workload C -metrics :8090 -json run.json
+//
+// With -metrics the run exposes the unified observability layer over HTTP
+// (Prometheus text at /metrics, sampled lifecycle traces at /trace, expvar
+// and pprof under /debug/) while it executes; with -json the run's
+// configuration, throughput, and latency percentiles land in a
+// machine-readable file using the same schema as BENCH_ycsb.json entries.
 package main
 
 import (
@@ -15,7 +22,9 @@ import (
 	"time"
 
 	"dramhit"
+	"dramhit/internal/bench"
 	"dramhit/internal/latency"
+	"dramhit/internal/obs"
 	"dramhit/internal/ycsb"
 )
 
@@ -28,6 +37,10 @@ func main() {
 	missRatio := flag.Float64("missratio", 0, "fraction of reads redirected to guaranteed-absent keys")
 	theta := flag.Float64("theta", -1, "zipfian skew of the key stream; negative = workload default")
 	combiningFlag := flag.String("combining", "on", "in-window request combining: on | off")
+	jsonPath := flag.String("json", "", "write the run summary (config, Mops, latency percentiles) as JSON to this path")
+	metrics := flag.String("metrics", "", "serve observability on this address during the run, e.g. :8090")
+	observe := flag.Bool("observe", false, "attach the observability registry to the table even without -metrics")
+	latsink := flag.String("latsink", "hist", "latency sink: hist (log-bucketed, zero-alloc, mergeable) | exact (reservoir + exact CDF)")
 	flag.Parse()
 
 	mix, err := ycsb.ByName(*workloadName)
@@ -44,6 +57,29 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *latsink != "hist" && *latsink != "exact" {
+		fail(fmt.Errorf("-latsink must be hist or exact, got %q", *latsink))
+	}
+
+	// reg is the table-attached observability registry (nil unless asked
+	// for: observation off must cost nothing); latReg always exists so the
+	// histogram latency sink has worker shards to record into.
+	var reg *dramhit.Observability
+	if *metrics != "" || *observe {
+		reg = dramhit.NewObservability()
+	}
+	latReg := reg
+	if latReg == nil {
+		latReg = obs.NewWith(0, 1)
+	}
+	if *metrics != "" {
+		srv, err := dramhit.ServeObservability(*metrics, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "loadgen: observability on http://%s/metrics\n", srv.Addr)
+	}
 
 	// view is the per-worker synchronous face over whichever backend.
 	type view struct {
@@ -57,7 +93,7 @@ func main() {
 	slots := nextPow2(*records * 2)
 	switch *backend {
 	case "dramhit":
-		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining})
+		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining, Observe: reg})
 		h := t.NewHandle()
 		h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
 		mkView = func(int) view {
@@ -66,6 +102,9 @@ func main() {
 		}
 	case "folklore":
 		t := dramhit.NewFolklore(slots)
+		if reg != nil {
+			t.Observe(reg)
+		}
 		for _, k := range ycsb.LoadKeys(*records, 1) {
 			t.Put(k, 0)
 		}
@@ -83,7 +122,7 @@ func main() {
 	case "dramhit-p":
 		t := dramhit.NewPartitioned(dramhit.PartitionedConfig{
 			Slots: slots, Producers: *workers + 1, Consumers: max(1, *workers/2),
-			Combining: combining,
+			Combining: combining, Observe: reg,
 		})
 		t.Start()
 		teardown = t.Close
@@ -106,9 +145,19 @@ func main() {
 		fail(fmt.Errorf("unknown table %q", *backend))
 	}
 
+	// Latency sinks: the default histogram sink records into per-worker
+	// observability shards (bounded memory, zero-alloc, mergeable, ≤1/32
+	// relative error); -latsink exact keeps the reservoir recorder for
+	// exact per-worker CDFs.
+	useHist := *latsink == "hist"
 	recs := make([]*latency.Recorder, *workers)
-	for i := range recs {
-		recs[i] = latency.NewRecorder(1 << 18)
+	hists := make([]*obs.Histogram, *workers)
+	for i := 0; i < *workers; i++ {
+		if useHist {
+			hists[i] = &latReg.Worker(fmt.Sprintf("loadgen-w%d", i)).Lat
+		} else {
+			recs[i] = latency.NewRecorder(1 << 18)
+		}
 	}
 
 	start := time.Now()
@@ -120,7 +169,7 @@ func main() {
 			defer wg.Done()
 			v := mkView(wi)
 			g := ycsb.NewGeneratorMissTheta(mix, *records, int64(wi+1), *missRatio, *theta)
-			rec := recs[wi]
+			rec, hist := recs[wi], hists[wi]
 			for i := 0; i < perWorker; i++ {
 				op := g.Next()
 				t0 := time.Now()
@@ -140,7 +189,12 @@ func main() {
 						v.get(op.Key + uint64(j))
 					}
 				}
-				rec.Add(float64(time.Since(t0).Nanoseconds()))
+				ns := time.Since(t0).Nanoseconds()
+				if hist != nil {
+					hist.Record(uint64(ns))
+				} else {
+					rec.Add(float64(ns))
+				}
 			}
 			v.fin()
 		}(wi)
@@ -152,8 +206,25 @@ func main() {
 	}
 
 	var total uint64
-	for _, r := range recs {
-		total += r.Count()
+	var pct bench.Percentiles
+	if useHist {
+		var merged obs.Histogram
+		for _, h := range hists {
+			merged.Merge(h)
+		}
+		total = merged.Count()
+		pct = bench.PercentilesFromHistogram(&merged)
+	} else {
+		cdfs := make([]*latency.CDF, len(recs))
+		for i, r := range recs {
+			total += r.Count()
+			cdfs[i] = r.CDF()
+		}
+		m := latency.Merge(cdfs...)
+		pct = bench.Percentiles{
+			P50: m.Quantile(0.5), P90: m.Quantile(0.9), P99: m.Quantile(0.99),
+			P999: m.Quantile(0.999), Max: m.Quantile(1), Mean: m.Mean(), Count: total,
+		}
 	}
 
 	missNote := ""
@@ -169,8 +240,34 @@ func main() {
 	fmt.Printf("ycsb-%s on %s: %d ops, %d workers%s, %v (%.2f Mops)\n",
 		mix.Name, *backend, total, *workers, missNote, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds()/1e6)
-	for wi, r := range recs {
-		fmt.Printf("  worker %d latency ns: %s\n", wi, r.CDF().String())
+	if useHist {
+		fmt.Printf("  latency ns (all workers, log-bucketed): p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f mean=%.0f\n",
+			pct.P50, pct.P90, pct.P99, pct.P999, pct.Max, pct.Mean)
+	} else {
+		for wi, r := range recs {
+			fmt.Printf("  worker %d latency ns: %s\n", wi, r.CDF().String())
+		}
+	}
+
+	if *jsonPath != "" {
+		res := bench.RunResult{
+			Name:      "loadgen-" + mix.Name + "-" + *backend,
+			Table:     *backend,
+			Workload:  mix.Name,
+			Records:   int(*records),
+			Ops:       int(total),
+			Workers:   *workers,
+			Theta:     *theta,
+			MissRatio: *missRatio,
+			Combining: combining.String(),
+			Seconds:   elapsed.Seconds(),
+			Mops:      float64(total) / elapsed.Seconds() / 1e6,
+			LatencyNS: &pct,
+		}
+		if err := bench.WriteJSONFile(*jsonPath, res); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
 	}
 }
 

@@ -39,10 +39,13 @@
 package dramhit
 
 import (
+	"net/http"
+
 	idramhit "dramhit/internal/dramhit"
 	"dramhit/internal/dramhitp"
 	"dramhit/internal/folklore"
 	"dramhit/internal/growt"
+	"dramhit/internal/obs"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 )
@@ -182,3 +185,28 @@ type Resizable = growt.Table
 // NewResizable creates a resizable table with an initial capacity of n
 // slots; it grows (or compacts tombstones) when fill exceeds 75%.
 func NewResizable(n uint64) *Resizable { return growt.New(n) }
+
+// Observability is the unified observability registry (see internal/obs):
+// attach one via Config.Observe / PartitionedConfig.Observe (or
+// Folklore.Observe) to collect sharded hot-path counters, mergeable latency
+// histograms, pipeline gauges, and sampled request-lifecycle traces, and
+// serve them over HTTP with ServeObservability.
+type Observability = obs.Registry
+
+// NewObservability creates a registry with the default trace configuration
+// (4096-event ring, 1-in-256 request sampling).
+func NewObservability() *Observability { return obs.New() }
+
+// NewObservabilityWith creates a registry with an explicit trace-ring
+// capacity and sampling rate; traceCap 0 disables lifecycle tracing.
+func NewObservabilityWith(traceCap, sampleN int) *Observability {
+	return obs.NewWith(traceCap, sampleN)
+}
+
+// ServeObservability exposes reg on addr (e.g. ":8090"): Prometheus text
+// format at /metrics, sampled lifecycle events at /trace, expvar at
+// /debug/vars, and net/http/pprof at /debug/pprof/. Close the returned
+// server to stop.
+func ServeObservability(addr string, reg *Observability) (*http.Server, error) {
+	return obs.Serve(addr, reg)
+}

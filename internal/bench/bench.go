@@ -6,10 +6,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
+	"dramhit/internal/obs"
 	"dramhit/internal/table"
 )
 
@@ -33,6 +35,12 @@ type Config struct {
 	// (zero value = on, the package default). The combine-ab experiment
 	// ignores it — it runs both sides of the A/B by construction.
 	Combining table.Combining
+	// Observe, when non-nil, is the live observability registry real-
+	// execution experiments attach their tables and workers to, so a
+	// concurrently served /metrics endpoint sees the run. The obs-ab
+	// experiment ignores it — its observe-on side builds its own registry
+	// by construction. Nil keeps runs self-contained.
+	Observe *obs.Registry
 }
 
 // ops returns the measured-op budget. Quick mode is sized so the whole
@@ -46,23 +54,34 @@ func (c Config) ops(full int) int {
 
 // Series is one line of a figure: Y(X), plus a name for the legend.
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
 }
 
 // Artifact is a regenerated table or figure.
 type Artifact struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	XLabel string `json:"x_label,omitempty"`
+	YLabel string `json:"y_label,omitempty"`
 	// Series carry figure data; Header+Rows carry table data (Table 1).
-	Series []Series
-	Header []string
-	Rows   [][]string
+	Series []Series   `json:"series,omitempty"`
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
 	// Notes document paper-vs-sim observations recorded with the artifact.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
+}
+
+// JSON renders the artifact as an indented, machine-readable document — the
+// same data Format prints as text, for downstream tooling (plotters, CI
+// validation, regression diffing).
+func (a *Artifact) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // Runner regenerates one artifact.

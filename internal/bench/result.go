@@ -1,0 +1,82 @@
+// Machine-readable benchmark artifacts: every real-execution run can be
+// serialized as a RunResult, and the ycsb experiment aggregates its runs
+// into a schema-versioned summary (BENCH_ycsb.json) that CI validates and
+// downstream tooling (plotters, regression diffing) consumes without
+// scraping the text tables.
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"dramhit/internal/obs"
+)
+
+// YCSBSchema identifies the summary layout; bump on incompatible change.
+const YCSBSchema = "dramhit-bench-ycsb/v1"
+
+// Percentiles summarizes a latency distribution in nanoseconds.
+type Percentiles struct {
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Count uint64  `json:"count"`
+}
+
+// PercentilesFromHistogram extracts the standard summary from a merged
+// observability histogram (log-bucketed: values carry the bucket's ≤1/32
+// relative error).
+func PercentilesFromHistogram(h *obs.Histogram) Percentiles {
+	return Percentiles{
+		P50:   float64(h.Quantile(0.50)),
+		P90:   float64(h.Quantile(0.90)),
+		P99:   float64(h.Quantile(0.99)),
+		P999:  float64(h.Quantile(0.999)),
+		Max:   float64(h.Max()),
+		Mean:  h.Mean(),
+		Count: h.Count(),
+	}
+}
+
+// RunResult is one benchmark execution: what ran, how fast, and the latency
+// shape. It is the unit of results/*.json and of the ycsb summary.
+type RunResult struct {
+	Name      string       `json:"name"`
+	Table     string       `json:"table"`
+	Workload  string       `json:"workload"`
+	Records   int          `json:"records"`
+	Ops       int          `json:"ops"`
+	Workers   int          `json:"workers"`
+	Theta     float64      `json:"theta"`
+	MissRatio float64      `json:"miss_ratio,omitempty"`
+	Combining string       `json:"combining,omitempty"`
+	Seconds   float64      `json:"seconds"`
+	Mops      float64      `json:"mops"`
+	LatencyNS *Percentiles `json:"latency_ns,omitempty"`
+}
+
+// YCSBSummary is the top-level BENCH_ycsb.json document.
+type YCSBSummary struct {
+	Schema string      `json:"schema"`
+	Quick  bool        `json:"quick"`
+	Runs   []RunResult `json:"runs"`
+}
+
+// WriteJSONFile marshals v indented and writes it to path, creating parent
+// directories as needed.
+func WriteJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -8,9 +8,11 @@
 package chtkc
 
 import (
+	"strconv"
 	"sync/atomic"
 
 	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
 )
 
 // node is one chain entry. Count is updated with atomic adds; Next is
@@ -26,6 +28,24 @@ type Table struct {
 	buckets []atomic.Pointer[node]
 	nb      uint64
 	full    atomic.Bool
+	obsReg  *obs.Registry
+	npool   atomic.Int32
+}
+
+// SetObserve attaches the table to the observability registry: pools created
+// afterwards register per-goroutine counter shards (upserts and chain hops —
+// the dependent-miss metric open addressing avoids), and a pull source walks
+// the chains at scrape time for distinct-key and max-chain aggregates. Call
+// before creating pools.
+func (t *Table) SetObserve(reg *obs.Registry) {
+	t.obsReg = reg
+	reg.AddSource("chtkc", func() map[string]float64 {
+		return map[string]float64{
+			"distinct":  float64(t.Len()),
+			"max_chain": float64(t.MaxChain()),
+			"buckets":   float64(t.nb),
+		}
+	})
 }
 
 // New creates a table with one bucket per expected distinct key (rounded up
@@ -44,10 +64,18 @@ type Pool struct {
 	t     *Table
 	block []node
 	used  int
+	obsw  *obs.Worker // nil unless the table is observed
 }
 
 // NewPool creates an allocator for one counting goroutine.
-func (t *Table) NewPool() *Pool { return &Pool{t: t} }
+func (t *Table) NewPool() *Pool {
+	p := &Pool{t: t}
+	if t.obsReg != nil {
+		n := t.npool.Add(1)
+		p.obsw = t.obsReg.Worker("chtkc-p" + strconv.Itoa(int(n)-1))
+	}
+	return p
+}
 
 const poolBlock = 4096
 
@@ -73,11 +101,17 @@ func (p *Pool) Count(key uint64) { p.CountN(key, 1) }
 func (p *Pool) CountN(key, cnt uint64) {
 	t := p.t
 	b := &t.buckets[hashfn.Fastrange(hashfn.City64(key), t.nb)]
+	hops := uint64(0)
 	for {
 		head := b.Load()
 		for n := head; n != nil; n = n.next {
+			hops++
 			if n.key == key {
 				n.count.Add(cnt)
+				if p.obsw != nil {
+					p.obsw.Inc(obs.CUpserts)
+					p.obsw.Add(obs.CChainHops, hops)
+				}
 				return
 			}
 		}
@@ -87,6 +121,10 @@ func (p *Pool) CountN(key, cnt uint64) {
 		n.count.Store(cnt)
 		n.next = head
 		if b.CompareAndSwap(head, n) {
+			if p.obsw != nil {
+				p.obsw.Inc(obs.CUpserts)
+				p.obsw.Add(obs.CChainHops, hops)
+			}
 			return
 		}
 		// CAS failed: un-allocate (reuse the slot on the next alloc) and

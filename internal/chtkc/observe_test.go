@@ -1,0 +1,61 @@
+package chtkc
+
+import (
+	"testing"
+
+	"dramhit/internal/obs"
+)
+
+// TestObserveCounters pins the per-pool publish contract: upserts equal the
+// counting calls, chain hops are at least one per call, and the pull source
+// walks the live chains.
+func TestObserveCounters(t *testing.T) {
+	reg := obs.New()
+	tb := New(1024)
+	tb.SetObserve(reg)
+	p := tb.NewPool()
+
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		p.Count(i % 500) // 10 occurrences per key → update path dominates
+	}
+
+	workers := reg.Workers()
+	if len(workers) != 1 {
+		t.Fatalf("workers = %d, want 1", len(workers))
+	}
+	w := workers[0]
+	if got := w.Counter(obs.CUpserts); got != n {
+		t.Errorf("upserts = %d, want %d", got, n)
+	}
+	if got := w.Counter(obs.CChainHops); got < n {
+		t.Errorf("chain_hops = %d, want >= %d", got, n)
+	}
+
+	snap := reg.TakeSnapshot()
+	src := snap.Sources["chtkc"]
+	if src["distinct"] != 500 {
+		t.Errorf("distinct = %v, want 500", src["distinct"])
+	}
+	if src["max_chain"] != float64(tb.MaxChain()) {
+		t.Errorf("max_chain = %v, want %d", src["max_chain"], tb.MaxChain())
+	}
+}
+
+// TestObserveZeroAllocSteady pins the counting path at zero allocations in
+// steady state (update path; the insert path amortizes pool blocks).
+func TestObserveZeroAllocSteady(t *testing.T) {
+	tb := New(1024)
+	tb.SetObserve(obs.New())
+	p := tb.NewPool()
+	for i := uint64(0); i < 256; i++ {
+		p.Count(i)
+	}
+	var k uint64
+	if n := testing.AllocsPerRun(100, func() {
+		k++
+		p.Count(k & 255)
+	}); n != 0 {
+		t.Errorf("%v allocs per count, want 0", n)
+	}
+}

@@ -159,6 +159,17 @@ func (p *Producer) Flush() {
 	}
 }
 
+// Pending returns this producer's total unconsumed backlog across all of
+// its queues — an instantaneous, racy estimate suitable for a queue-depth
+// gauge, not for synchronization (use Barrier for that).
+func (p *Producer) Pending() int {
+	n := 0
+	for _, q := range p.qs {
+		n += q.PendingShared()
+	}
+	return n
+}
+
 // Barrier sends a barrier message to every consumer and waits until all of
 // them have executed it, which — because each queue is FIFO — implies every
 // earlier message from this producer has been executed too.

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"time"
 
+	"dramhit/internal/obs"
 	"dramhit/internal/simd"
 	"dramhit/internal/table"
 )
@@ -122,6 +123,9 @@ func (h *Handle) tryCombine(req table.Request, pos int) bool {
 		// the uncombined pipeline would ever make it.
 		lead.req.Value += req.Value
 		h.stats.CombinedUpserts++
+		if lead.trace != 0 {
+			h.trace.Record(lead.trace, obs.EvCombine, uint8(req.Op), req.Key, uint32(lead.ngets))
+		}
 		fp := pending{req: req}
 		if h.onComplete != nil {
 			fp.startNS = time.Now().UnixNano()
@@ -148,6 +152,9 @@ func (h *Handle) tryCombine(req table.Request, pos int) bool {
 		h.merged[idx] = n
 		lead.chain = idx + 1
 		lead.ngets++
+		if lead.trace != 0 {
+			h.trace.Record(lead.trace, obs.EvCombine, uint8(req.Op), req.Key, uint32(lead.ngets))
+		}
 		return true
 	}
 	// Put never combines: overwrite-after-overwrite already costs one store
@@ -204,6 +211,9 @@ func (h *Handle) retire(p pending, op table.Op, v uint64, found, fail bool, resp
 	if fail {
 		h.stats.Failed++
 	}
+	if h.obsw != nil && p.ngets != 0 {
+		h.obsw.MaxGauge(obs.GChainMax, uint64(p.ngets))
+	}
 	h.finish(p, op, found)
 	if p.chain == 0 || h.emitChain(&p, v, found, resps, nresp) {
 		h.pop()
@@ -213,6 +223,11 @@ func (h *Handle) retire(p pending, op table.Op, v uint64, found, fail bool, resp
 		p.state = stateHit
 	} else {
 		p.state = stateMiss
+	}
+	if h.obsw != nil {
+		// Backpressure park: the chain outlived the response buffer and the
+		// resolved leader freezes the queue head until the caller drains.
+		h.obsw.Inc(obs.CParks)
 	}
 	p.rval = v
 	s := h.tail & h.mask

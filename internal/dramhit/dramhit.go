@@ -23,9 +23,11 @@
 package dramhit
 
 import (
+	"strconv"
 	"time"
 
 	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 
@@ -70,6 +72,13 @@ type Config struct {
 	// kernel- and filter-independent: the merge decision reads only the
 	// handle's own ring, never the table.
 	Combining table.Combining
+	// Observe, when non-nil, attaches the table to the observability
+	// registry: each handle registers a padded counter shard (published at
+	// Submit/Flush boundaries, so the hot path stays free of shared-line
+	// atomics) and samples request lifecycles into the registry's trace
+	// ring. Nil — the default — is bit-identical to an uninstrumented table
+	// and adds no allocation or branch beyond a nil check.
+	Observe *obs.Registry
 }
 
 // Table is the shared state of a DRAMHiT hash table. Create per-goroutine
@@ -87,6 +96,8 @@ type Table struct {
 	combine table.Combining
 	used    atomic.Int64
 	live    atomic.Int64
+	obsReg  *obs.Registry
+	nhandle atomic.Int64 // handle counter for worker shard names
 }
 
 // New creates a table from cfg.
@@ -116,7 +127,7 @@ func New(cfg Config) *Table {
 	if f == table.FilterTags {
 		arr = slotarr.NewTagged(cfg.Slots)
 	}
-	return &Table{
+	t := &Table{
 		arr:     arr,
 		hash:    h,
 		size:    cfg.Slots,
@@ -124,7 +135,20 @@ func New(cfg Config) *Table {
 		kernel:  cfg.ProbeKernel,
 		filter:  f,
 		combine: cfg.Combining,
+		obsReg:  cfg.Observe,
 	}
+	if t.obsReg != nil {
+		t.obsReg.AddSource("dramhit", func() map[string]float64 {
+			return map[string]float64{
+				"fill":    t.Fill(),
+				"live":    float64(t.Len()),
+				"slots":   float64(t.Cap()),
+				"window":  float64(t.Window()),
+				"handles": float64(t.nhandle.Load()),
+			}
+		})
+	}
+	return t
 }
 
 // Kernel returns the configured probe kernel.
@@ -159,6 +183,7 @@ type pending struct {
 	probes  uint64 // slots inspected so far (full-table bound)
 	startNS int64  // submission time, set only when latency tracking is on
 	rval    uint64 // resolved value of a parked leader (state != stateProbing)
+	trace   uint64 // lifecycle trace id; 0 = not sampled
 	chain   int32  // 1+index into Handle.merged of the newest combined Get; 0 = none
 	ngets   int32  // combined Gets on chain (bounds tryCombine's absorption)
 	tag     uint8  // key's tag fingerprint (table.TagOf of the full hash)
@@ -267,6 +292,18 @@ type Handle struct {
 	stats Stats
 	sink  uint64 // accumulates prefetch loads so they are not dead code
 
+	// Observability (all nil/zero when the table has no registry — the hot
+	// path then pays exactly one predictable nil check per site). The handle
+	// accumulates into its plain stats fields as always and obsPublish
+	// copies them into the padded shard at Submit/Flush boundaries, so
+	// observe-on adds no per-op shared-line traffic.
+	obsw       *obs.Worker
+	trace      *obs.TraceRing
+	traceEvery int // sample 1-in-N submissions into the trace ring
+	traceCnt   int
+	pubCnt     int    // Submit calls since the last throttled publish
+	occMax     uint64 // high-water pipeline occupancy since creation
+
 	// onComplete, when set, receives every completed request and its
 	// latency in nanoseconds (used by the Figure 9 latency experiment).
 	onComplete func(req table.Request, lat time.Duration)
@@ -289,6 +326,12 @@ func (t *Table) NewHandle() *Handle {
 	}
 	if h.combine {
 		h.ptags = make([]uint64, (capacity+7)/8)
+	}
+	if t.obsReg != nil {
+		n := t.nhandle.Add(1)
+		h.obsw = t.obsReg.Worker("dramhit-h" + strconv.FormatInt(n-1, 10))
+		h.trace = t.obsReg.Trace()
+		h.traceEvery = t.obsReg.TraceSampleN()
 	}
 	return h
 }
@@ -314,6 +357,16 @@ func (h *Handle) enqueue(p pending) {
 		h.tagcnt[p.tag]++
 	}
 	h.head++
+	if p.trace != 0 {
+		// Every enqueue is either a request's first entry into the pipeline
+		// (probes == 0: Submit) or a line crossing's re-entry (Reprobe); the
+		// discrimination here keeps the drains free of trace calls.
+		if p.probes == 0 {
+			h.trace.Record(p.trace, obs.EvSubmit, uint8(p.req.Op), p.req.Key, 0)
+		} else {
+			h.trace.Record(p.trace, obs.EvReprobe, uint8(p.req.Op), p.req.Key, uint32(p.probes))
+		}
+	}
 }
 
 // pop retires the queue-head position. With combining on it releases the
@@ -359,6 +412,9 @@ func (h *Handle) dequeue() pending {
 // after the pending write it forwarded from — a strictly stronger ordering
 // than the uncombined pipeline gives same-key pairs.
 func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	if h.obsw != nil {
+		defer h.obsPublishThrottled()
+	}
 	for nreq < len(reqs) {
 		req := reqs[nreq]
 		var hv uint64
@@ -392,6 +448,12 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 		if h.onComplete != nil {
 			p.startNS = time.Now().UnixNano()
 		}
+		if h.trace != nil {
+			if h.traceCnt++; h.traceCnt >= h.traceEvery {
+				h.traceCnt = 0
+				p.trace = h.trace.NextID()
+			}
+		}
 		if !hashed {
 			hv = h.t.hash(p.req.Key)
 		}
@@ -421,6 +483,9 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 // done is false the response buffer filled up and Flush must be called
 // again. Typically called once at the end of a dataset (paper §3.1).
 func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
+	if h.obsw != nil {
+		defer h.obsPublish()
+	}
 	for h.Pending() > 0 {
 		if _, blocked := h.processOldest(resps, &nresp); blocked {
 			return nresp, false
@@ -440,6 +505,9 @@ func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
 // the probe loop itself carries no per-slot op switch.
 func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, blocked bool) {
 	p := h.q[h.tail&h.mask]
+	if p.trace != 0 && p.state == stateProbing {
+		h.trace.Record(p.trace, obs.EvProbe, uint8(p.req.Op), p.req.Key, uint32(p.probes))
+	}
 
 	// A parked leader already resolved; only its combined-Get chain is
 	// still waiting for response space. Resume emitting where retire
@@ -637,6 +705,13 @@ func (h *Handle) finish(p pending, op table.Op, hit bool) {
 	if hit && (op == table.Get || op == table.Delete) {
 		h.stats.Hits++
 	}
+	if p.trace != 0 {
+		var arg uint32
+		if hit {
+			arg = 1
+		}
+		h.trace.Record(p.trace, obs.EvComplete, uint8(op), p.req.Key, arg)
+	}
 	if h.onComplete != nil {
 		// startNS is only stamped at Submit when the hook was already
 		// installed; a request that predates SetLatencyHook completes with a
@@ -649,4 +724,57 @@ func (h *Handle) finish(p pending, op table.Op, hit bool) {
 		}
 		h.onComplete(p.req, lat)
 	}
+}
+
+// obsPublishEvery throttles Submit-side publishes: small batches (the
+// common batch-16 streaming shape) would otherwise pay ~20 atomic stores
+// per 16 ops, which alone exceeds the ≤2% observe-on budget. Every 64th
+// Submit — plus every Flush, so quiescent handles are always exact —
+// bounds the publish cost at a fraction of a store per op while scrapes
+// still see values at most one window behind.
+const obsPublishEvery = 64
+
+// obsPublishThrottled tracks the occupancy high-water cheaply on every
+// Submit and forwards one call in obsPublishEvery to obsPublish.
+func (h *Handle) obsPublishThrottled() {
+	if occ := uint64(h.Pending()); occ > h.occMax {
+		h.occMax = occ
+	}
+	if h.pubCnt++; h.pubCnt >= obsPublishEvery {
+		h.pubCnt = 0
+		h.obsPublish()
+	}
+}
+
+// obsPublish copies the handle's plain counters into its padded registry
+// shard and refreshes the pipeline gauges. Called at Flush exit and every
+// obsPublishEvery-th Submit (one batch, never one op), so the amortized
+// cost is a fraction of an uncontended atomic store per op — this is what
+// keeps observe-on inside the ≤2% overhead budget while scrapes still see
+// near-live values.
+func (h *Handle) obsPublish() {
+	w := h.obsw
+	s := &h.stats
+	w.Store(obs.CGets, s.Gets)
+	w.Store(obs.CPuts, s.Puts)
+	w.Store(obs.CUpserts, s.Upserts)
+	w.Store(obs.CDeletes, s.Deletes)
+	w.Store(obs.CHits, s.Hits)
+	w.Store(obs.CFailed, s.Failed)
+	w.Store(obs.CReprobes, s.Reprobes)
+	w.Store(obs.CLines, s.Lines)
+	w.Store(obs.CKeyLines, s.KeyLines)
+	w.Store(obs.CTagSkips, s.TagSkips)
+	w.Store(obs.CTagHits, s.TagHits)
+	w.Store(obs.CTagFalse, s.TagFalse)
+	w.Store(obs.CCombinedUpserts, s.CombinedUpserts)
+	w.Store(obs.CPiggybackedGets, s.PiggybackedGets)
+	w.Store(obs.CForwardedGets, s.ForwardedGets)
+	w.Store(obs.CCASAttempts, s.CASAttempts)
+	occ := uint64(h.Pending())
+	if occ > h.occMax {
+		h.occMax = occ
+	}
+	w.SetGauge(obs.GWindowOcc, occ)
+	w.SetGauge(obs.GWindowMax, h.occMax)
 }

@@ -26,6 +26,7 @@ import (
 	"math/bits"
 
 	"dramhit/internal/delegation"
+	"dramhit/internal/obs"
 	"dramhit/internal/simd"
 	"dramhit/internal/table"
 )
@@ -90,6 +91,7 @@ func (w *WriteHandle) flushHeld() {
 		part, _ := t.locate(w.ckeys[i])
 		w.p.Send(t.ownerOf(part), delegation.Message{A: w.ckeys[i], B: w.cvals[i], Aux: uint64(table.Upsert)})
 	}
+	w.sends += uint64(w.cn)
 	w.cn = 0
 }
 
@@ -103,6 +105,7 @@ func (w *WriteHandle) flushKey(key uint64) {
 		t := w.t
 		part, _ := t.locate(key)
 		w.p.Send(t.ownerOf(part), delegation.Message{A: key, B: w.cvals[i], Aux: uint64(table.Upsert)})
+		w.sends++
 		w.cn--
 		w.ckeys[i] = w.ckeys[w.cn]
 		w.cvals[i] = w.cvals[w.cn]
@@ -121,6 +124,15 @@ func (r *ReadHandle) push(p rpending) {
 		r.tagcnt[p.tag]++
 	}
 	r.head++
+	if p.trace != 0 {
+		// First entry (probes == 0) is the submission; a re-push with probe
+		// progress is a line crossing's reprobe.
+		if p.probes == 0 {
+			r.trace.Record(p.trace, obs.EvSubmit, uint8(table.Get), p.key, 0)
+		} else {
+			r.trace.Record(p.trace, obs.EvReprobe, uint8(table.Get), p.key, uint32(p.probes))
+		}
+	}
 }
 
 // pop retires the queue-head position, releasing the slot's tag byte from
@@ -192,6 +204,9 @@ func (r *ReadHandle) tryCombine(id uint64, pos int) bool {
 	r.merged[n] = rmerged{id: id, next: lead.chain}
 	lead.chain = n + 1
 	lead.ngets++
+	if lead.trace != 0 {
+		r.trace.Record(lead.trace, obs.EvCombine, uint8(table.Get), lead.key, uint32(lead.ngets))
+	}
 	return true
 }
 
@@ -238,6 +253,16 @@ func (r *ReadHandle) retire(p rpending, v uint64, ok bool, resps []table.Respons
 	resps[*nresp] = table.Response{ID: p.id, Value: v, Found: ok}
 	*nresp++
 	r.complete(ok)
+	if p.trace != 0 {
+		var arg uint32
+		if ok {
+			arg = 1
+		}
+		r.trace.Record(p.trace, obs.EvComplete, uint8(table.Get), p.key, arg)
+	}
+	if r.obsw != nil && p.ngets != 0 {
+		r.obsw.MaxGauge(obs.GChainMax, uint64(p.ngets))
+	}
 	if p.chain == 0 || r.emitChain(&p, v, ok, resps, nresp) {
 		r.pop()
 		return false
@@ -246,6 +271,10 @@ func (r *ReadHandle) retire(p rpending, v uint64, ok bool, resps []table.Respons
 		p.state = stateHit
 	} else {
 		p.state = stateMiss
+	}
+	if r.obsw != nil {
+		// Backpressure park: chain emission stalled on response space.
+		r.obsw.Inc(obs.CParks)
 	}
 	p.rval = v
 	s := r.tail & r.mask

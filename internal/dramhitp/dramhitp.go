@@ -19,6 +19,7 @@ import (
 
 	"dramhit/internal/delegation"
 	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
 	"dramhit/internal/simd"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
@@ -66,6 +67,12 @@ type Config struct {
 	// zero value (table.CombineOn) is the default; table.CombineOff is the
 	// A/B baseline.
 	Combining table.Combining
+	// Observe, when non-nil, attaches the table to the observability
+	// registry: each handle registers a padded counter shard published at
+	// batch boundaries (Flush/Barrier for writers, Submit/Flush for
+	// readers), plus a table-level pull source of quiescent-safe aggregates.
+	// Nil — the default — is bit-identical and allocation-free.
+	Observe *obs.Registry
 }
 
 // DefaultPrefetchWindow mirrors dramhit.DefaultPrefetchWindow.
@@ -128,6 +135,9 @@ type Table struct {
 	// handleSeq hands out producer indices to cloned adapters.
 	handleSeq atomic.Int32
 	closeOnce sync.Once
+	obsReg    *obs.Registry
+	// nread names ReadHandle worker shards.
+	nread atomic.Int32
 }
 
 // New builds the table. Call Start to launch the delegation threads.
@@ -187,6 +197,21 @@ func New(cfg Config) *Table {
 		} else {
 			t.parts[i].arr = slotarr.New(partSlots)
 		}
+	}
+	t.obsReg = cfg.Observe
+	if t.obsReg != nil {
+		// Only atomically-readable aggregates are exposed here: the
+		// owner-local write-path filter counters (WriteFilterStats) are plain
+		// fields, exact only at quiescence, so a live scrape must not touch
+		// them.
+		t.obsReg.AddSource("dramhitp", func() map[string]float64 {
+			return map[string]float64{
+				"live":       float64(t.Len()),
+				"slots":      float64(t.Cap()),
+				"dropped":    float64(t.Dropped()),
+				"partitions": float64(t.Partitions()),
+			}
+		})
 	}
 	return t
 }

@@ -1,8 +1,11 @@
 package dramhitp
 
 import (
+	"strconv"
+
 	"dramhit/internal/delegation"
 	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
 	"dramhit/internal/simd"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
@@ -24,6 +27,10 @@ type WriteHandle struct {
 	cvals    [coalesceWindow]uint64
 	// Combined counts Upserts folded into a held entry instead of sent.
 	Combined uint64
+	// sends counts delegation messages dispatched (plain field, published
+	// into obsw at Flush/Barrier/Close boundaries).
+	sends uint64
+	obsw  *obs.Worker
 }
 
 // NewWriteHandle allocates the next producer slot. It panics if more
@@ -33,7 +40,19 @@ func (t *Table) NewWriteHandle() *WriteHandle {
 	if id >= t.cfg.Producers {
 		panic("dramhitp: more WriteHandles requested than Config.Producers")
 	}
-	return &WriteHandle{t: t, p: t.fabric.Producer(id), coalesce: t.combine == table.CombineOn}
+	w := &WriteHandle{t: t, p: t.fabric.Producer(id), coalesce: t.combine == table.CombineOn}
+	if t.obsReg != nil {
+		w.obsw = t.obsReg.Worker("dramhitp-w" + strconv.Itoa(id))
+	}
+	return w
+}
+
+// obsPublish copies the writer's plain counters into its registry shard and
+// refreshes the delegation-backlog gauge. Called at Flush/Barrier/Close.
+func (w *WriteHandle) obsPublish() {
+	w.obsw.Store(obs.CQueueSends, w.sends)
+	w.obsw.Store(obs.CCombinedUpserts, w.Combined)
+	w.obsw.SetGauge(obs.GQueueDepth, uint64(w.p.Pending()))
 }
 
 // send routes an update to the owner of the key's partition, checking the
@@ -44,6 +63,7 @@ func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
 	if t.side.For(key) != nil {
 		// Reserved keys are owned by consumer 0.
 		w.p.Send(0, delegation.Message{A: key, B: value, Aux: uint64(op)})
+		w.sends++
 		return true
 	}
 	part, _ := t.locate(key)
@@ -52,6 +72,7 @@ func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
 		return false
 	}
 	w.p.Send(t.ownerOf(part), delegation.Message{A: key, B: value, Aux: uint64(op)})
+	w.sends++
 	return true
 }
 
@@ -93,6 +114,9 @@ func (w *WriteHandle) Flush() {
 		w.flushHeld()
 	}
 	w.p.Flush()
+	if w.obsw != nil {
+		w.obsPublish()
+	}
 }
 
 // Barrier blocks until every update this handle sent has been executed by
@@ -103,6 +127,9 @@ func (w *WriteHandle) Barrier() {
 		w.flushHeld()
 	}
 	w.p.Barrier()
+	if w.obsw != nil {
+		w.obsPublish()
+	}
 }
 
 // Close flushes and releases the producer slot. Must be called exactly once
@@ -113,6 +140,9 @@ func (w *WriteHandle) Close() {
 		w.flushHeld()
 	}
 	w.p.Close()
+	if w.obsw != nil {
+		w.obsPublish()
+	}
 }
 
 // ReadHandle is a per-goroutine reader with the same prefetch-window
@@ -153,6 +183,16 @@ type ReadHandle struct {
 	// Filter accumulates this reader's tag-filter events (handle-local so
 	// concurrent readers never share counter cache lines).
 	Filter FilterStats
+
+	// Observability (nil/zero without a registry): the plain counters above
+	// are published into obsw at Submit/Flush exit; trace samples 1-in-
+	// traceEvery pipelined lookups through the lifecycle ring.
+	obsw       *obs.Worker
+	trace      *obs.TraceRing
+	traceEvery int
+	traceCnt   int
+	pubCnt     int // Submit calls since the last throttled publish
+	occMax     uint64
 }
 
 type rpending struct {
@@ -162,6 +202,7 @@ type rpending struct {
 	idx    uint64 // partition-local
 	probes uint64
 	rval   uint64 // resolved value of a parked leader (state != stateProbing)
+	trace  uint64 // lifecycle trace id; 0 = not sampled
 	chain  int32  // 1+index into merged of the newest piggybacked Get; 0 = none
 	ngets  int32
 	tag    uint8 // key's tag fingerprint (table.TagOf of the full hash)
@@ -188,7 +229,50 @@ func (t *Table) NewReadHandle() *ReadHandle {
 	if r.combine {
 		r.rtags = make([]uint64, (capacity+7)/8)
 	}
+	if t.obsReg != nil {
+		n := t.nread.Add(1)
+		r.obsw = t.obsReg.Worker("dramhitp-r" + strconv.Itoa(int(n)-1))
+		r.trace = t.obsReg.Trace()
+		r.traceEvery = t.obsReg.TraceSampleN()
+	}
 	return r
+}
+
+// obsPublishThrottled tracks the occupancy high-water on every Submit and
+// forwards one call in obsPublishEvery to obsPublish — same rationale as
+// the core table: per-batch publishing alone would blow the ≤2% observe-on
+// budget on batch-16 streams. Flush still publishes unconditionally, so a
+// drained pipeline always scrapes exact.
+const obsPublishEvery = 64
+
+func (r *ReadHandle) obsPublishThrottled() {
+	if occ := uint64(r.head - r.tail); occ > r.occMax {
+		r.occMax = occ
+	}
+	if r.pubCnt++; r.pubCnt >= obsPublishEvery {
+		r.pubCnt = 0
+		r.obsPublish()
+	}
+}
+
+// obsPublish copies the reader's plain counters into its registry shard.
+// Called at Flush exit and every obsPublishEvery-th Submit
+// (batch-amortized, uncontended stores).
+func (r *ReadHandle) obsPublish() {
+	w := r.obsw
+	w.Store(obs.CGets, r.Gets)
+	w.Store(obs.CHits, r.Hits)
+	w.Store(obs.CPiggybackedGets, r.Piggybacked)
+	w.Store(obs.CKeyLines, r.Filter.KeyLines)
+	w.Store(obs.CTagSkips, r.Filter.TagSkips)
+	w.Store(obs.CTagHits, r.Filter.TagHits)
+	w.Store(obs.CTagFalse, r.Filter.TagFalse)
+	occ := uint64(r.head - r.tail)
+	if occ > r.occMax {
+		r.occMax = occ
+	}
+	w.SetGauge(obs.GWindowOcc, occ)
+	w.SetGauge(obs.GWindowMax, r.occMax)
 }
 
 // Get is the direct synchronous read path (two loads, no atomics beyond
@@ -208,6 +292,9 @@ func (r *ReadHandle) Get(key uint64) (uint64, bool) {
 // (one probe, N responses) instead of enqueueing. Returns requests
 // consumed and responses written.
 func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	if r.obsw != nil {
+		defer r.obsPublishThrottled()
+	}
 	t := r.t
 	for nreq < len(reqs) {
 		req := reqs[nreq]
@@ -236,6 +323,12 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 			part, local, tag = t.locateTag(req.Key)
 		}
 		p := rpending{key: req.Key, id: req.ID, part: part, idx: local, tag: tag}
+		if r.trace != nil {
+			if r.traceCnt++; r.traceCnt >= r.traceEvery {
+				r.traceCnt = 0
+				p.trace = r.trace.NextID()
+			}
+		}
 		arr := t.parts[part].arr
 		if r.filter == table.FilterTags {
 			// The cache-hot tag word already proves a doomed home line; only
@@ -255,6 +348,9 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 
 // Flush drains the read pipeline.
 func (r *ReadHandle) Flush(resps []table.Response) (nresp int, done bool) {
+	if r.obsw != nil {
+		defer r.obsPublish()
+	}
 	for r.head > r.tail {
 		if blocked := r.processOldest(resps, &nresp); blocked {
 			return nresp, false
@@ -269,6 +365,9 @@ func (r *ReadHandle) Flush(resps []table.Response) (nresp int, done bool) {
 // resumed before anything else.
 func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked bool) {
 	p := r.q[r.tail&r.mask]
+	if p.trace != 0 && p.state == stateProbing {
+		r.trace.Record(p.trace, obs.EvProbe, uint8(table.Get), p.key, uint32(p.probes))
+	}
 	if p.state != stateProbing {
 		if r.emitChain(&p, p.rval, p.state == stateHit, resps, nresp) {
 			r.pop()

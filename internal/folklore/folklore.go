@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 )
@@ -27,6 +28,50 @@ type Table struct {
 	size uint64
 	used atomic.Int64 // claimed slots, including tombstones (capacity accounting)
 	live atomic.Int64 // present entries, excluding tombstones
+	obs  *obsCounters // nil unless Observe was called
+}
+
+// obsCounters are the table's hot-path observability counters. Folklore has
+// no per-goroutine handle to shard by, so each counter stripes over padded
+// cells keyed by the operation's home slot — well-distributed by the hash,
+// so concurrent operators rarely collide on a counter cache line.
+type obsCounters struct {
+	ops    *obs.ShardedCounter // completed operations
+	probes *obs.ShardedCounter // slots inspected
+	hits   *obs.ShardedCounter // Gets that found / Deletes that removed
+}
+
+// Observe attaches the table to the observability registry: per-op counters
+// stripe over padded cells (see obsCounters) and a pull source reports
+// table-level aggregates at scrape time. Call before the table is shared;
+// a table without Observe pays one nil check per operation and nothing else.
+func (t *Table) Observe(reg *obs.Registry) {
+	oc := &obsCounters{
+		ops:    obs.NewShardedCounter(64),
+		probes: obs.NewShardedCounter(64),
+		hits:   obs.NewShardedCounter(64),
+	}
+	t.obs = oc
+	reg.AddSource("folklore", func() map[string]float64 {
+		return map[string]float64{
+			"ops":         float64(oc.ops.Total()),
+			"probe_slots": float64(oc.probes.Total()),
+			"hits":        float64(oc.hits.Total()),
+			"live":        float64(t.Len()),
+			"slots":       float64(t.Cap()),
+			"fill":        t.Fill(),
+		}
+	})
+}
+
+// obsRec records one completed operation that inspected `slots` slots.
+func (t *Table) obsRec(home, slots uint64, hit bool) {
+	o := t.obs
+	o.ops.Inc(home)
+	o.probes.Add(home, slots)
+	if hit {
+		o.hits.Inc(home)
+	}
 }
 
 // Option configures a Table.
@@ -65,17 +110,31 @@ func (t *Table) step(i uint64) uint64 {
 // Get returns the value stored for key and whether it was present.
 func (t *Table) Get(key uint64) (uint64, bool) {
 	if s := t.side.For(key); s != nil {
-		return s.Get()
+		v, ok := s.Get()
+		if t.obs != nil {
+			t.obsRec(0, 0, ok)
+		}
+		return v, ok
 	}
 	i := t.index(key)
+	home := i
 	for probes := uint64(0); probes < t.size; probes++ {
 		switch k := t.arr.Key(i); k {
 		case key:
+			if t.obs != nil {
+				t.obsRec(home, probes+1, true)
+			}
 			return t.arr.WaitValue(i), true
 		case table.EmptyKey:
+			if t.obs != nil {
+				t.obsRec(home, probes+1, false)
+			}
 			return 0, false
 		}
 		i = t.step(i)
+	}
+	if t.obs != nil {
+		t.obsRec(home, t.size, false)
 	}
 	return 0, false
 }
@@ -85,19 +144,29 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 func (t *Table) Put(key, value uint64) bool {
 	if s := t.side.For(key); s != nil {
 		s.Put(value)
+		if t.obs != nil {
+			t.obsRec(0, 0, false)
+		}
 		return true
 	}
 	i := t.index(key)
+	home := i
 	for probes := uint64(0); probes < t.size; probes++ {
 		switch k := t.arr.Key(i); k {
 		case key:
 			t.arr.StoreValue(i, value)
+			if t.obs != nil {
+				t.obsRec(home, probes+1, false)
+			}
 			return true
 		case table.EmptyKey:
 			if t.arr.CASKey(i, table.EmptyKey, key) {
 				t.arr.StoreValue(i, value)
 				t.used.Add(1)
 				t.live.Add(1)
+				if t.obs != nil {
+					t.obsRec(home, probes+1, false)
+				}
 				return true
 			}
 			// Lost the claim race; re-inspect the same slot, which now
@@ -108,6 +177,9 @@ func (t *Table) Put(key, value uint64) bool {
 		// probing.
 		i = t.step(i)
 	}
+	if t.obs != nil {
+		t.obsRec(home, t.size, false)
+	}
 	return false
 }
 
@@ -117,23 +189,36 @@ func (t *Table) Put(key, value uint64) bool {
 func (t *Table) Upsert(key, delta uint64) (uint64, bool) {
 	if s := t.side.For(key); s != nil {
 		v, _ := s.Upsert(delta)
+		if t.obs != nil {
+			t.obsRec(0, 0, false)
+		}
 		return v, true
 	}
 	i := t.index(key)
+	home := i
 	for probes := uint64(0); probes < t.size; probes++ {
 		switch k := t.arr.Key(i); k {
 		case key:
+			if t.obs != nil {
+				t.obsRec(home, probes+1, false)
+			}
 			return t.arr.AddValue(i, delta), true
 		case table.EmptyKey:
 			if t.arr.CASKey(i, table.EmptyKey, key) {
 				t.arr.StoreValue(i, delta)
 				t.used.Add(1)
 				t.live.Add(1)
+				if t.obs != nil {
+					t.obsRec(home, probes+1, false)
+				}
 				return delta, true
 			}
 			continue
 		}
 		i = t.step(i)
+	}
+	if t.obs != nil {
+		t.obsRec(home, t.size, false)
 	}
 	return 0, false
 }
@@ -143,23 +228,40 @@ func (t *Table) Upsert(key, delta uint64) (uint64, bool) {
 // only.
 func (t *Table) Delete(key uint64) bool {
 	if s := t.side.For(key); s != nil {
-		return s.Delete()
+		ok := s.Delete()
+		if t.obs != nil {
+			t.obsRec(0, 0, ok)
+		}
+		return ok
 	}
 	i := t.index(key)
+	home := i
 	for probes := uint64(0); probes < t.size; probes++ {
 		switch k := t.arr.Key(i); k {
 		case key:
 			if t.arr.CASKey(i, key, table.TombstoneKey) {
 				t.live.Add(-1)
+				if t.obs != nil {
+					t.obsRec(home, probes+1, true)
+				}
 				return true
 			}
 			// The only possible transition under us is key → tombstone by a
 			// concurrent delete; report not-present-anymore.
+			if t.obs != nil {
+				t.obsRec(home, probes+1, false)
+			}
 			return false
 		case table.EmptyKey:
+			if t.obs != nil {
+				t.obsRec(home, probes+1, false)
+			}
 			return false
 		}
 		i = t.step(i)
+	}
+	if t.obs != nil {
+		t.obsRec(home, t.size, false)
 	}
 	return false
 }

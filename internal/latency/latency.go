@@ -84,16 +84,27 @@ func (c *CDF) Quantile(q float64) float64 {
 	return c.sorted[lo]*(1-frac) + c.sorted[lo+1]*frac
 }
 
+// Merge combines frozen CDFs into one distribution over the union of their
+// retained samples (the multi-worker summary case).
+func Merge(cdfs ...*CDF) *CDF {
+	var all []float64
+	for _, c := range cdfs {
+		all = append(all, c.sorted...)
+	}
+	sort.Float64s(all)
+	return &CDF{sorted: all}
+}
+
 // At returns the cumulative proportion of samples ≤ v.
 func (c *CDF) At(v float64) float64 {
 	if len(c.sorted) == 0 {
 		return math.NaN()
 	}
-	idx := sort.SearchFloat64s(c.sorted, v)
-	// Include equal values.
-	for idx < len(c.sorted) && c.sorted[idx] <= v {
-		idx++
-	}
+	// Upper bound — the first index whose sample exceeds v — so runs of
+	// equal values are included in O(log n); the previous linear walk over
+	// ties degraded to O(n) on the heavily tied distributions quantized
+	// timers produce.
+	idx := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > v })
 	return float64(idx) / float64(len(c.sorted))
 }
 

@@ -1,0 +1,90 @@
+package latency
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAtIncludesTies pins the upper-bound semantics of At on heavily tied
+// data: the cumulative proportion at v counts every sample equal to v, at
+// every position of the tied run.
+func TestAtIncludesTies(t *testing.T) {
+	r := NewRecorder(0)
+	// 100 copies of 5, flanked below and above.
+	for i := 0; i < 50; i++ {
+		r.Add(1)
+	}
+	for i := 0; i < 100; i++ {
+		r.Add(5)
+	}
+	for i := 0; i < 50; i++ {
+		r.Add(9)
+	}
+	c := r.CDF()
+	cases := []struct{ v, want float64 }{
+		{0, 0},
+		{1, 0.25},
+		{4.999, 0.25},
+		{5, 0.75}, // all 100 ties included
+		{8.999, 0.75},
+		{9, 1},
+		{100, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.v); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestAtAllEqual is the degenerate distribution a quantized timer produces:
+// every sample identical. At must handle the full-length tied run.
+func TestAtAllEqual(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 10000; i++ {
+		r.Add(42)
+	}
+	c := r.CDF()
+	if got := c.At(42); got != 1 {
+		t.Fatalf("At(42) = %v, want 1", got)
+	}
+	if got := c.At(41.9); got != 0 {
+		t.Fatalf("At(41.9) = %v, want 0", got)
+	}
+}
+
+// TestReservoirUnbiased is a statistical pin on the reservoir sampler: when
+// more samples arrive than the recorder retains, every sample must have
+// equal probability of surviving, so the retained mean of a uniform ramp
+// stays near the ramp's midpoint and the quartiles stay near their ideals.
+func TestReservoirUnbiased(t *testing.T) {
+	const (
+		capS = 4096
+		n    = 400_000
+	)
+	r := NewRecorder(capS)
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != n {
+		t.Fatalf("seen = %d, want %d", r.Count(), n)
+	}
+	c := r.CDF()
+	if c.Len() != capS {
+		t.Fatalf("retained = %d, want %d", c.Len(), capS)
+	}
+	// With 4096 uniform retained samples, the standard error of the mean is
+	// n/sqrt(12*4096) ≈ 0.45% of the range; 4% tolerance is ~9 sigma, so a
+	// biased sampler fails and an unbiased one never flakes (the recorder's
+	// xorshift stream is deterministic anyway).
+	mid := float64(n) / 2
+	if m := c.Mean(); math.Abs(m-mid) > 0.04*float64(n) {
+		t.Errorf("retained mean = %.0f, want ≈%.0f (bias)", m, mid)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		want := q * float64(n)
+		if got := c.Quantile(q); math.Abs(got-want) > 0.04*float64(n) {
+			t.Errorf("q%.2f = %.0f, want ≈%.0f", q, got, want)
+		}
+	}
+}

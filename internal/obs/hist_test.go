@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistBucketBoundsRoundTrip(t *testing.T) {
+	// Every bucket's bounds must map back to that bucket, and adjacent
+	// buckets must tile the value space without gaps or overlap.
+	prevHi := uint64(0)
+	for i := 0; i < NumHistBuckets; i++ {
+		lo, hi := HistBucketBounds(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if i == 0 {
+			if lo != 0 {
+				t.Fatalf("bucket 0 starts at %d, want 0", lo)
+			}
+		} else if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo %d, want %d (prev hi+1)", i, lo, prevHi+1)
+		}
+		if got := histBucketOf(lo); got != i {
+			t.Fatalf("histBucketOf(lo=%d) = %d, want %d", lo, got, i)
+		}
+		if got := histBucketOf(hi); got != i {
+			t.Fatalf("histBucketOf(hi=%d) = %d, want %d", hi, got, i)
+		}
+		prevHi = hi
+		if hi == math.MaxUint64 {
+			if i != NumHistBuckets-1 {
+				t.Fatalf("bucket %d already covers MaxUint64", i)
+			}
+			break
+		}
+	}
+	if prevHi != math.MaxUint64 {
+		t.Fatalf("buckets end at %d, want MaxUint64", prevHi)
+	}
+}
+
+func TestHistSmallValuesExact(t *testing.T) {
+	// Values below histSubCount occupy their own bucket: exact recording.
+	var h Histogram
+	for v := uint64(0); v < histSubCount; v++ {
+		h.Record(v)
+	}
+	for v := uint64(0); v < histSubCount; v++ {
+		lo, hi := HistBucketBounds(histBucketOf(v))
+		if lo != v || hi != v {
+			t.Fatalf("value %d: bounds [%d,%d], want exact", v, lo, hi)
+		}
+	}
+	if h.Count() != histSubCount {
+		t.Fatalf("count = %d, want %d", h.Count(), histSubCount)
+	}
+}
+
+func TestHistMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() *Histogram {
+		h := &Histogram{}
+		for i := 0; i < 1000; i++ {
+			h.Record(uint64(rng.Int63n(1 << 40)))
+		}
+		return h
+	}
+	a, b, c := mk(), mk(), mk()
+
+	// (a+b)+c
+	var abc1 Histogram
+	abc1.Merge(a)
+	abc1.Merge(b)
+	abc1.Merge(c)
+	// a+(c+b) via a scratch: different association and order.
+	var cb, abc2 Histogram
+	cb.Merge(c)
+	cb.Merge(b)
+	abc2.Merge(a)
+	abc2.Merge(&cb)
+
+	if abc1.Count() != abc2.Count() || abc1.Sum() != abc2.Sum() {
+		t.Fatalf("merge not associative: count %d vs %d, sum %d vs %d",
+			abc1.Count(), abc2.Count(), abc1.Sum(), abc2.Sum())
+	}
+	for i := range abc1.counts {
+		if abc1.counts[i].Load() != abc2.counts[i].Load() {
+			t.Fatalf("bucket %d differs after re-associated merge", i)
+		}
+	}
+}
+
+func TestHistQuantileErrorBound(t *testing.T) {
+	// Against the exact CDF of the recorded sample, every quantile estimate
+	// must be within the bucket-geometry bound: relative error ≤ half a
+	// bucket width = 2^-(histSubBits+1), plus the midpoint offset — use the
+	// full width 2^-histSubBits as the hard bound.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform spread so many octaves are exercised.
+		v := uint64(math.Exp(rng.Float64()*20) + 64)
+		h.Record(v)
+		vals = append(vals, float64(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := h.Quantile(q)
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 1.0/histSubCount {
+			t.Errorf("q=%g: got %g, exact %g, rel err %g > %g",
+				q, got, exact, relErr, 1.0/histSubCount)
+		}
+	}
+}
+
+func TestHistCountAtOrBelowExactAtOctaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	var vals []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		h.Record(v)
+		vals = append(vals, v)
+	}
+	for k := 6; k <= 30; k += 2 {
+		bound := uint64(1)<<k - 1
+		var want uint64
+		for _, v := range vals {
+			if v <= bound {
+				want++
+			}
+		}
+		if got := h.CountAtOrBelow(bound); got != want {
+			t.Fatalf("CountAtOrBelow(2^%d-1) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestHistMeanExact(t *testing.T) {
+	var h Histogram
+	var sum, n uint64
+	for v := uint64(1); v <= 1000; v++ {
+		h.RecordN(v*v, 3)
+		sum += v * v * 3
+		n += 3
+	}
+	if got, want := h.Mean(), float64(sum)/float64(n); got != want {
+		t.Fatalf("Mean = %g, want exact %g", got, want)
+	}
+}
+
+func TestHistRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(12345) }); n != 0 {
+		t.Fatalf("Record allocates %v per run, want 0", n)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Max()) {
+		t.Fatal("empty histogram should report NaN")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zeroed: %+v", s)
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if got := h.CountAtOrBelow(math.MaxUint64); got != 0 {
+		t.Fatalf("buckets not cleared: %d", got)
+	}
+}

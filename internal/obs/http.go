@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler returns the observability HTTP surface for r:
+//
+//	/metrics        Prometheus text exposition format
+//	/trace          sampled request-lifecycle events as JSON
+//	/debug/vars     expvar (includes the registry snapshot as dramhit_obs)
+//	/debug/pprof/   the standard Go profiler endpoints
+//	/               a short index of the above
+func Handler(r *Registry) http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, r)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var evs []Event
+		if tr := r.Trace(); tr != nil {
+			evs = tr.Snapshot()
+		}
+		if evs == nil {
+			evs = []Event{}
+		}
+		json.NewEncoder(w).Encode(evs)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "dramhit observability: /metrics /trace /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":8090") and
+// returns the running server; Close it to stop. The listener is bound
+// synchronously so a caller that returns without error is scrapeable.
+func Serve(addr string, r *Registry) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// Addr reflects the bound listener (resolves ":0" and bare-port forms)
+	// so callers can print a scrapeable URL.
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, nil
+}
+
+// expvar.Publish panics on duplicate names, so the registry snapshot is
+// published once under a package-level indirection that always reflects the
+// most recently served registry.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("dramhit_obs", expvar.Func(func() any {
+			reg := expvarReg.Load()
+			if reg == nil {
+				return nil
+			}
+			return reg.TakeSnapshot()
+		}))
+	})
+}
+
+// promBounds are the cumulative `le` bucket bounds of the latency
+// histogram's Prometheus rendering. Each is of the form 2^k-1, aligning
+// exactly with the log-bucket octave boundaries, so the cumulative counts
+// are exact (no bucket is split by a bound).
+var promBounds = func() []uint64 {
+	var b []uint64
+	for k := 6; k <= 34; k += 2 { // 63ns .. ~17s
+		b = append(b, uint64(1)<<k-1)
+	}
+	return b
+}()
+
+// WriteMetrics renders r in the Prometheus text exposition format.
+func WriteMetrics(w io.Writer, r *Registry) {
+	workers := r.Workers()
+
+	for i := 0; i < NumCounters; i++ {
+		any := false
+		for _, wk := range workers {
+			if wk.Counter(i) != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		name := "dramhit_" + CounterNames[i] + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		for _, wk := range workers {
+			if v := wk.Counter(i); v != 0 {
+				fmt.Fprintf(w, "%s{worker=%q} %d\n", name, wk.Name(), v)
+			}
+		}
+	}
+
+	for g := 0; g < NumGauges; g++ {
+		any := false
+		for _, wk := range workers {
+			if wk.Gauge(g) != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		name := "dramhit_" + GaugeNames[g]
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		for _, wk := range workers {
+			fmt.Fprintf(w, "%s{worker=%q} %d\n", name, wk.Name(), wk.Gauge(g))
+		}
+	}
+
+	// Latency histograms, one series per worker with recorded samples.
+	headed := false
+	for _, wk := range workers {
+		n := wk.Lat.Count()
+		if n == 0 {
+			continue
+		}
+		if !headed {
+			fmt.Fprintf(w, "# TYPE dramhit_latency_ns histogram\n")
+			headed = true
+		}
+		var cum uint64
+		for _, le := range promBounds {
+			cum = wk.Lat.CountAtOrBelow(le)
+			fmt.Fprintf(w, "dramhit_latency_ns_bucket{worker=%q,le=%q} %d\n",
+				wk.Name(), fmt.Sprintf("%d", le), cum)
+		}
+		fmt.Fprintf(w, "dramhit_latency_ns_bucket{worker=%q,le=\"+Inf\"} %d\n", wk.Name(), n)
+		fmt.Fprintf(w, "dramhit_latency_ns_sum{worker=%q} %d\n", wk.Name(), wk.Lat.Sum())
+		fmt.Fprintf(w, "dramhit_latency_ns_count{worker=%q} %d\n", wk.Name(), n)
+	}
+
+	// Pull sources render as one labelled gauge family.
+	srcs := r.Sources()
+	if len(srcs) > 0 {
+		fmt.Fprintf(w, "# TYPE dramhit_pull gauge\n")
+		for _, src := range srcs {
+			m := src.Collect()
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "dramhit_pull{source=%q,name=%q} %v\n",
+					src.Name, sanitizeLabel(k), m[k])
+			}
+		}
+	}
+
+	if tr := r.Trace(); tr != nil {
+		fmt.Fprintf(w, "# TYPE dramhit_trace_events_total counter\n")
+		fmt.Fprintf(w, "dramhit_trace_events_total %d\n", tr.Recorded())
+	}
+	fmt.Fprintf(w, "# TYPE dramhit_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "dramhit_uptime_seconds %f\n", r.TakeSnapshot().UptimeSeconds)
+}
+
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}

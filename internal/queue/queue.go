@@ -148,6 +148,14 @@ func (q *SPSC[T]) Pending() int {
 	return int(q.sharedHead.Load() - q.tail)
 }
 
+// PendingShared estimates the backlog from the published head/tail words
+// only, so any goroutine — producer, scraper — may call it concurrently
+// with the endpoints. Section-granular (both words advance at section
+// boundaries): a gauge, not a synchronization primitive.
+func (q *SPSC[T]) PendingShared() int {
+	return int(q.sharedHead.Load() - q.sharedTail.Load())
+}
+
 // PrefetchNext touches the cache line the consumer will read next, mirroring
 // the paper's consumer-side queue prefetching (§3.3 "L1 residency"). Unlike
 // a hardware prefetch instruction, a Go load participates in the memory

@@ -87,6 +87,11 @@ type Result struct {
 	GBs         float64
 	Ops         uint64
 	Fill        float64
+	// MemTransactions counts cache-line transfers the timed phase caused;
+	// TransPerOp normalizes to the per-request DRAM cost the paper argues
+	// from (§2: one line in, one line out is the floor).
+	MemTransactions uint64
+	TransPerOp      float64
 }
 
 // Table sizes used throughout the evaluation.
@@ -205,11 +210,13 @@ func Run(c Config, mix OpMix) Result {
 
 	ops := uint64(cfg.MeasureOps)
 	return Result{
-		Mops:        sim.Mops(ops),
-		CyclesPerOp: sim.MaxClock() * float64(cfg.Threads) / float64(ops),
-		GBs:         sim.AchievedGBs(),
-		Ops:         ops,
-		Fill:        arr.occupancy(),
+		Mops:            sim.Mops(ops),
+		CyclesPerOp:     sim.MaxClock() * float64(cfg.Threads) / float64(ops),
+		GBs:             sim.AchievedGBs(),
+		Ops:             ops,
+		Fill:            arr.occupancy(),
+		MemTransactions: sim.MemTransactions(),
+		TransPerOp:      float64(sim.MemTransactions()) / float64(ops),
 	}
 }
 
