@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	out := flag.String("out", "", "directory to also write one text + one JSON file per experiment")
 	benchjson := flag.String("benchjson", "", "run the ycsb experiment and write its machine-readable summary (schema "+bench.YCSBSchema+") to this path")
+	resizejson := flag.String("resizejson", "", "run the resize-ab experiment and write its machine-readable summary (schema "+bench.ResizeSchema+") to this path")
 	metrics := flag.String("metrics", "", "serve observability (Prometheus /metrics, /trace, pprof) on this address while experiments run, e.g. :8090")
 	probeKernel := flag.String("probekernel", "", "probe kernel for real-execution experiments: swar|scalar (default swar)")
 	probeFilter := flag.String("probefilter", "", "probe filter for real-execution experiments: tags|none (default tags)")
@@ -74,7 +75,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
 	}
-	if *exp == "" && *benchjson == "" {
+	if *exp == "" && *benchjson == "" && *resizejson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
@@ -105,6 +106,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *benchjson)
+	}
+	if *resizejson != "" {
+		start := time.Now()
+		a, sum := bench.RunResizeAB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(resize-ab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*resizejson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *resizejson)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

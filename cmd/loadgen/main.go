@@ -37,6 +37,7 @@ func main() {
 	missRatio := flag.Float64("missratio", 0, "fraction of reads redirected to guaranteed-absent keys")
 	theta := flag.Float64("theta", -1, "zipfian skew of the key stream; negative = workload default")
 	combiningFlag := flag.String("combining", "on", "in-window request combining: on | off")
+	resizeModeFlag := flag.String("resizemode", "incremental", "resizable-table migration mode: incremental | gate")
 	jsonPath := flag.String("json", "", "write the run summary (config, Mops, latency percentiles) as JSON to this path")
 	metrics := flag.String("metrics", "", "serve observability on this address during the run, e.g. :8090")
 	observe := flag.Bool("observe", false, "attach the observability registry to the table even without -metrics")
@@ -54,6 +55,10 @@ func main() {
 		fail(fmt.Errorf("-theta must be negative (default) or in [0,1), got %v", *theta))
 	}
 	combining, err := dramhit.ParseCombining(*combiningFlag)
+	if err != nil {
+		fail(err)
+	}
+	resizeMode, err := dramhit.ParseResizeMode(*resizeModeFlag)
 	if err != nil {
 		fail(err)
 	}
@@ -112,7 +117,10 @@ func main() {
 			return view{get: t.Get, put: func(k, v uint64) { t.Put(k, v) }, fin: func() {}}
 		}
 	case "resizable":
-		t := dramhit.NewResizable(slots)
+		t := dramhit.NewResizableMode(slots, resizeMode)
+		if reg != nil {
+			t.Observe(reg)
+		}
 		for _, k := range ycsb.LoadKeys(*records, 1) {
 			t.Put(k, 0)
 		}

@@ -124,6 +124,24 @@ const (
 // ParseCombining maps "on" (or "") and "off" to the Combining values.
 func ParseCombining(s string) (Combining, error) { return table.ParseCombining(s) }
 
+// ResizeMode selects how the resizable table migrates at a doubling:
+// ResizeIncremental (the zero value and default) migrates cooperatively in
+// fixed-size chunks with no global write stall; ResizeGate migrates the
+// whole table under the exclusive gate for A/B runs.
+type ResizeMode = table.ResizeMode
+
+// Resize mode choices.
+const (
+	// ResizeIncremental migrates in helping-claimed chunks (default).
+	ResizeIncremental = table.ResizeIncremental
+	// ResizeGate migrates stop-the-world under the gate (A/B baseline).
+	ResizeGate = table.ResizeGate
+)
+
+// ParseResizeMode maps "incremental" (or "") and "gate" to the ResizeMode
+// values.
+func ParseResizeMode(s string) (ResizeMode, error) { return table.ParseResizeMode(s) }
+
 // Config parameterizes the core table.
 type Config = idramhit.Config
 
@@ -178,13 +196,22 @@ type Map = table.Map
 
 // Resizable is an automatically growing table built on the Folklore layout —
 // the capability the paper defers to Growt. Operations take a shared gate
-// (one uncontended atomic each); resizes migrate under the exclusive gate.
-// See internal/growt for the design trade-off discussion.
+// (one uncontended atomic each); resizes migrate incrementally: helping
+// operations copy fixed-size chunks into a successor table and retire old
+// slots with the MovedKey sentinel, so no operation ever stalls for more
+// than one chunk copy. See internal/growt for the protocol.
 type Resizable = growt.Table
 
 // NewResizable creates a resizable table with an initial capacity of n
 // slots; it grows (or compacts tombstones) when fill exceeds 75%.
 func NewResizable(n uint64) *Resizable { return growt.New(n) }
+
+// NewResizableMode is NewResizable with an explicit migration mode —
+// ResizeGate selects the stop-the-world baseline the resize-ab experiment
+// compares against.
+func NewResizableMode(n uint64, mode ResizeMode) *Resizable {
+	return growt.New(n, growt.WithResizeMode(mode))
+}
 
 // Observability is the unified observability registry (see internal/obs):
 // attach one via Config.Observe / PartitionedConfig.Observe (or

@@ -115,14 +115,14 @@ func (t *BigTable) unlockSlot(i uint64, odd uint32) {
 }
 
 // Put stores value (length must equal ValueSize) under key, returning false
-// only if the table is full. Reserved key values EmptyKey and TombstoneKey
-// are not supported by BigTable (it keeps the protocol exposition focused;
-// wrap keys if you need the full space).
+// only if the table is full. The reserved key values (EmptyKey,
+// TombstoneKey, MovedKey) are not supported by BigTable (it keeps the
+// protocol exposition focused; wrap keys if you need the full space).
 func (t *BigTable) Put(key uint64, value []byte) bool {
 	if len(value) != t.vsize {
 		panic("dramhit: BigTable.Put value size mismatch")
 	}
-	if key == table.EmptyKey || key == table.TombstoneKey {
+	if table.IsReservedKey(key) {
 		panic("dramhit: BigTable does not support reserved keys")
 	}
 	i := hashfn.Fastrange(t.hash(key), t.size)

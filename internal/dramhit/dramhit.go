@@ -420,7 +420,7 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 		var hv uint64
 		hashed := false
 		if h.combine && h.head != h.tail && req.Op != table.Delete &&
-			req.Key != table.EmptyKey && req.Key != table.TombstoneKey {
+			!table.IsReservedKey(req.Key) {
 			// Absorbing never grows the queue, so a merge skips the drain
 			// loop entirely: a same-key burst completes without a single
 			// additional memory transaction.

@@ -303,7 +303,7 @@ func (t *Table) ProbeLength(key uint64) int {
 // lock-free structure. The resizing wrapper uses it during migration, when
 // it has externally quiesced writers.
 func (t *Table) Range(fn func(key, value uint64) bool) {
-	for _, rk := range []uint64{table.EmptyKey, table.TombstoneKey} {
+	for _, rk := range []uint64{table.EmptyKey, table.TombstoneKey, table.MovedKey} {
 		if s := t.side.For(rk); s != nil {
 			if v, ok := s.Get(); ok {
 				if !fn(rk, v) {
@@ -314,7 +314,7 @@ func (t *Table) Range(fn func(key, value uint64) bool) {
 	}
 	for i := uint64(0); i < t.size; i++ {
 		k := t.arr.Key(i)
-		if k == table.EmptyKey || k == table.TombstoneKey {
+		if table.IsReservedKey(k) {
 			continue
 		}
 		if !fn(k, t.arr.WaitValue(i)) {

@@ -12,13 +12,30 @@ type EventKind uint8
 // it enters a handle's prefetch queue, Probe each time the drain inspects
 // its resident line, Reprobe each time it crosses into a new line (re-
 // enqueued behind a fresh prefetch), Combine each time another request
-// merges onto it, and Complete when it finishes.
+// merges onto it, and Complete when it finishes. Resize events (emitted by
+// the growing table, not per-request) share the ring: one event per
+// migration phase, with the phase code in Op and progress in Arg.
 const (
 	EvSubmit EventKind = iota + 1
 	EvProbe
 	EvReprobe
 	EvCombine
 	EvComplete
+	EvResize
+)
+
+// Resize-phase codes carried in Event.Op for EvResize events (the Op field
+// is a request opcode for lifecycle events; resize events are not requests,
+// so the field is reused for the migration phase).
+const (
+	// ResizeInstall marks the successor table's installation; Arg is the
+	// migration's total chunk count.
+	ResizeInstall uint8 = iota
+	// ResizeChunk marks one migrated chunk; Key is the chunk index, Arg is
+	// completed-chunk progress in permille.
+	ResizeChunk
+	// ResizeSwap marks the completed swap to the successor generation.
+	ResizeSwap
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +51,8 @@ func (k EventKind) String() string {
 		return "combine"
 	case EvComplete:
 		return "complete"
+	case EvResize:
+		return "resize"
 	}
 	return "invalid"
 }

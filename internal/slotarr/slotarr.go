@@ -383,10 +383,14 @@ func (s *SideSlot) Present() bool {
 	return atomic.LoadUint64(&s.state) == sidePresent
 }
 
-// SidePair bundles the two reserved-key side slots and routes reserved keys.
+// SidePair bundles the reserved-key side slots and routes reserved keys.
+// (Historically two slots — empty and tombstone — it grew a third when
+// table.MovedKey joined the reserved set for growt's incremental migration;
+// the name stuck.)
 type SidePair struct {
 	empty     SideSlot
 	tombstone SideSlot
+	moved     SideSlot
 }
 
 // For returns the side slot responsible for key, or nil if key is not
@@ -397,17 +401,22 @@ func (p *SidePair) For(key uint64) *SideSlot {
 		return &p.empty
 	case table.TombstoneKey:
 		return &p.tombstone
+	case table.MovedKey:
+		return &p.moved
 	}
 	return nil
 }
 
-// Count returns how many reserved keys are currently present (0–2).
+// Count returns how many reserved keys are currently present (0–3).
 func (p *SidePair) Count() int {
 	n := 0
 	if p.empty.Present() {
 		n++
 	}
 	if p.tombstone.Present() {
+		n++
+	}
+	if p.moved.Present() {
 		n++
 	}
 	return n

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"dramhit/internal/simd"
 	"dramhit/internal/table"
 )
 
@@ -214,4 +215,41 @@ func TestNewPanicsOnZero(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+func TestLoadKeys4MovedLanesAreOpaque(t *testing.T) {
+	// A migrated slot carries table.MovedKey in its key word. The SWAR probe
+	// kernel must treat such a lane exactly like a tombstone: it matches
+	// neither the probed key (the live copy is in the successor) nor the
+	// empty sentinel (the probe chain must continue past it).
+	a := New(8)
+	// Line 0: [moved, live 77, empty, tombstone].
+	a.CASKey(0, table.EmptyKey, 42)
+	a.StoreValue(0, 1)
+	if !a.CASKey(0, 42, table.MovedKey) {
+		t.Fatal("retire CAS failed")
+	}
+	a.CASKey(1, table.EmptyKey, 77)
+	a.StoreValue(1, 7)
+	a.CASKey(3, table.EmptyKey, 9)
+	a.StoreValue(3, 9)
+	a.CASKey(3, 9, table.TombstoneKey)
+
+	l0, l1, l2, l3, _, _ := a.LoadKeys4(0)
+	if l0 != table.MovedKey {
+		t.Fatalf("lane 0 = %#x, want MovedKey", l0)
+	}
+	// Probing the retired key must run past the moved lane to the empty slot.
+	if lane, res := simd.ProbeLine4(l0, l1, l2, l3, 42, table.EmptyKey, 0); res != simd.HitEmpty || lane != 2 {
+		t.Fatalf("probe for retired key = (lane %d, res %d), want (2, HitEmpty)", lane, res)
+	}
+	// The live lane is still found with the moved lane ahead of it.
+	if lane, res := simd.ProbeLine4(l0, l1, l2, l3, 77, table.EmptyKey, 0); res != simd.HitKey || lane != 1 {
+		t.Fatalf("probe past moved lane = (lane %d, res %d), want (1, HitKey)", lane, res)
+	}
+	// A full line of moved lanes is a Miss, not a chain terminator.
+	m := table.MovedKey
+	if _, res := simd.ProbeLine4(m, m, m, m, 42, table.EmptyKey, 0); res != simd.Miss {
+		t.Fatalf("all-moved line = res %d, want Miss", res)
+	}
 }

@@ -60,15 +60,28 @@ type Response struct {
 	Found bool
 }
 
-// Reserved key values. The tables use two values from the key space to mark
-// empty and deleted slots; clients may still store these two keys — the
-// tables transparently redirect them to dedicated side slots (paper §3
-// "Atomicity": "To restore the key space, we use two dedicated memory
-// locations").
+// Reserved key values. The tables use three values from the key space to
+// mark empty, deleted, and migrated slots; clients may still store these
+// keys — the tables transparently redirect them to dedicated side slots
+// (paper §3 "Atomicity": "To restore the key space, we use two dedicated
+// memory locations"; the third, MovedKey, is this repository's addition for
+// growt's incremental migration).
 const (
 	EmptyKey     uint64 = 0
 	TombstoneKey uint64 = ^uint64(0)
+	// MovedKey marks an old-generation slot whose entry has been migrated to
+	// the successor table during an incremental resize (internal/growt).
+	// Like TombstoneKey it is a terminal key-word state: a slot transitions
+	// key → MovedKey exactly once and is never reused, so the unsynchronized
+	// read path stays linearizable through a migration window.
+	MovedKey uint64 = ^uint64(0) - 1
 )
+
+// IsReservedKey reports whether key is one of the three reserved key values
+// that probe loops treat specially and side slots absorb for clients.
+func IsReservedKey(key uint64) bool {
+	return key == EmptyKey || key == TombstoneKey || key == MovedKey
+}
 
 // ProbeKernel selects how the live tables probe a cache-resident line. The
 // zero value is KernelSWAR, making the line-granular kernel the default
@@ -189,6 +202,49 @@ func ParseCombining(s string) (Combining, error) {
 		return CombineOff, nil
 	}
 	return 0, fmt.Errorf("unknown combining setting %q (want on|off)", s)
+}
+
+// ResizeMode selects how the resizing wrapper (internal/growt) migrates to a
+// larger table when fill crosses the threshold. The zero value is
+// ResizeIncremental, making cooperative chunk-granular migration the default
+// execution model; the stop-the-world gate stays selectable for ablation and
+// A/B benchmarks (the resize-ab experiment). Both modes present identical
+// table.Map semantics — only the tail-latency shape through a doubling
+// differs.
+type ResizeMode uint8
+
+const (
+	// ResizeIncremental installs a successor table and migrates old-table
+	// slots in fixed-size chunks claimed cooperatively by subsequent
+	// operations, marking migrated slots MovedKey; no operation ever waits
+	// for more than one chunk copy.
+	ResizeIncremental ResizeMode = iota
+	// ResizeGate migrates the whole table under the exclusive gate — the
+	// pre-incremental behaviour, kept as the A/B baseline: writers stall for
+	// the full copy at each doubling.
+	ResizeGate
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (m ResizeMode) String() string {
+	switch m {
+	case ResizeIncremental:
+		return "incremental"
+	case ResizeGate:
+		return "gate"
+	}
+	return "invalid"
+}
+
+// ParseResizeMode maps a benchmark-flag string back to a resize mode.
+func ParseResizeMode(s string) (ResizeMode, error) {
+	switch s {
+	case "", "incremental":
+		return ResizeIncremental, nil
+	case "gate":
+		return ResizeGate, nil
+	}
+	return 0, fmt.Errorf("unknown resize mode %q (want incremental|gate)", s)
 }
 
 // TagOf derives a slot's 1-byte tag fingerprint from its key's full 64-bit

@@ -7,6 +7,7 @@ import (
 	"dramhit/internal/dramhit"
 	"dramhit/internal/dramhitp"
 	"dramhit/internal/folklore"
+	"dramhit/internal/growt"
 	"dramhit/internal/locked"
 	"dramhit/internal/table"
 	"dramhit/internal/workload"
@@ -16,7 +17,10 @@ import (
 // the same randomized operation stream and requires identical observable
 // behaviour (values and presence) at every read, against a reference map.
 // This is the strongest single correctness statement in the repository: all
-// four designs implement the same abstract map.
+// the designs implement the same abstract map. The resizing table joins with
+// a deliberately tiny initial capacity so the stream drives it through
+// several incremental migrations mid-comparison (and its gate-mode twin
+// through the same doublings stop-the-world).
 func TestCrossImplementationEquivalence(t *testing.T) {
 	const slots = 1 << 13
 	dh := dramhit.New(dramhit.Config{Slots: slots}).NewSync()
@@ -24,15 +28,17 @@ func TestCrossImplementationEquivalence(t *testing.T) {
 	dp.Start()
 	defer dp.Close()
 	impls := map[string]table.Map{
-		"folklore":  folklore.New(slots),
-		"dramhit":   dh,
-		"dramhit-p": dp.NewSync(),
-		"locked":    locked.New(slots),
+		"folklore":   folklore.New(slots),
+		"dramhit":    dh,
+		"dramhit-p":  dp.NewSync(),
+		"locked":     locked.New(slots),
+		"growt":      growt.New(64),
+		"growt-gate": growt.New(64, growt.WithResizeMode(table.ResizeGate)),
 	}
 	ref := make(map[uint64]uint64)
 	rng := rand.New(rand.NewSource(99))
 	keys := workload.UniqueKeys(99, 400)
-	keys = append(keys, table.EmptyKey, table.TombstoneKey)
+	keys = append(keys, table.EmptyKey, table.TombstoneKey, table.MovedKey)
 
 	for i := 0; i < 12000; i++ {
 		k := keys[rng.Intn(len(keys))]

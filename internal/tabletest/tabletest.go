@@ -144,8 +144,8 @@ func testBasic(t *testing.T, f Factory) {
 
 func testReservedKeys(t *testing.T, f Factory) {
 	m := f(64)
-	// The two reserved key values must be fully usable by clients.
-	for _, key := range []uint64{table.EmptyKey, table.TombstoneKey} {
+	// The three reserved key values must be fully usable by clients.
+	for _, key := range []uint64{table.EmptyKey, table.TombstoneKey, table.MovedKey} {
 		if _, ok := m.Get(key); ok {
 			t.Fatalf("reserved key %x present in empty table", key)
 		}
@@ -156,8 +156,8 @@ func testReservedKeys(t *testing.T, f Factory) {
 			t.Fatalf("Get(%x) = (%d, %v)", key, v, ok)
 		}
 	}
-	if m.Len() != 2 {
-		t.Fatalf("Len = %d, want 2", m.Len())
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
 	}
 	// Delete and reinsert cycles on reserved keys (side slots may be
 	// reused, unlike array slots).
