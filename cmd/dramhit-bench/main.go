@@ -36,6 +36,8 @@ func main() {
 	probeFilter := flag.String("probefilter", "", "probe filter for real-execution experiments: tags|none (default tags)")
 	missRatio := flag.Float64("missratio", 0, "fraction of lookups sent to absent keys, for experiments that honor it")
 	combiningFlag := flag.String("combining", "", "in-window request combining for real-execution experiments: on|off (default on)")
+	governorFlag := flag.String("governor", "auto", "adaptive pipeline governor on the dramhit cells of real-execution experiments: off|auto|direct")
+	governorjson := flag.String("governorjson", "", "run the governor-ab experiment and write its machine-readable summary (schema "+bench.GovernorSchema+") to this path")
 	flag.Parse()
 
 	kernel, err := table.ParseProbeKernel(*probeKernel)
@@ -53,6 +55,11 @@ func main() {
 		os.Exit(2)
 	}
 	combining, err := table.ParseCombining(*combiningFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+		os.Exit(2)
+	}
+	governor, err := table.ParseGovernor(*governorFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
 		os.Exit(2)
@@ -75,7 +82,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
 	}
-	if *exp == "" && *benchjson == "" && *resizejson == "" {
+	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
@@ -94,6 +101,7 @@ func main() {
 		ProbeFilter: filter,
 		MissRatio:   *missRatio,
 		Combining:   combining,
+		Governor:    governor,
 		Observe:     liveReg,
 	}
 	if *benchjson != "" {
@@ -106,6 +114,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *benchjson)
+	}
+	if *governorjson != "" {
+		start := time.Now()
+		a, sum := bench.RunGovernorAB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(governor-ab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*governorjson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *governorjson)
 	}
 	if *resizejson != "" {
 		start := time.Now()

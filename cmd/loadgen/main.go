@@ -6,6 +6,11 @@
 //	loadgen -workload A -table dramhit -records 1000000 -ops 2000000
 //	loadgen -workload C -table dramhit-p -workers 8
 //	loadgen -workload C -metrics :8090 -json run.json
+//	loadgen -workload C -table dramhit -governor auto
+//
+// -governor {off,auto,direct} engages the adaptive pipeline governor on
+// the dramhit backends (auto lets the hill-climber pick between the
+// prefetch pipeline and synchronous direct probes per workload).
 //
 // With -metrics the run exposes the unified observability layer over HTTP
 // (Prometheus text at /metrics, sampled lifecycle traces at /trace, expvar
@@ -37,6 +42,7 @@ func main() {
 	missRatio := flag.Float64("missratio", 0, "fraction of reads redirected to guaranteed-absent keys")
 	theta := flag.Float64("theta", -1, "zipfian skew of the key stream; negative = workload default")
 	combiningFlag := flag.String("combining", "on", "in-window request combining: on | off")
+	governorFlag := flag.String("governor", "off", "adaptive pipeline governor (dramhit and dramhit-p backends): off | auto | direct")
 	resizeModeFlag := flag.String("resizemode", "incremental", "resizable-table migration mode: incremental | gate")
 	jsonPath := flag.String("json", "", "write the run summary (config, Mops, latency percentiles) as JSON to this path")
 	metrics := flag.String("metrics", "", "serve observability on this address during the run, e.g. :8090")
@@ -58,12 +64,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	governor, err := dramhit.ParseGovernor(*governorFlag)
+	if err != nil {
+		fail(err)
+	}
 	resizeMode, err := dramhit.ParseResizeMode(*resizeModeFlag)
 	if err != nil {
 		fail(err)
 	}
 	if *latsink != "hist" && *latsink != "exact" {
 		fail(fmt.Errorf("-latsink must be hist or exact, got %q", *latsink))
+	}
+	if governor != dramhit.GovernorOff && *backend != "dramhit" && *backend != "dramhit-p" {
+		fail(fmt.Errorf("-governor applies to the dramhit and dramhit-p backends, not %q", *backend))
 	}
 
 	// reg is the table-attached observability registry (nil unless asked
@@ -98,7 +111,7 @@ func main() {
 	slots := nextPow2(*records * 2)
 	switch *backend {
 	case "dramhit":
-		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining, Observe: reg})
+		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining, Governor: governor, Observe: reg})
 		h := t.NewHandle()
 		h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
 		mkView = func(int) view {
@@ -130,7 +143,7 @@ func main() {
 	case "dramhit-p":
 		t := dramhit.NewPartitioned(dramhit.PartitionedConfig{
 			Slots: slots, Producers: *workers + 1, Consumers: max(1, *workers/2),
-			Combining: combining, Observe: reg,
+			Combining: combining, Governor: governor, Observe: reg,
 		})
 		t.Start()
 		teardown = t.Close
@@ -215,6 +228,7 @@ func main() {
 
 	var total uint64
 	var pct bench.Percentiles
+	var latHist []obs.HistBucket
 	if useHist {
 		var merged obs.Histogram
 		for _, h := range hists {
@@ -222,6 +236,7 @@ func main() {
 		}
 		total = merged.Count()
 		pct = bench.PercentilesFromHistogram(&merged)
+		latHist = merged.Buckets()
 	} else {
 		cdfs := make([]*latency.CDF, len(recs))
 		for i, r := range recs {
@@ -244,6 +259,9 @@ func main() {
 	}
 	if combining == dramhit.CombineOff {
 		missNote += ", combining off"
+	}
+	if governor != dramhit.GovernorOff {
+		missNote += ", governor " + governor.String()
 	}
 	fmt.Printf("ycsb-%s on %s: %d ops, %d workers%s, %v (%.2f Mops)\n",
 		mix.Name, *backend, total, *workers, missNote, elapsed.Round(time.Millisecond),
@@ -271,6 +289,12 @@ func main() {
 			Seconds:   elapsed.Seconds(),
 			Mops:      float64(total) / elapsed.Seconds() / 1e6,
 			LatencyNS: &pct,
+			// The merged log-bucketed distribution rides along when the
+			// histogram sink is active (-latsink hist, the default).
+			LatencyHist: latHist,
+		}
+		if governor != dramhit.GovernorOff {
+			res.Governor = governor.String()
 		}
 		if err := bench.WriteJSONFile(*jsonPath, res); err != nil {
 			fail(err)

@@ -124,6 +124,31 @@ const (
 // ParseCombining maps "on" (or "") and "off" to the Combining values.
 func ParseCombining(s string) (Combining, error) { return table.ParseCombining(s) }
 
+// GovernorMode selects the adaptive pipeline governor (Config.Governor and
+// PartitionedConfig.Governor): GovernorOff (the zero value) keeps handles
+// exactly as configured — bit-identical to pre-governor builds; GovernorAuto
+// attaches a per-table hill-climbing controller that retunes the live
+// pipeline (prefetch-window depth, in-window combining, the tag filter, and
+// a synchronous direct mode) from the handles' own counters; GovernorDirect
+// forces the direct mode unconditionally — the folklore execution model on
+// DRAMHiT's kernel.
+type GovernorMode = table.GovernorMode
+
+// Governor modes.
+const (
+	// GovernorOff disables adaptation (the zero value; bit-identical to an
+	// ungoverned table).
+	GovernorOff = table.GovernorOff
+	// GovernorAuto self-tunes window/combining/filter/direct per epoch.
+	GovernorAuto = table.GovernorAuto
+	// GovernorDirect pins the synchronous inline probe path.
+	GovernorDirect = table.GovernorDirect
+)
+
+// ParseGovernor maps "off" (or ""), "auto" and "direct" to the GovernorMode
+// values.
+func ParseGovernor(s string) (GovernorMode, error) { return table.ParseGovernor(s) }
+
 // ResizeMode selects how the resizable table migrates at a doubling:
 // ResizeIncremental (the zero value and default) migrates cooperatively in
 // fixed-size chunks with no global write stall; ResizeGate migrates the

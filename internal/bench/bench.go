@@ -35,6 +35,11 @@ type Config struct {
 	// (zero value = on, the package default). The combine-ab experiment
 	// ignores it — it runs both sides of the A/B by construction.
 	Combining table.Combining
+	// Governor configures the adaptive pipeline governor on the dramhit
+	// cells of the real-execution experiments (zero value = off). The
+	// governor-ab experiment ignores it — it runs off/auto/direct by
+	// construction.
+	Governor table.GovernorMode
 	// Observe, when non-nil, is the live observability registry real-
 	// execution experiments attach their tables and workers to, so a
 	// concurrently served /metrics endpoint sees the run. The obs-ab

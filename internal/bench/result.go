@@ -14,7 +14,13 @@ import (
 )
 
 // YCSBSchema identifies the summary layout; bump on incompatible change.
-const YCSBSchema = "dramhit-bench-ycsb/v1"
+// v2: runs carry warmup_ops (the untimed per-worker ramp that keeps
+// first-touch page faults out of the latency tail), the governor mode and
+// its final decision, and an optional latency_hist bucket dump.
+const YCSBSchema = "dramhit-bench-ycsb/v2"
+
+// GovernorSchema identifies the governor-ab summary layout (BENCH_governor.json).
+const GovernorSchema = "dramhit-bench-governor/v1"
 
 // Percentiles summarizes a latency distribution in nanoseconds.
 type Percentiles struct {
@@ -45,18 +51,30 @@ func PercentilesFromHistogram(h *obs.Histogram) Percentiles {
 // RunResult is one benchmark execution: what ran, how fast, and the latency
 // shape. It is the unit of results/*.json and of the ycsb summary.
 type RunResult struct {
-	Name      string       `json:"name"`
-	Table     string       `json:"table"`
-	Workload  string       `json:"workload"`
-	Records   int          `json:"records"`
-	Ops       int          `json:"ops"`
-	Workers   int          `json:"workers"`
-	Theta     float64      `json:"theta"`
-	MissRatio float64      `json:"miss_ratio,omitempty"`
-	Combining string       `json:"combining,omitempty"`
-	Seconds   float64      `json:"seconds"`
-	Mops      float64      `json:"mops"`
-	LatencyNS *Percentiles `json:"latency_ns,omitempty"`
+	Name      string  `json:"name"`
+	Table     string  `json:"table"`
+	Workload  string  `json:"workload"`
+	Records   int     `json:"records"`
+	Ops       int     `json:"ops"`
+	Workers   int     `json:"workers"`
+	Theta     float64 `json:"theta"`
+	MissRatio float64 `json:"miss_ratio,omitempty"`
+	Combining string  `json:"combining,omitempty"`
+	// WarmupOps is the per-worker untimed ramp executed before the clock
+	// starts; it keeps first-touch page faults (multi-ms on a cold table)
+	// out of latency_ns.max.
+	WarmupOps int `json:"warmup_ops,omitempty"`
+	// Governor is the table's governor mode ("off"/"auto"/"direct") and
+	// GovernorDecision the controller's final decision string after the run
+	// (auto mode only) — e.g. "direct" or "window=16 combine filter".
+	Governor         string       `json:"governor,omitempty"`
+	GovernorDecision string       `json:"governor_decision,omitempty"`
+	Seconds          float64      `json:"seconds"`
+	Mops             float64      `json:"mops"`
+	LatencyNS        *Percentiles `json:"latency_ns,omitempty"`
+	// LatencyHist is the merged log-bucketed distribution (occupied buckets
+	// only), for consumers that need more than the fixed percentiles.
+	LatencyHist []obs.HistBucket `json:"latency_hist,omitempty"`
 }
 
 // YCSBSummary is the top-level BENCH_ycsb.json document.
@@ -64,6 +82,16 @@ type YCSBSummary struct {
 	Schema string      `json:"schema"`
 	Quick  bool        `json:"quick"`
 	Runs   []RunResult `json:"runs"`
+}
+
+// GovernorSummary is the top-level BENCH_governor.json document: the
+// governor-ab matrix plus the headline folklore-gap ratios (dramhit Mops
+// over folklore Mops per workload, for the auto-governed table).
+type GovernorSummary struct {
+	Schema string             `json:"schema"`
+	Quick  bool               `json:"quick"`
+	Runs   []RunResult        `json:"runs"`
+	Ratios map[string]float64 `json:"auto_vs_folklore_mops,omitempty"`
 }
 
 // WriteJSONFile marshals v indented and writes it to path, creating parent

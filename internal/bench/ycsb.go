@@ -33,6 +33,10 @@ func init() {
 		a, _ := RunObsAB(cfg)
 		return a
 	})
+	register("governor-ab", func(cfg Config) *Artifact {
+		a, _ := RunGovernorAB(cfg)
+		return a
+	})
 }
 
 // ycsbWorkload is one YCSB core-workload shape.
@@ -69,7 +73,11 @@ func RunYCSB(cfg Config) (*Artifact, *YCSBSummary) {
 	sum := &YCSBSummary{Schema: YCSBSchema, Quick: cfg.Quick}
 	for _, w := range ycsbWorkloads {
 		for _, tbl := range []string{"dramhit", "folklore"} {
-			res := ycsbRun(cfg, tbl, w, slots, records, opsPerWorker, workers)
+			gov := table.GovernorOff
+			if tbl == "dramhit" {
+				gov = cfg.Governor
+			}
+			res := ycsbRun(cfg, tbl, w, slots, records, opsPerWorker, workers, gov)
 			sum.Runs = append(sum.Runs, res)
 			lat := res.LatencyNS
 			a.Rows = append(a.Rows, []string{
@@ -84,17 +92,40 @@ func RunYCSB(cfg Config) (*Artifact, *YCSBSummary) {
 	}
 	a.Notes = append(a.Notes,
 		fmt.Sprintf("method: %d-slot tables loaded to %d records, then %d workers × %d zipf(%.2f) ops; workload A is 50/50 read/upsert, C is read-only", slots, records, workers, opsPerWorker, ycsbTheta),
+		"each worker runs an untimed warmup ramp before a shared start gate, so first-touch page faults never land in the latency tail (warmup_ops in the summary)",
 		"latency is per-op wall time at batch-16 granularity, recorded into internal/obs log-bucketed histograms (≤1/32 relative error) and merged across workers",
 		"dramhit pipelines batches through per-worker handles (prefetch window 16); folklore executes each op synchronously — the same interface gap the paper's Figure 6 measures",
-		"Mops are host-dependent; the machine-readable summary lands in BENCH_ycsb.json (schema "+YCSBSchema+")")
+		fmt.Sprintf("dramhit cells run with -governor %s; the machine-readable summary lands in BENCH_ycsb.json (schema %s)", cfg.Governor, YCSBSchema))
 	return a, sum
 }
 
-// ycsbRun executes one (table, workload) cell and returns its RunResult.
-func ycsbRun(cfg Config, tblName string, w ycsbWorkload, slots uint64, records, opsPerWorker, workers int) RunResult {
+// ycsbWarmupOps sizes the untimed per-worker ramp: enough batches to fault
+// in the worker's slice of the table, its handle ring, and its histogram
+// before the clock starts, without materially extending the run.
+func ycsbWarmupOps(opsPerWorker int, quick bool) int {
+	if quick {
+		return 1 << 10
+	}
+	n := opsPerWorker / 8
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return n
+}
+
+// ycsbRun executes one (table, workload, governor) cell and returns its
+// RunResult.
+func ycsbRun(cfg Config, tblName string, w ycsbWorkload, slots uint64, records, opsPerWorker, workers int, gov table.GovernorMode) RunResult {
 	reg := cfg.Observe // live registry when serving /metrics...
 	if reg == nil {
 		reg = obs.NewWith(0, 1) // ...else self-contained, histograms only
+	}
+	// The cell name keys the run, the worker names, and the histogram merge;
+	// governed cells get a suffix so governor-ab's dramhit variants never
+	// collide on a shared registry.
+	cell := "ycsb-" + w.name + "-" + tblName
+	if gov != table.GovernorOff {
+		cell += "-" + gov.String()
 	}
 	var flt *folklore.Table
 	var dht *dramhit.Table
@@ -108,6 +139,7 @@ func ycsbRun(cfg Config, tblName string, w ycsbWorkload, slots uint64, records, 
 			ProbeKernel: cfg.ProbeKernel,
 			ProbeFilter: cfg.ProbeFilter,
 			Combining:   cfg.Combining,
+			Governor:    gov,
 			Observe:     reg,
 		})
 	}
@@ -144,31 +176,55 @@ func ycsbRun(cfg Config, tblName string, w ycsbWorkload, slots uint64, records, 
 	}
 
 	// Timed phase: each worker draws ranks from its own zipf stream and maps
-	// them onto loaded keys.
-	var wg sync.WaitGroup
-	start := time.Now()
+	// them onto loaded keys. Before the shared start gate every worker runs
+	// an untimed warmup ramp (same op mix, disjoint rank stream, throwaway
+	// histogram) so first-touch page faults — observed as multi-ms
+	// latency_ns.max outliers — are absorbed before the clock starts. The
+	// warmup also feeds the governor real sensor epochs, so an auto cell
+	// typically enters the timed region already converged.
+	warmup := ycsbWarmupOps(opsPerWorker, cfg.Quick)
+	var wg, ready sync.WaitGroup
+	gate := make(chan struct{})
 	for wid := 0; wid < workers; wid++ {
 		wg.Add(1)
+		ready.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			lat := &reg.Worker(fmt.Sprintf("ycsb-%s-%s-w%d", w.name, tblName, wid)).Lat
+			lat := &reg.Worker(fmt.Sprintf("%s-w%d", cell, wid)).Lat
 			// Ranks (not scrambled keys) so draws index the loaded keyset.
 			seedw := cfg.Seed ^ int64(wid*7919+1)
 			ranks := workload.NewRankStream(seedw, uint64(records), ycsbTheta)
 			coin := rand.New(rand.NewSource(seedw ^ 0x79637362)) // "ycsb"
+			wranks := workload.NewRankStream(seedw^0x7761726d, uint64(records), ycsbTheta)
+			wcoin := rand.New(rand.NewSource(seedw ^ 0x7761726d)) // "warm"
+			var dh *dramhit.Handle
+			if dht != nil {
+				dh = dht.NewHandle() // shared across warmup and timed phases
+			}
+			var discard obs.Histogram
+			if flt != nil {
+				ycsbFolkloreWorker(flt, keys, wranks, wcoin, w.readProb, warmup, &discard)
+			} else {
+				ycsbDramhitWorker(dh, keys, wranks, wcoin, w.readProb, warmup, &discard)
+			}
+			ready.Done()
+			<-gate
 			if flt != nil {
 				ycsbFolkloreWorker(flt, keys, ranks, coin, w.readProb, opsPerWorker, lat)
 			} else {
-				ycsbDramhitWorker(dht, keys, ranks, coin, w.readProb, opsPerWorker, lat)
+				ycsbDramhitWorker(dh, keys, ranks, coin, w.readProb, opsPerWorker, lat)
 			}
 		}(wid)
 	}
+	ready.Wait()
+	start := time.Now()
+	close(gate)
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	// Merge this run's per-worker histograms for the summary (the registry
 	// may be shared across cells, so filter by the run's name prefix).
-	prefix := fmt.Sprintf("ycsb-%s-%s-", w.name, tblName)
+	prefix := cell + "-"
 	var merged obs.Histogram
 	for _, wk := range reg.Workers() {
 		if strings.HasPrefix(wk.Name(), prefix) {
@@ -177,19 +233,28 @@ func ycsbRun(cfg Config, tblName string, w ycsbWorkload, slots uint64, records, 
 	}
 	pct := PercentilesFromHistogram(&merged)
 	totalOps := opsPerWorker * workers
-	return RunResult{
-		Name:      "ycsb-" + w.name + "-" + tblName,
-		Table:     tblName,
-		Workload:  w.name,
-		Records:   records,
-		Ops:       totalOps,
-		Workers:   workers,
-		Theta:     ycsbTheta,
-		Combining: cfg.Combining.String(),
-		Seconds:   elapsed.Seconds(),
-		Mops:      float64(totalOps) / elapsed.Seconds() / 1e6,
-		LatencyNS: &pct,
+	res := RunResult{
+		Name:        cell,
+		Table:       tblName,
+		Workload:    w.name,
+		Records:     records,
+		Ops:         totalOps,
+		Workers:     workers,
+		Theta:       ycsbTheta,
+		Combining:   cfg.Combining.String(),
+		WarmupOps:   warmup,
+		Seconds:     elapsed.Seconds(),
+		Mops:        float64(totalOps) / elapsed.Seconds() / 1e6,
+		LatencyNS:   &pct,
+		LatencyHist: merged.Buckets(),
 	}
+	if dht != nil && gov != table.GovernorOff {
+		res.Governor = gov.String()
+		if d, _, _, ok := dht.GovernorState(); ok {
+			res.GovernorDecision = d.String()
+		}
+	}
+	return res
 }
 
 // ycsbBatch is the latency-measurement granularity: per-op timer calls would
@@ -216,8 +281,7 @@ func ycsbFolkloreWorker(t *folklore.Table, keys []uint64, ranks *workload.KeyStr
 	}
 }
 
-func ycsbDramhitWorker(t *dramhit.Table, keys []uint64, ranks *workload.KeyStream, coin *rand.Rand, readProb float64, ops int, lat *obs.Histogram) {
-	h := t.NewHandle()
+func ycsbDramhitWorker(h *dramhit.Handle, keys []uint64, ranks *workload.KeyStream, coin *rand.Rand, readProb float64, ops int, lat *obs.Histogram) {
 	reqs := make([]table.Request, ycsbBatch)
 	resps := make([]table.Response, ycsbBatch)
 	for n := 0; n < ops; n += ycsbBatch {

@@ -1,0 +1,329 @@
+package dramhit
+
+import (
+	"time"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
+	"dramhit/internal/simd"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// This file is the governor's degraded direct mode: when pipelining cannot
+// pay (no in-window duplicates, occupancy too shallow to overlap misses, or
+// the workload already cache-resident), Submit bypasses the prefetch ring
+// and executes each request as one synchronous inline probe — the folklore
+// execution model, but keeping this table's line-granular SWAR kernel and
+// (when enabled) the tag-fingerprint gate. Responses are produced in
+// submission order; the mode is selected by one branch on the handle's
+// cached decision word and the op path allocates nothing.
+//
+// Equivalence: a direct probe walks the same slot sequence as the pipelined
+// drains (same hash, same entry offset, same line-advance accounting, same
+// claim/delete CASes re-verifying every snapshot), so the two modes produce
+// identical per-request responses against identical table states; only
+// completion ORDER differs (direct is submission-ordered — strictly
+// stronger than the pipeline's out-of-order guarantee). The direct≡pipelined
+// property tests pin per-ID response equality and final-state equality.
+
+// submitDirect is Submit's direct-mode body. The contract is unchanged:
+// nreq < len(reqs) only when resps ran out of space for a Get's response.
+// When no trace ring or latency hook is attached (the common case) the loop
+// never builds a pending — completion is countOp, a counter switch — so the
+// synchronous path carries none of the ring machinery's per-request weight.
+func (h *Handle) submitDirect(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	obsOn := h.trace != nil || h.onComplete != nil
+	for nreq < len(reqs) {
+		req := reqs[nreq]
+		if req.Op == table.Get && nresp >= len(resps) {
+			return nreq, nresp
+		}
+		var traceID uint64
+		var startNS int64
+		if obsOn {
+			if h.onComplete != nil {
+				startNS = time.Now().UnixNano()
+			}
+			if h.trace != nil {
+				if h.traceCnt++; h.traceCnt >= h.traceEvery {
+					h.traceCnt = 0
+					traceID = h.trace.NextID()
+					h.trace.Record(traceID, obs.EvSubmit, uint8(req.Op), req.Key, 0)
+				}
+			}
+		}
+		// Lines advances per request before the side check, matching the
+		// pipelined Submit (which prefetches — touches — the home line even
+		// for side-resolved reserved keys), so governed-vs-ungoverned stats
+		// stay comparable term for term.
+		h.stats.Lines++
+		if s := h.t.side.For(req.Key); s != nil {
+			h.completeSide(s, pending{req: req, startNS: startNS, trace: traceID}, resps, &nresp)
+			nreq++
+			continue
+		}
+		hv := h.t.hash(req.Key)
+		idx := hashfn.Fastrange(hv, h.t.size)
+		tag := table.TagOf(hv)
+		var v uint64
+		var found, fail bool
+		if h.kernel == table.KernelScalar {
+			v, found, fail = h.directScalar(req, idx, tag)
+		} else {
+			v, found, fail = h.directSWAR(req, idx, tag)
+		}
+		if req.Op == table.Get {
+			resps[nresp] = table.Response{ID: req.ID, Value: v, Found: found}
+			nresp++
+		}
+		if fail {
+			h.stats.Failed++
+		}
+		if obsOn {
+			h.finish(pending{req: req, startNS: startNS, trace: traceID}, req.Op, found)
+		} else {
+			h.countOp(req.Op, found)
+		}
+		nreq++
+	}
+	return nreq, nresp
+}
+
+// directExhausted maps a full-table probe to its completion: Get/Delete
+// report a miss, Put/Upsert report table-full.
+func directExhausted(op table.Op) (uint64, bool, bool) {
+	if op == table.Put || op == table.Upsert {
+		return 0, false, true
+	}
+	return 0, false, false
+}
+
+// directSWAR is the inline line-granular probe: the synchronous twin of the
+// drain* loops in swar.go, with identical per-line accounting (KeyLines,
+// TagSkips, Reprobes, Lines, CASAttempts advance exactly as a pipelined
+// probe's would over the same traversal) but no queue to re-enter — a line
+// crossing just keeps walking.
+func (h *Handle) directSWAR(req table.Request, idx uint64, tag uint8) (uint64, bool, bool) {
+	t := h.t
+	tagged := h.filter == table.FilterTags
+	// Entry-lane peek: at working fills most probes resolve in their home
+	// slot, and one scalar load answers that case without the lane kernel's
+	// emulated-SWAR ALU — the load the synchronous path must pay anyway. The
+	// drains peek only on the untagged path (the tag gate replaces it), but
+	// here the peek is sound tagged too: a resident key's lane is always a
+	// candidate (tags transition only 0 → fingerprint and zero means "must
+	// check"), so the gate could never have skipped a line whose entry lane
+	// the peek resolves. Counters advance exactly as the kernel's would for
+	// the same resolution — including the untagged Delete peek's
+	// CASAttempts-free shape — so direct stats stay bit-identical to the
+	// window-1 pipeline's (the sequential equivalence test compares them
+	// term for term). A peeked lane holding a different live key falls into
+	// the kernel loop having counted nothing.
+	switch k := t.arr.Key(idx); k {
+	case req.Key:
+		h.stats.KeyLines++
+		if tagged {
+			h.stats.TagHits++
+		}
+		switch req.Op {
+		case table.Get:
+			return t.arr.WaitValue(idx), true, false
+		case table.Put:
+			h.stats.CASAttempts++
+			t.arr.StoreValue(idx, req.Value)
+			return req.Value, true, false
+		case table.Upsert:
+			h.stats.CASAttempts++
+			return t.arr.AddValue(idx, req.Value), true, false
+		default: // Delete
+			if tagged {
+				h.stats.CASAttempts++
+			}
+			if t.arr.CASKey(idx, req.Key, table.TombstoneKey) {
+				t.live.Add(-1)
+				return 0, true, false
+			}
+			return 0, false, false
+		}
+	case table.EmptyKey:
+		h.stats.KeyLines++
+		if req.Op == table.Get || req.Op == table.Delete {
+			if tagged {
+				h.stats.TagHits++
+			}
+			return 0, false, false
+		}
+		h.stats.CASAttempts++
+		if t.arr.CASKey(idx, table.EmptyKey, req.Key) {
+			if tagged {
+				h.stats.TagHits++
+			}
+			t.arr.PublishTag(idx, tag)
+			h.stats.CASAttempts++
+			t.arr.StoreValue(idx, req.Value)
+			t.used.Add(1)
+			t.live.Add(1)
+			return req.Value, true, false
+		}
+		// Claim race lost: fall into the kernel loop, which re-snapshots.
+	}
+	var probes uint64
+	for {
+		if tagged {
+			base := idx &^ (table.SlotsPerCacheLine - 1)
+			if t.arr.LineCandidates(base, tag)>>(idx-base) == 0 {
+				h.stats.TagSkips++
+				valid := t.size - base
+				if valid > table.SlotsPerCacheLine {
+					valid = table.SlotsPerCacheLine
+				}
+				if probes+valid-(idx-base) >= t.size {
+					return directExhausted(req.Op)
+				}
+				probes += valid - (idx - base)
+				next := base + table.SlotsPerCacheLine
+				if next >= t.size {
+					next = 0
+				}
+				idx = next
+				if slotarr.LineOf(next) != slotarr.LineOf(base) {
+					h.stats.Reprobes++
+					h.stats.Lines++
+				}
+				continue
+			}
+		}
+		h.stats.KeyLines++
+		l0, l1, l2, l3, base, valid := t.arr.LoadKeys4(idx)
+		lane, res := simd.ProbeLine4(l0, l1, l2, l3, req.Key, table.EmptyKey, int(idx-base))
+		switch res {
+		case simd.HitKey:
+			if tagged {
+				h.stats.TagHits++
+			}
+			slot := base + uint64(lane)
+			switch req.Op {
+			case table.Get:
+				return t.arr.WaitValue(slot), true, false
+			case table.Put:
+				h.stats.CASAttempts++
+				t.arr.StoreValue(slot, req.Value)
+				return req.Value, true, false
+			case table.Upsert:
+				h.stats.CASAttempts++
+				return t.arr.AddValue(slot, req.Value), true, false
+			default: // Delete
+				h.stats.CASAttempts++
+				if t.arr.CASKey(slot, req.Key, table.TombstoneKey) {
+					t.live.Add(-1)
+					return 0, true, false
+				}
+				// A concurrent Delete won the race: report a miss, exactly
+				// like the pipelined drain.
+				return 0, false, false
+			}
+		case simd.HitEmpty:
+			if req.Op == table.Get || req.Op == table.Delete {
+				if tagged {
+					h.stats.TagHits++
+				}
+				return 0, false, false
+			}
+			slot := base + uint64(lane)
+			h.stats.CASAttempts++
+			if t.arr.CASKey(slot, table.EmptyKey, req.Key) {
+				if tagged {
+					h.stats.TagHits++
+				}
+				t.arr.PublishTag(slot, tag)
+				h.stats.CASAttempts++
+				t.arr.StoreValue(slot, req.Value)
+				t.used.Add(1)
+				t.live.Add(1)
+				return req.Value, true, false
+			}
+			// Claim race lost: re-snapshot the same line and rerun the
+			// kernel (the loop top re-gates on the tag word).
+			continue
+		}
+		if tagged {
+			h.stats.TagFalse++
+		}
+		if probes+valid-(idx-base) >= t.size {
+			return directExhausted(req.Op)
+		}
+		probes += valid - (idx - base)
+		next := base + table.SlotsPerCacheLine
+		if next >= t.size {
+			next = 0
+		}
+		idx = next
+		if slotarr.LineOf(next) != slotarr.LineOf(base) {
+			h.stats.Reprobes++
+			h.stats.Lines++
+		}
+	}
+}
+
+// directScalar is the inline slot-by-slot probe, the synchronous twin of
+// processScalar (the KernelScalar ablation baseline).
+func (h *Handle) directScalar(req table.Request, idx uint64, tag uint8) (uint64, bool, bool) {
+	t := h.t
+	h.stats.KeyLines++
+	line := slotarr.LineOf(idx)
+	var probes uint64
+	for {
+		if slotarr.LineOf(idx) != line || probes >= t.size {
+			if probes >= t.size {
+				return directExhausted(req.Op)
+			}
+			line = slotarr.LineOf(idx)
+			h.stats.Reprobes++
+			h.stats.Lines++
+			h.stats.KeyLines++
+		}
+		k := t.arr.Key(idx)
+		switch {
+		case k == req.Key:
+			switch req.Op {
+			case table.Get:
+				return t.arr.WaitValue(idx), true, false
+			case table.Put:
+				h.stats.CASAttempts++
+				t.arr.StoreValue(idx, req.Value)
+				return req.Value, true, false
+			case table.Upsert:
+				h.stats.CASAttempts++
+				return t.arr.AddValue(idx, req.Value), true, false
+			default: // Delete
+				h.stats.CASAttempts++
+				if t.arr.CASKey(idx, req.Key, table.TombstoneKey) {
+					t.live.Add(-1)
+					return 0, true, false
+				}
+				return 0, false, false
+			}
+		case k == table.EmptyKey:
+			if req.Op == table.Get || req.Op == table.Delete {
+				return 0, false, false
+			}
+			h.stats.CASAttempts++
+			if t.arr.CASKey(idx, table.EmptyKey, req.Key) {
+				t.arr.PublishTag(idx, tag)
+				h.stats.CASAttempts++
+				t.arr.StoreValue(idx, req.Value)
+				t.used.Add(1)
+				t.live.Add(1)
+				return req.Value, true, false
+			}
+			continue // re-inspect the contested slot
+		default:
+			idx++
+			if idx == t.size {
+				idx = 0
+			}
+			probes++
+		}
+	}
+}

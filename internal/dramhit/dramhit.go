@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"time"
 
+	"dramhit/internal/governor"
 	"dramhit/internal/hashfn"
 	"dramhit/internal/obs"
 	"dramhit/internal/slotarr"
@@ -79,6 +80,19 @@ type Config struct {
 	// ring. Nil — the default — is bit-identical to an uninstrumented table
 	// and adds no allocation or branch beyond a nil check.
 	Observe *obs.Registry
+	// Governor selects the adaptive pipeline controller. The zero value
+	// (table.GovernorOff) runs the statically configured pipeline,
+	// bit-identical to a governorless build. table.GovernorAuto attaches the
+	// epoch-based hill-climber of internal/governor: handles feed it their
+	// own counters and re-read its packed decision word at batch boundaries,
+	// adapting window depth, combining, the probe filter, and the
+	// direct/pipelined mode to the live workload. table.GovernorDirect pins
+	// the degraded direct mode: Submit bypasses the ring and executes a
+	// folklore-style synchronous probe inline (one branch on a cached mode
+	// word, zero allocation). The governor can only toggle features the
+	// table was constructed with — it never grows a tag sidecar or a
+	// combining mirror at runtime.
+	Governor table.GovernorMode
 }
 
 // Table is the shared state of a DRAMHiT hash table. Create per-goroutine
@@ -98,6 +112,7 @@ type Table struct {
 	live    atomic.Int64
 	obsReg  *obs.Registry
 	nhandle atomic.Int64 // handle counter for worker shard names
+	gov     *governor.Governor
 }
 
 // New creates a table from cfg.
@@ -136,6 +151,36 @@ func New(cfg Config) *Table {
 		filter:  f,
 		combine: cfg.Combining,
 		obsReg:  cfg.Observe,
+	}
+	switch cfg.Governor {
+	case table.GovernorAuto:
+		t.gov = governor.New(governor.Config{
+			Window:    w,
+			Combining: cfg.Combining == table.CombineOn,
+			Tags:      f == table.FilterTags,
+			Direct:    true,
+		})
+	case table.GovernorDirect:
+		t.gov = governor.NewForced(governor.Decision{
+			Direct: true,
+			Window: w,
+			Filter: f == table.FilterTags,
+		})
+	}
+	if t.obsReg != nil && t.gov != nil {
+		t.obsReg.AddSource("governor", t.gov.Metrics)
+		if tr := t.obsReg.Trace(); tr != nil {
+			gov := t.gov
+			gov.OnDecision = func(d governor.Decision, epoch uint64) {
+				var mode uint8
+				if d.Direct {
+					mode = 1
+				}
+				// Key carries the packed decision word, Arg the epoch: one
+				// ring event per published configuration change.
+				tr.Record(tr.NextID(), obs.EvGovern, mode, governor.Pack(d, epoch), uint32(epoch))
+			}
+		}
 	}
 	if t.obsReg != nil {
 		t.obsReg.AddSource("dramhit", func() map[string]float64 {
@@ -307,6 +352,23 @@ type Handle struct {
 	// onComplete, when set, receives every completed request and its
 	// latency in nanoseconds (used by the Figure 9 latency experiment).
 	onComplete func(req table.Request, lat time.Duration)
+
+	// Governor plumbing (all nil/zero when the table has no governor — the
+	// hot path then pays exactly one predictable nil check in Submit). The
+	// handle caches the governor's packed decision word and re-decodes only
+	// when it changes, and only while its own pipeline is empty, so a
+	// configuration change never tears an in-flight window.
+	gov       *governor.Governor
+	govWord   uint64
+	direct    bool // cached Decision.Direct: Submit bypasses the ring
+	govCnt    int  // Submit calls since the last poll
+	govLastNS int64
+	// govPrev* snapshot the stats fields the sensor deltas are computed
+	// from at the last poll.
+	govPrevOps   uint64
+	govPrevChits uint64
+	govPrevSkips uint64
+	govPrevLines uint64
 }
 
 // NewHandle creates an accessor for the table.
@@ -333,7 +395,90 @@ func (t *Table) NewHandle() *Handle {
 		h.trace = t.obsReg.Trace()
 		h.traceEvery = t.obsReg.TraceSampleN()
 	}
+	if t.gov != nil {
+		h.gov = t.gov
+		h.govWord = t.gov.Word()
+		h.applyDecision(governor.Unpack(h.govWord))
+	}
 	return h
+}
+
+// applyDecision actuates a governor decision on this handle. Callers must
+// only invoke it while the pipeline is empty (head == tail): every toggle is
+// proven safe at that boundary — tagcnt is balanced, stale ptags bytes can
+// only cause missed combines or key-confirmed matches, and PublishTag stays
+// unconditional on insert paths so a re-enabled filter never misses a tag.
+// The decision is clamped to the table's constructed capabilities.
+func (h *Handle) applyDecision(d governor.Decision) {
+	h.direct = d.Direct
+	w := d.Window
+	if w < 1 {
+		w = 1
+	}
+	if w > h.t.window {
+		w = h.t.window // ring capacity was sized for the constructed window
+	}
+	h.window = w
+	h.combine = d.Combine && h.ptags != nil
+	if d.Filter && h.t.filter == table.FilterTags {
+		h.filter = table.FilterTags
+	} else {
+		h.filter = table.FilterNone
+	}
+}
+
+// govPollEvery throttles governor polls to one per govPollEvery Submit
+// calls: a poll is one time.Now plus one atomic load (plus a Feed when the
+// sensor deltas are nonzero), so amortized over batched submissions the
+// governed hot path stays within noise of the ungoverned one.
+const govPollEvery = 64
+
+// govPoll feeds the governor this handle's sensor deltas and picks up a
+// changed decision word at a safe (empty-pipeline) boundary.
+func (h *Handle) govPoll() {
+	if h.govCnt++; h.govCnt < govPollEvery {
+		return
+	}
+	h.govCnt = 0
+	now := time.Now().UnixNano()
+	if h.govLastNS != 0 {
+		s := &h.stats
+		ops := s.Ops()
+		chits := s.CombinedUpserts + s.PiggybackedGets + s.ForwardedGets
+		lines := s.KeyLines + s.TagSkips
+		h.gov.Feed(governor.Sample{
+			Ops:         ops - h.govPrevOps,
+			NS:          uint64(now - h.govLastNS),
+			CombineHits: chits - h.govPrevChits,
+			TagSkips:    s.TagSkips - h.govPrevSkips,
+			Lines:       lines - h.govPrevLines,
+		})
+		h.govPrevOps, h.govPrevChits = ops, chits
+		h.govPrevSkips, h.govPrevLines = s.TagSkips, lines
+	}
+	h.govLastNS = now
+	h.govApply()
+}
+
+// govApply adopts a changed decision word, but only at the empty-pipeline
+// boundary where every actuation is safe. A handle that streams without
+// ever draining simply keeps its current configuration (Flush also calls
+// this, so the common submit/flush batch shape applies within one batch).
+func (h *Handle) govApply() {
+	if w := h.gov.Word(); w != h.govWord && h.head == h.tail {
+		h.govWord = w
+		h.applyDecision(governor.Unpack(w))
+	}
+}
+
+// GovernorState reports the governor's current decision, epochs stepped,
+// and convergence flag; ok is false (and the rest zero) on an ungoverned
+// table. Benchmarks record the final decision alongside their Mops.
+func (t *Table) GovernorState() (d governor.Decision, epochs uint64, pinned, ok bool) {
+	if t.gov == nil {
+		return governor.Decision{}, 0, false, false
+	}
+	return t.gov.Decision(), t.gov.Epochs(), t.gov.Pinned(), true
 }
 
 // SetLatencyHook installs a completion callback; pass nil to disable.
@@ -415,6 +560,17 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 	if h.obsw != nil {
 		defer h.obsPublishThrottled()
 	}
+	if h.gov != nil {
+		h.govPoll()
+		if h.direct {
+			// Degraded direct mode: the governor concluded pipelining cannot
+			// pay here, so Submit executes each request synchronously inline
+			// — a folklore-style probe that keeps the SWAR kernel and the
+			// tag filter but skips the ring, the prefetch bookkeeping and
+			// the out-of-order completion machinery entirely.
+			return h.submitDirect(reqs, resps)
+		}
+	}
 	for nreq < len(reqs) {
 		req := reqs[nreq]
 		var hv uint64
@@ -490,6 +646,12 @@ func (h *Handle) Flush(resps []table.Response) (nresp int, done bool) {
 		if _, blocked := h.processOldest(resps, &nresp); blocked {
 			return nresp, false
 		}
+	}
+	if h.gov != nil {
+		// The pipeline is provably empty here: adopt any pending decision so
+		// submit/flush-batched callers actuate within one batch even if no
+		// Submit poll landed on an empty window.
+		h.govApply()
 	}
 	return nresp, true
 }
@@ -690,8 +852,10 @@ func (h *Handle) completeFailed(p pending, resps []table.Response, nresp *int) (
 	}
 }
 
-// finish updates counters and fires the latency hook.
-func (h *Handle) finish(p pending, op table.Op, hit bool) {
+// countOp advances the per-op completion counters — the whole cost of
+// completing a request when no trace or latency hook is attached (the direct
+// path calls it instead of finish to skip the pending copy).
+func (h *Handle) countOp(op table.Op, hit bool) {
 	switch op {
 	case table.Get:
 		h.stats.Gets++
@@ -705,6 +869,11 @@ func (h *Handle) finish(p pending, op table.Op, hit bool) {
 	if hit && (op == table.Get || op == table.Delete) {
 		h.stats.Hits++
 	}
+}
+
+// finish updates counters and fires the latency hook.
+func (h *Handle) finish(p pending, op table.Op, hit bool) {
+	h.countOp(op, hit)
 	if p.trace != 0 {
 		var arg uint32
 		if hit {

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"dramhit/internal/delegation"
+	"dramhit/internal/governor"
 	"dramhit/internal/hashfn"
 	"dramhit/internal/obs"
 	"dramhit/internal/simd"
@@ -73,6 +74,17 @@ type Config struct {
 	// readers), plus a table-level pull source of quiescent-safe aggregates.
 	// Nil — the default — is bit-identical and allocation-free.
 	Observe *obs.Registry
+	// Governor selects the read-pipeline adaptive controller.
+	// table.GovernorOff (the zero value) keeps ReadHandles exactly as
+	// configured — bit-identical to an ungoverned table.
+	// table.GovernorAuto attaches a shared hill-climbing controller that
+	// tunes window depth, piggybacking and the tag filter from the handles'
+	// own counters, including a degraded direct mode where Submit answers
+	// each lookup synchronously via the no-atomics read path.
+	// table.GovernorDirect forces that direct mode unconditionally.
+	// The write path is not governed: updates are delegated fire-and-forget
+	// and have no pipeline to tune.
+	Governor table.GovernorMode
 }
 
 // DefaultPrefetchWindow mirrors dramhit.DefaultPrefetchWindow.
@@ -138,6 +150,8 @@ type Table struct {
 	obsReg    *obs.Registry
 	// nread names ReadHandle worker shards.
 	nread atomic.Int32
+	// gov is the shared read-pipeline governor; nil when GovernorOff.
+	gov *governor.Governor
 }
 
 // New builds the table. Call Start to launch the delegation threads.
@@ -198,6 +212,21 @@ func New(cfg Config) *Table {
 			t.parts[i].arr = slotarr.New(partSlots)
 		}
 	}
+	switch cfg.Governor {
+	case table.GovernorAuto:
+		t.gov = governor.New(governor.Config{
+			Window:    cfg.PrefetchWindow,
+			Combining: cfg.Combining == table.CombineOn,
+			Tags:      filter == table.FilterTags,
+			Direct:    true,
+		})
+	case table.GovernorDirect:
+		t.gov = governor.NewForced(governor.Decision{
+			Direct: true,
+			Window: cfg.PrefetchWindow,
+			Filter: filter == table.FilterTags,
+		})
+	}
 	t.obsReg = cfg.Observe
 	if t.obsReg != nil {
 		// Only atomically-readable aggregates are exposed here: the
@@ -212,8 +241,31 @@ func New(cfg Config) *Table {
 				"partitions": float64(t.Partitions()),
 			}
 		})
+		if t.gov != nil {
+			// Distinct source name from the core table's "governor" so a
+			// process embedding both tables scrapes both controllers.
+			t.obsReg.AddSource("governor_read", t.gov.Metrics)
+			if tr := t.obsReg.Trace(); tr != nil {
+				t.gov.OnDecision = func(d governor.Decision, epoch uint64) {
+					mode := uint8(0)
+					if d.Direct {
+						mode = 1
+					}
+					tr.Record(tr.NextID(), obs.EvGovern, mode, governor.Pack(d, epoch), uint32(epoch))
+				}
+			}
+		}
 	}
 	return t
+}
+
+// GovernorState reports the read-path governor's current decision, epochs
+// stepped, and convergence flag; ok is false on an ungoverned table.
+func (t *Table) GovernorState() (d governor.Decision, epochs uint64, pinned, ok bool) {
+	if t.gov == nil {
+		return governor.Decision{}, 0, false, false
+	}
+	return t.gov.Decision(), t.gov.Epochs(), t.gov.Pinned(), true
 }
 
 // locate maps a key to (partition, local slot). The global slot index is a

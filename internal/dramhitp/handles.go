@@ -2,8 +2,10 @@ package dramhitp
 
 import (
 	"strconv"
+	"time"
 
 	"dramhit/internal/delegation"
+	"dramhit/internal/governor"
 	"dramhit/internal/hashfn"
 	"dramhit/internal/obs"
 	"dramhit/internal/simd"
@@ -193,6 +195,22 @@ type ReadHandle struct {
 	traceCnt   int
 	pubCnt     int // Submit calls since the last throttled publish
 	occMax     uint64
+
+	// Governor plumbing (nil/zero on an ungoverned table): the handle polls
+	// the shared decision word every govPollEvery Submits, feeds its counter
+	// deltas as sensors, and actuates adopted decisions only while the
+	// pipeline is empty. direct mirrors the decision's Direct bit: Submit
+	// answers each lookup synchronously through getLocal instead of the
+	// prefetch ring.
+	gov        *governor.Governor
+	govWord    uint64
+	direct     bool
+	govCnt     int
+	govLastNS  int64
+	govPrevOps uint64 // Gets at last poll
+	govPrevPB  uint64 // Piggybacked at last poll
+	govPrevSk  uint64 // Filter.TagSkips at last poll
+	govPrevLn  uint64 // Filter.KeyLines+TagSkips at last poll
 }
 
 type rpending struct {
@@ -235,7 +253,116 @@ func (t *Table) NewReadHandle() *ReadHandle {
 		r.trace = t.obsReg.Trace()
 		r.traceEvery = t.obsReg.TraceSampleN()
 	}
+	if t.gov != nil {
+		r.gov = t.gov
+		r.govWord = t.gov.Word()
+		r.applyDecision(governor.Unpack(r.govWord))
+	}
 	return r
+}
+
+// applyDecision actuates a governor decision on this reader. Callers must
+// only invoke it while the pipeline is empty (head == tail): the tagcnt
+// occupancy counts are balanced there, so toggling piggybacking cannot strand
+// a parked chain, and the filter toggle is traversal-safe because PublishTag
+// on the write path is unconditional. The decision is clamped to the table's
+// constructed capabilities.
+func (r *ReadHandle) applyDecision(d governor.Decision) {
+	r.direct = d.Direct
+	w := d.Window
+	if w < 1 {
+		w = 1
+	}
+	if w > r.t.cfg.PrefetchWindow {
+		w = r.t.cfg.PrefetchWindow // ring capacity was sized for this
+	}
+	r.window = w
+	r.combine = d.Combine && r.rtags != nil
+	if d.Filter && r.t.filter == table.FilterTags {
+		r.filter = table.FilterTags
+	} else {
+		r.filter = table.FilterNone
+	}
+}
+
+// govPollEvery mirrors the core table's Submit-poll throttle: one time.Now
+// plus one atomic load per govPollEvery Submit calls.
+const govPollEvery = 64
+
+// govPoll feeds the governor this reader's sensor deltas and adopts a
+// changed decision at the empty-pipeline boundary.
+func (r *ReadHandle) govPoll() {
+	if r.govCnt++; r.govCnt < govPollEvery {
+		return
+	}
+	r.govCnt = 0
+	now := time.Now().UnixNano()
+	if r.govLastNS != 0 {
+		lines := r.Filter.KeyLines + r.Filter.TagSkips
+		r.gov.Feed(governor.Sample{
+			Ops:         r.Gets - r.govPrevOps,
+			NS:          uint64(now - r.govLastNS),
+			CombineHits: r.Piggybacked - r.govPrevPB,
+			TagSkips:    r.Filter.TagSkips - r.govPrevSk,
+			Lines:       lines - r.govPrevLn,
+		})
+		r.govPrevOps, r.govPrevPB = r.Gets, r.Piggybacked
+		r.govPrevSk, r.govPrevLn = r.Filter.TagSkips, lines
+	}
+	r.govLastNS = now
+	r.govApply()
+}
+
+// govApply adopts a changed decision word, but only while the pipeline is
+// empty — the boundary where every actuation is proven safe.
+func (r *ReadHandle) govApply() {
+	if w := r.gov.Word(); w != r.govWord && r.head == r.tail {
+		r.govWord = w
+		r.applyDecision(governor.Unpack(w))
+	}
+}
+
+// submitDirect is Submit's direct-mode body: each lookup is answered
+// synchronously through the same no-atomics read path Get uses, skipping the
+// ring, the prefetches and the out-of-order completion machinery. Responses
+// come back in submission order; the per-ID responses are identical to the
+// pipelined path's against the same table state.
+func (r *ReadHandle) submitDirect(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	t := r.t
+	for nreq < len(reqs) {
+		if nresp >= len(resps) {
+			return nreq, nresp
+		}
+		req := reqs[nreq]
+		var traceID uint64
+		if r.trace != nil {
+			if r.traceCnt++; r.traceCnt >= r.traceEvery {
+				r.traceCnt = 0
+				traceID = r.trace.NextID()
+				r.trace.Record(traceID, obs.EvSubmit, uint8(table.Get), req.Key, 0)
+			}
+		}
+		var v uint64
+		var ok bool
+		if s := t.side.For(req.Key); s != nil {
+			v, ok = s.Get()
+		} else {
+			part, local, tag := t.locateTag(req.Key)
+			v, ok = t.getLocal(&t.parts[part], local, req.Key, tag, &r.Filter)
+		}
+		resps[nresp] = table.Response{ID: req.ID, Value: v, Found: ok}
+		nresp++
+		r.complete(ok)
+		if traceID != 0 {
+			arg := uint32(0)
+			if ok {
+				arg = 1
+			}
+			r.trace.Record(traceID, obs.EvComplete, uint8(table.Get), req.Key, arg)
+		}
+		nreq++
+	}
+	return nreq, nresp
 }
 
 // obsPublishThrottled tracks the occupancy high-water on every Submit and
@@ -294,6 +421,12 @@ func (r *ReadHandle) Get(key uint64) (uint64, bool) {
 func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
 	if r.obsw != nil {
 		defer r.obsPublishThrottled()
+	}
+	if r.gov != nil {
+		r.govPoll()
+		if r.direct {
+			return r.submitDirect(reqs, resps)
+		}
 	}
 	t := r.t
 	for nreq < len(reqs) {
@@ -355,6 +488,11 @@ func (r *ReadHandle) Flush(resps []table.Response) (nresp int, done bool) {
 		if blocked := r.processOldest(resps, &nresp); blocked {
 			return nresp, false
 		}
+	}
+	if r.gov != nil {
+		// The pipeline is provably empty: adopt any pending decision so
+		// submit/flush-batched callers actuate within one batch.
+		r.govApply()
 	}
 	return nresp, true
 }

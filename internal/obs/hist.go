@@ -182,6 +182,28 @@ func (h *Histogram) Reset() {
 	h.sum.Store(0)
 }
 
+// HistBucket is one occupied bucket of a Histogram snapshot: the inclusive
+// value range [Lo, Hi] and the number of observations that landed in it.
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the occupied buckets in ascending value order — the full
+// distribution, not just the Snapshot percentiles. Artifact writers (loadgen
+// -json, bench) embed this so a run's latency shape survives into the JSON.
+func (h *Histogram) Buckets() []HistBucket {
+	var out []HistBucket
+	for i := 0; i < NumHistBuckets; i++ {
+		if n := h.counts[i].Load(); n != 0 {
+			lo, hi := HistBucketBounds(i)
+			out = append(out, HistBucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return out
+}
+
 // HistSnapshot is a frozen summary used by the expvar/JSON exports.
 type HistSnapshot struct {
 	Count uint64  `json:"count"`

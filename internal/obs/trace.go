@@ -22,6 +22,10 @@ const (
 	EvCombine
 	EvComplete
 	EvResize
+	// EvGovern records a governor decision change: Op carries the mode
+	// (0 = pipelined, 1 = direct), Key the packed decision word, Arg the
+	// controller epoch that published it.
+	EvGovern
 )
 
 // Resize-phase codes carried in Event.Op for EvResize events (the Op field
@@ -53,6 +57,8 @@ func (k EventKind) String() string {
 		return "complete"
 	case EvResize:
 		return "resize"
+	case EvGovern:
+		return "govern"
 	}
 	return "invalid"
 }

@@ -247,6 +247,55 @@ func ParseResizeMode(s string) (ResizeMode, error) {
 	return 0, fmt.Errorf("unknown resize mode %q (want incremental|gate)", s)
 }
 
+// GovernorMode selects whether a table's handles run the adaptive pipeline
+// governor (internal/governor). The zero value is GovernorOff — unlike the
+// other execution-model knobs the governor defaults OFF, because its whole
+// point is to change pipeline shape at runtime and the deterministic
+// property-test matrix (and any caller that tuned a fixed window) must keep
+// the exact PR-5 behaviour unless adaptivity is asked for.
+type GovernorMode uint8
+
+const (
+	// GovernorOff runs the statically configured pipeline, bit-identical to
+	// a table built without governor support.
+	GovernorOff GovernorMode = iota
+	// GovernorAuto attaches the epoch-based hill-climbing controller: it
+	// measures throughput per epoch and tunes prefetch-window depth,
+	// combining, the probe filter, and the direct/pipelined mode, with
+	// hysteresis so a converged workload sees a pinned configuration.
+	GovernorAuto
+	// GovernorDirect pins the degraded direct mode: Submit bypasses the ring
+	// and executes a folklore-style synchronous probe inline. No controller
+	// runs; this is the A/B endpoint the governor-ab experiment measures.
+	GovernorDirect
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (m GovernorMode) String() string {
+	switch m {
+	case GovernorOff:
+		return "off"
+	case GovernorAuto:
+		return "auto"
+	case GovernorDirect:
+		return "direct"
+	}
+	return "invalid"
+}
+
+// ParseGovernor maps a benchmark-flag string back to a governor mode.
+func ParseGovernor(s string) (GovernorMode, error) {
+	switch s {
+	case "", "off":
+		return GovernorOff, nil
+	case "auto":
+		return GovernorAuto, nil
+	case "direct":
+		return GovernorDirect, nil
+	}
+	return 0, fmt.Errorf("unknown governor mode %q (want auto|off|direct)", s)
+}
+
 // TagOf derives a slot's 1-byte tag fingerprint from its key's full 64-bit
 // hash. Fastrange consumes the hash's HIGH bits for the slot index (the high
 // 64 of the 128-bit product dominate), so the tag takes the LOW byte —
