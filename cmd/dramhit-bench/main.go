@@ -38,6 +38,7 @@ func main() {
 	combiningFlag := flag.String("combining", "", "in-window request combining for real-execution experiments: on|off (default on)")
 	governorFlag := flag.String("governor", "auto", "adaptive pipeline governor on the dramhit cells of real-execution experiments: off|auto|direct")
 	governorjson := flag.String("governorjson", "", "run the governor-ab experiment and write its machine-readable summary (schema "+bench.GovernorSchema+") to this path")
+	shardjson := flag.String("shardjson", "", "run the shard-ab experiment and write its machine-readable summary (schema "+bench.ShardSchema+") to this path")
 	flag.Parse()
 
 	kernel, err := table.ParseProbeKernel(*probeKernel)
@@ -82,7 +83,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
 	}
-	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" {
+	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" && *shardjson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
@@ -125,6 +126,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *governorjson)
+	}
+	if *shardjson != "" {
+		start := time.Now()
+		a, sum := bench.RunShardAB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(shard-ab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*shardjson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *shardjson)
 	}
 	if *resizejson != "" {
 		start := time.Now()

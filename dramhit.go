@@ -46,6 +46,7 @@ import (
 	"dramhit/internal/folklore"
 	"dramhit/internal/growt"
 	"dramhit/internal/obs"
+	"dramhit/internal/shardmap"
 	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 )
@@ -236,6 +237,38 @@ func NewResizable(n uint64) *Resizable { return growt.New(n) }
 // compares against.
 func NewResizableMode(n uint64, mode ResizeMode) *Resizable {
 	return growt.New(n, growt.WithResizeMode(mode))
+}
+
+// Sharded is the horizontal shard router over the Folklore layout: keys are
+// ranged over N independent shards by a dedicated selector hash, and shards
+// split (or merge) online — cooperatively, chunk by chunk, never stopping
+// the world — under fill pressure or the explicit Split/Merge API. See
+// internal/shardmap for the protocol.
+type Sharded = shardmap.Map
+
+// NewSharded creates a sharded map with n total slots across the initial
+// shard count (default 1; see ShardedOption).
+func NewSharded(n uint64, opts ...ShardedOption) *Sharded { return shardmap.New(n, opts...) }
+
+// ShardedOption configures NewSharded.
+type ShardedOption = shardmap.Option
+
+// WithShards sets the initial shard count (a power of two).
+func WithShards(n int) ShardedOption { return shardmap.WithShards(n) }
+
+// ShardedBatched routes the batched Submit pipeline over N dramhit shards,
+// each with its own prefetch windows, combining and governor; handles
+// scatter a batch across shard-local rings and gather completions with no
+// global lock.
+type ShardedBatched = shardmap.Batched
+
+// ShardedBatchedConfig parameterizes NewShardedBatched; Table.Slots is the
+// total capacity, divided across shards.
+type ShardedBatchedConfig = shardmap.BatchedConfig
+
+// NewShardedBatched creates the sharded batched table.
+func NewShardedBatched(cfg ShardedBatchedConfig) *ShardedBatched {
+	return shardmap.NewBatched(cfg)
 }
 
 // Observability is the unified observability registry (see internal/obs):

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"dramhit/internal/obs"
+	"dramhit/internal/shardmap"
 )
 
 // YCSBSchema identifies the summary layout; bump on incompatible change.
@@ -21,6 +22,9 @@ const YCSBSchema = "dramhit-bench-ycsb/v2"
 
 // GovernorSchema identifies the governor-ab summary layout (BENCH_governor.json).
 const GovernorSchema = "dramhit-bench-governor/v1"
+
+// ShardSchema identifies the shard-ab summary layout (BENCH_shard.json).
+const ShardSchema = "dramhit-bench-shard/v1"
 
 // Percentiles summarizes a latency distribution in nanoseconds.
 type Percentiles struct {
@@ -67,11 +71,19 @@ type RunResult struct {
 	// Governor is the table's governor mode ("off"/"auto"/"direct") and
 	// GovernorDecision the controller's final decision string after the run
 	// (auto mode only) — e.g. "direct" or "window=16 combine filter".
-	Governor         string       `json:"governor,omitempty"`
-	GovernorDecision string       `json:"governor_decision,omitempty"`
-	Seconds          float64      `json:"seconds"`
-	Mops             float64      `json:"mops"`
-	LatencyNS        *Percentiles `json:"latency_ns,omitempty"`
+	Governor         string `json:"governor,omitempty"`
+	GovernorDecision string `json:"governor_decision,omitempty"`
+	// Shards, ShardStats, SplitAt and SplitSeconds describe sharded runs
+	// (loadgen -table sharded): the final shard count, per-shard occupancy,
+	// and — when a live split was forced at SplitAt of the timed ops — the
+	// split's install-to-completion wall time.
+	Shards       int                  `json:"shards,omitempty"`
+	ShardStats   []shardmap.ShardStat `json:"shard_stats,omitempty"`
+	SplitAt      float64              `json:"split_at,omitempty"`
+	SplitSeconds float64              `json:"split_seconds,omitempty"`
+	Seconds      float64              `json:"seconds"`
+	Mops         float64              `json:"mops"`
+	LatencyNS    *Percentiles         `json:"latency_ns,omitempty"`
 	// LatencyHist is the merged log-bucketed distribution (occupied buckets
 	// only), for consumers that need more than the fixed percentiles.
 	LatencyHist []obs.HistBucket `json:"latency_hist,omitempty"`
@@ -92,6 +104,36 @@ type GovernorSummary struct {
 	Quick  bool               `json:"quick"`
 	Runs   []RunResult        `json:"runs"`
 	Ratios map[string]float64 `json:"auto_vs_folklore_mops,omitempty"`
+}
+
+// ShardSimRun is one cell of the shard-ab experiment's simulated NUMA sweep
+// (internal/simtable on the cycle-level machine model).
+type ShardSimRun struct {
+	Name      string  `json:"name"`
+	Shards    int     `json:"shards"`
+	Placement string  `json:"placement"`
+	Workers   int     `json:"workers"`
+	Theta     float64 `json:"theta"`
+	Slots     uint64  `json:"slots"`
+	Mops      float64 `json:"mops"`
+}
+
+// ShardSummary is the top-level BENCH_shard.json document: the simulated
+// NUMA placement sweep, the real-execution live-split runs, and the two
+// headline acceptance figures.
+type ShardSummary struct {
+	Schema  string        `json:"schema"`
+	Quick   bool          `json:"quick"`
+	SimRuns []ShardSimRun `json:"sim_runs"`
+	Runs    []RunResult   `json:"runs"`
+	// AggMops8v1 is simulated aggregate Mops of 8 shard-local shards over 1
+	// node0-homed shard at equal total workers, YCSB-C θ=0 (acceptance ≥ 3).
+	AggMops8v1 float64 `json:"agg_mops_8v1"`
+	// SplitP999Ratio maps each real-execution config to during-split p99.9
+	// over steady-state p99.9 (acceptance ≤ 10 — no stop-the-world plateau).
+	SplitP999Ratio map[string]float64 `json:"split_p999_ratio"`
+	// SplitsCompleted counts live splits finished during each split run.
+	SplitsCompleted map[string]uint64 `json:"splits_completed"`
 }
 
 // WriteJSONFile marshals v indented and writes it to path, creating parent

@@ -247,7 +247,7 @@ func TestDirectPipelinedEquivalence(t *testing.T) {
 				id := nextID
 				nextID++
 				batch = append(batch, table.Request{
-					Op: []table.Op{table.Get, table.Put, table.Upsert}[rng.Intn(3)],
+					Op:  []table.Op{table.Get, table.Put, table.Upsert}[rng.Intn(3)],
 					Key: k, Value: uint64(rng.Intn(1 << 16)), ID: id,
 				})
 				if len(batch) >= 1+rng.Intn(32) {

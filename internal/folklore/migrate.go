@@ -95,6 +95,20 @@ func (t *Table) PutIfAbsent(key, value uint64) bool {
 // resized"). The caller must guarantee range-exclusivity (one migrator per
 // range, no concurrent writers to this table); see the package comment.
 func (t *Table) MigrateRange(lo, hi uint64, dst *Table) int {
+	return t.MigrateRangeTo(lo, hi, func(uint64) *Table { return dst })
+}
+
+// MigrateRangeTo is the cross-shard generalization of MigrateRange: each live
+// entry's destination table is chosen per key by dst, so one pass over a
+// source range can scatter entries across the two successor shards of a split
+// (internal/shardmap routes by a selector-hash bit) just as it funnels them
+// into the single successor of a resize or a merge. The protocol is
+// unchanged — publish in the destination with insert-if-absent, then retire
+// the source slot with table.MovedKey — so the old-then-new read discipline
+// and the relocate-before-write rule carry over verbatim; only the "new"
+// side of a lookup must consult dst(key) rather than a fixed successor. The
+// same exclusivity contract applies.
+func (t *Table) MigrateRangeTo(lo, hi uint64, dst func(key uint64) *Table) int {
 	if hi > t.size {
 		hi = t.size
 	}
@@ -105,7 +119,7 @@ func (t *Table) MigrateRange(lo, hi uint64, dst *Table) int {
 			continue // empty, tombstone, or already moved
 		}
 		v := t.arr.WaitValue(i)
-		dst.PutIfAbsent(k, v)
+		dst(k).PutIfAbsent(k, v)
 		// Under the exclusivity contract nothing else transitions this key
 		// word, so the CAS cannot lose; the check is defensive.
 		if t.arr.CASKey(i, k, table.MovedKey) {

@@ -1,0 +1,268 @@
+package memsim
+
+import "testing"
+
+// numaMachine returns a Skylake-like two-socket machine with the
+// interconnect modeled (the defaults keep InterconnectGBs at 0 so calibrated
+// figures stay put; NUMA experiments opt in).
+func numaMachine() *Machine {
+	m := IntelSkylake()
+	m.InterconnectGBs = 41.6
+	return m
+}
+
+// randLine is a cheap deterministic line scrambler for access streams.
+func randLine(i uint64) uint64 {
+	i *= 0x9e3779b97f4a7c15
+	i ^= i >> 32
+	return i
+}
+
+// runNUMALoad drives the threads through ops random reads each over their
+// region using a 16-deep software-prefetch window — the pipelined access
+// pattern the hash table actually issues, which is what lets a handful of
+// threads push the memory channels to saturation (demand loads alone are
+// latency-bound and never expose a bandwidth asymmetry). Returns the finish
+// clock. Each thread draws lines from regionOf(thread), so placement
+// experiments can give threads socket-local or remote working sets.
+func runNUMALoad(s *Sim, ops int, regionOf func(t *Thread) (base, lines uint64)) float64 {
+	const window = 16
+	done := make(map[int]int, len(s.Threads))
+	s.Run(func(t *Thread) bool {
+		i := done[t.ID]
+		if i == ops {
+			return false
+		}
+		done[t.ID] = i + 1
+		base, lines := regionOf(t)
+		lineAt := func(op int) uint64 {
+			return base + randLine(uint64(op)<<8|uint64(t.ID))%lines
+		}
+		t.Prefetch(lineAt(i + window))
+		t.Access(lineAt(i), Load)
+		t.Compute(20)
+		return true
+	})
+	return s.MaxClock()
+}
+
+// TestInterconnectDefaultsUnmodeled locks the back-compat contract: the
+// stock machines ship with InterconnectGBs = 0, so every calibrated figure
+// (Table 1, the throughput curves) is computed without link queues.
+func TestInterconnectDefaultsUnmodeled(t *testing.T) {
+	for _, m := range []*Machine{IntelSkylake(), AMDMilan()} {
+		if m.InterconnectGBs != 0 {
+			t.Fatalf("%s: InterconnectGBs = %v, want 0 (opt-in)", m.Name, m.InterconnectGBs)
+		}
+		if got := m.InterconnectLinesPerCycle(); got != 0 {
+			t.Fatalf("%s: InterconnectLinesPerCycle = %v, want 0", m.Name, got)
+		}
+		if s := NewSim(m, 4); s.upi != nil {
+			t.Fatalf("%s: sim built link queues with InterconnectGBs = 0", m.Name)
+		}
+	}
+	m := numaMachine()
+	lpc := m.InterconnectLinesPerCycle()
+	if lpc <= 0 {
+		t.Fatalf("InterconnectLinesPerCycle = %v with cap set", lpc)
+	}
+	// 41.6 GB/s at 2.6 GHz: 41.6/(64*2.6) = 0.25 lines/cycle.
+	if lpc < 0.24 || lpc > 0.26 {
+		t.Fatalf("InterconnectLinesPerCycle = %v, want ~0.25", lpc)
+	}
+	if s := NewSim(m, 4); len(s.upi) != m.Sockets*m.Sockets {
+		t.Fatalf("built %d link queues, want %d", len(s.upi), m.Sockets*m.Sockets)
+	}
+}
+
+// TestNewSimPinnedTopology checks explicit placement: threads land on the
+// requested sockets, fill physical cores before hyperthread siblings, and
+// the default round-robin delegate reproduces NewSim's layout exactly.
+func TestNewSimPinnedTopology(t *testing.T) {
+	m := IntelSkylake()
+
+	// All threads on socket 1.
+	s := NewSimPinned(m, 8, func(i int) int { return 1 })
+	cores := map[int]bool{}
+	for _, th := range s.Threads {
+		if th.Socket != 1 {
+			t.Fatalf("thread %d on socket %d, pinned to 1", th.ID, th.Socket)
+		}
+		if cores[th.Core] {
+			t.Fatalf("core %d assigned twice with only 8 threads on 16 cores", th.Core)
+		}
+		cores[th.Core] = true
+	}
+
+	// Round-robin delegate matches NewSim thread for thread.
+	a, b := NewSim(m, 11), NewSimPinned(m, 11, func(i int) int { return i % m.Sockets })
+	for i := range a.Threads {
+		ta, tb := a.Threads[i], b.Threads[i]
+		if ta.Socket != tb.Socket || ta.Core != tb.Core || ta.CCX != tb.CCX {
+			t.Fatalf("thread %d: NewSim (socket %d core %d ccx %d) != pinned (socket %d core %d ccx %d)",
+				i, ta.Socket, ta.Core, ta.CCX, tb.Socket, tb.Core, tb.CCX)
+		}
+	}
+
+	// Oversubscribing one socket past core count engages hyperthread
+	// halving even though the global count fits the machine's cores.
+	ht := NewSimPinned(m, 20, func(i int) int { return 0 })
+	full := NewSim(m, 20)
+	if got, want := ht.Threads[0].l1.capacityLines(), full.Threads[0].l1.capacityLines()/2; got != want {
+		t.Fatalf("oversubscribed socket kept full L1: %d lines, want %d", got, want)
+	}
+
+	// Out-of-range pins and over-capacity sockets panic.
+	for name, f := range map[string]func(){
+		"socket-range": func() { NewSimPinned(m, 2, func(i int) int { return 5 }) },
+		"overcommit":   func() { NewSimPinned(m, 33, func(i int) int { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestPlacementPolicy checks SetPlacement overrides the per-line
+// interleave and nil restores it.
+func TestPlacementPolicy(t *testing.T) {
+	s := NewSim(IntelSkylake(), 2)
+	if s.homeSocket(0) != 0 || s.homeSocket(1) != 1 {
+		t.Fatalf("default interleave broken: home(0)=%d home(1)=%d", s.homeSocket(0), s.homeSocket(1))
+	}
+	s.SetPlacement(func(line uint64) int { return 1 })
+	for _, l := range []uint64{0, 1, 2, 1 << 30} {
+		if got := s.homeSocket(l); got != 1 {
+			t.Fatalf("homeSocket(%d) = %d under node1 policy", l, got)
+		}
+	}
+	s.SetPlacement(nil)
+	if s.homeSocket(0) != 0 || s.homeSocket(1) != 1 {
+		t.Fatal("nil placement did not restore interleave")
+	}
+}
+
+// TestShardLocalBeatsInterleaveBeatsNode0 is the experiment the sharded
+// table's NUMA claim rests on: 16 threads stream random loads over a
+// DRAM-resident region under three placements —
+//
+//   - local: the region is split into per-socket halves and each thread
+//     reads only its own socket's half (shard-per-node placement);
+//   - interleave: lines alternate sockets and every thread reads the whole
+//     region (the default);
+//   - node0: the whole region is homed on socket 0 (a single first-touch
+//     allocation), so socket 1's threads read remote and socket 0's six
+//     channels carry all the traffic.
+//
+// Local must beat interleave, interleave must beat node0, and node0 must
+// trail local by at least 1.8× (six channels serving everyone plus the
+// directory write-back doubling remote read traffic plus the link cap).
+func TestShardLocalBeatsInterleaveBeatsNode0(t *testing.T) {
+	m := numaMachine()
+	const (
+		threads = 16
+		ops     = 4000
+		lines   = 1 << 22 // 256 MB: far beyond the LLCs
+		base    = uint64(1) << 40
+	)
+	build := func(place func(line uint64) int) *Sim {
+		s := NewSim(m, threads)
+		if place != nil {
+			s.SetPlacement(place)
+		}
+		return s
+	}
+	wholeRegion := func(t *Thread) (uint64, uint64) { return base, lines }
+
+	// local: socket s owns [base + s*lines/2, base + (s+1)*lines/2).
+	half := uint64(lines / 2)
+	localSim := build(func(line uint64) int {
+		if line >= base && line < base+half {
+			return 0
+		}
+		if line >= base+half && line < base+lines {
+			return 1
+		}
+		return int(line) & 1
+	})
+	localClock := runNUMALoad(localSim, ops, func(th *Thread) (uint64, uint64) {
+		return base + uint64(th.Socket)*half, half
+	})
+
+	interClock := runNUMALoad(build(nil), ops, wholeRegion)
+
+	node0Sim := build(func(line uint64) int {
+		if line >= base && line < base+lines {
+			return 0
+		}
+		return int(line) & 1
+	})
+	node0Clock := runNUMALoad(node0Sim, ops, wholeRegion)
+
+	t.Logf("clocks: local=%.0f interleave=%.0f node0=%.0f (node0/local = %.2fx)",
+		localClock, interClock, node0Clock, node0Clock/localClock)
+	if !(localClock < interClock) {
+		t.Fatalf("shard-local (%.0f) did not beat interleave (%.0f)", localClock, interClock)
+	}
+	if !(interClock < node0Clock) {
+		t.Fatalf("interleave (%.0f) did not beat node0 (%.0f)", interClock, node0Clock)
+	}
+	if node0Clock < 1.8*localClock {
+		t.Fatalf("node0 (%.0f) only %.2fx slower than local (%.0f), want ≥1.8x",
+			node0Clock, node0Clock/localClock, localClock)
+	}
+}
+
+// TestInterconnectCapThrottles checks the link queue actually backpressures:
+// an all-remote read stream against a tight cap finishes later than the same
+// stream with the interconnect unmodeled, and an otherwise identical
+// socket-local stream is untouched by the cap.
+func TestInterconnectCapThrottles(t *testing.T) {
+	const (
+		threads = 8
+		ops     = 3000
+		lines   = 1 << 22
+		base    = uint64(1) << 40
+	)
+	node0 := func(line uint64) int {
+		if line >= base && line < base+lines {
+			return 0
+		}
+		return int(line) & 1
+	}
+	// Pin every thread to socket 1 so all fills cross the link.
+	run := func(m *Machine, place func(uint64) int) float64 {
+		s := NewSimPinned(m, threads, func(i int) int { return 1 })
+		s.SetPlacement(place)
+		return runNUMALoad(s, ops, func(th *Thread) (uint64, uint64) { return base, lines })
+	}
+
+	uncapped := IntelSkylake()
+	capped := IntelSkylake()
+	capped.InterconnectGBs = 5 // deliberately starved link
+
+	free := run(uncapped, node0)
+	tight := run(capped, node0)
+	if tight <= free*1.05 {
+		t.Fatalf("5 GB/s link cap did not throttle remote reads: capped %.0f vs unmodeled %.0f", tight, free)
+	}
+
+	// Same cap, but the region homed on the reading socket: no link
+	// crossings, so the cap must not change the clock at all.
+	node1 := func(line uint64) int {
+		if line >= base && line < base+lines {
+			return 1
+		}
+		return int(line) & 1
+	}
+	localFree := run(uncapped, node1)
+	localCapped := run(capped, node1)
+	if localFree != localCapped {
+		t.Fatalf("link cap perturbed socket-local traffic: %.0f vs %.0f", localCapped, localFree)
+	}
+}

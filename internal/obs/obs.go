@@ -273,10 +273,10 @@ func (r *Registry) Sources() []Source {
 
 // WorkerSnapshot is one shard's frozen state.
 type WorkerSnapshot struct {
-	Name     string             `json:"name"`
-	Counters map[string]uint64  `json:"counters"`
-	Gauges   map[string]uint64  `json:"gauges"`
-	Latency  HistSnapshot       `json:"latency_ns"`
+	Name     string            `json:"name"`
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]uint64 `json:"gauges"`
+	Latency  HistSnapshot      `json:"latency_ns"`
 }
 
 // Snapshot is the registry's frozen state: per-worker shards, summed

@@ -1,0 +1,411 @@
+// The cross-shard migration state machine. One re-sharding window is the
+// four-phase protocol of internal/growt's incremental resize, generalized
+// from "one table to its successor" to "one shard to its two split halves"
+// (and "two buddy shards to their merge"):
+//
+//	install  — the trigger (fill pressure or the Split/Merge API) pre-builds
+//	           the destination shard(s) and the post-swap directory outside
+//	           the gate, then takes the exclusive gate for an O(1)
+//	           publication of the window. The exclusive acquisition is the
+//	           window's memory barrier: no operation started before it can
+//	           still be writing the source shard(s) afterwards. Reserved-key
+//	           side entries owned by a source move to their destination here.
+//	help     — every subsequent operation on a covered shard claims at most
+//	           one chunk of source slots (CAS unclaimed→busy, cursor-ordered)
+//	           and scatters its live entries with folklore.MigrateRangeTo:
+//	           publish in the per-key destination, then retire the source
+//	           slot with table.MovedKey. For a split the destination is
+//	           chosen by the discriminating selector-hash bit; for a merge
+//	           both sources funnel into one. Operations on other shards never
+//	           even take a branch into this machinery.
+//	relocate — a window writer whose key still has a live source entry first
+//	           ensures that entry's chunk has migrated (claiming it when
+//	           unclaimed, waiting out a busy owner — a wait bounded by one
+//	           chunk), and only then writes the destination. Same
+//	           anti-resurrection argument as growt: for any key the source
+//	           copy strictly precedes every destination write of that key,
+//	           so insert-if-absent always resolves in favour of the newer
+//	           value. Readers never relocate — old-then-new is already
+//	           consistent.
+//	swap     — when the last chunk completes, any operation CASes the state
+//	           pointer to the pre-built post-swap directory. Tombstones died
+//	           in the scatter, and a split shard's keys now live exactly one
+//	           local-depth deeper.
+//
+// A split must never stop the world, and does not: the worst case any
+// operation pays is one chunk scatter.
+package shardmap
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dramhit/internal/folklore"
+	"dramhit/internal/table"
+)
+
+// Chunk migration states.
+const (
+	chunkUnclaimed uint32 = iota
+	chunkBusy
+	chunkDone
+)
+
+// resharding is one open split or merge window.
+type resharding struct {
+	merge bool
+	srcs  []*shard // 1 for a split, 2 (buddy pair) for a merge
+	dsts  []*shard // 2 for a split, 1 for a merge
+	// splitBit is the selector-hash bit (0-based from the top) that
+	// discriminates the two split destinations; unused for a merge.
+	splitBit uint
+	// dstTbl routes a key to its destination table — the function
+	// folklore.MigrateRangeTo scatters through.
+	dstTbl func(key uint64) *folklore.Table
+	// next is the post-swap directory, pre-built at install.
+	next *dirState
+
+	// The chunk space concatenates the sources' slot ranges in order.
+	sizes   []uint64 // per-source slot counts
+	size    uint64
+	chunk   uint64
+	nchunks uint64
+	cursor  atomic.Uint64   // next chunk offered to helpers
+	state   []atomic.Uint32 // per-chunk unclaimed/busy/done
+	done    atomic.Uint64   // completed chunks; == nchunks ⇒ ready to swap
+}
+
+// covers reports whether sh is a source of this window.
+func (g *resharding) covers(sh *shard) bool {
+	for _, s := range g.srcs {
+		if s == sh {
+			return true
+		}
+	}
+	return false
+}
+
+// dst returns the destination shard for a selector hash.
+func (g *resharding) dst(h uint64) *shard {
+	if g.merge {
+		return g.dsts[0]
+	}
+	return g.dsts[(h>>(63-g.splitBit))&1]
+}
+
+// finish wires the derived fields of a window: chunk geometry and the
+// per-key destination router.
+func (m *Map) finishWindow(g *resharding) {
+	g.chunk = m.chunk
+	for _, sz := range g.sizes {
+		g.size += sz
+	}
+	g.nchunks = (g.size + g.chunk - 1) / g.chunk
+	if g.nchunks == 0 {
+		g.nchunks = 1
+	}
+	g.state = make([]atomic.Uint32, g.nchunks)
+	g.dstTbl = func(key uint64) *folklore.Table { return g.dst(m.sel(key)).tbl }
+}
+
+// installSplit opens a split window on src, observed under generation seen.
+// The destination pair and the post-swap directory are built outside the
+// gate; the critical section is O(1) bookkeeping plus the reserved-key side
+// slots (the directory doubling, when needed, happened during the pre-build).
+func (m *Map) installSplit(seen *dirState, src *shard) {
+	if m.st.Load() != seen {
+		return // stale observation: the directory already moved on
+	}
+	// Each half gets the source's capacity, so a completed split halves the
+	// shard's fill — the growth policy of the router (capacity scales by
+	// shard count, never by shard size).
+	capn := uint64(src.tbl.Cap())
+	g := &resharding{
+		srcs: []*shard{src},
+		dsts: []*shard{
+			m.newShard(src.bits+1, src.pfx<<1, capn),
+			m.newShard(src.bits+1, src.pfx<<1|1, capn),
+		},
+		splitBit: src.bits,
+		sizes:    []uint64{capn},
+	}
+	m.finishWindow(g)
+
+	// Post-swap directory: double it if the split shard was at global depth.
+	depth := seen.depth
+	if src.bits+1 > depth {
+		depth = src.bits + 1
+	}
+	ndir := make([]*shard, 1<<depth)
+	for i := range ndir {
+		old := seen.dir[uint64(i)>>(depth-seen.depth)]
+		if old == src {
+			// The directory index's top src.bits+1 bits end in the
+			// discriminating bit.
+			ndir[i] = g.dsts[(uint64(i)>>(depth-(src.bits+1)))&1]
+		} else {
+			ndir[i] = old
+		}
+	}
+	g.next = &dirState{depth: depth, dir: ndir}
+
+	m.gate.Lock()
+	if m.st.Load() != seen {
+		m.gate.Unlock()
+		return // lost the install race; drop our successors
+	}
+	m.moveReserved(seen, g)
+	// The window directory still routes to src — covered operations switch
+	// to the window protocol, everyone else is untouched.
+	m.st.Store(&dirState{depth: seen.depth, dir: seen.dir, mig: g})
+	m.gate.Unlock()
+}
+
+// installMerge opens a merge window funneling buddy shards a (even prefix)
+// and b (odd prefix) into one shard of their combined capacity.
+func (m *Map) installMerge(seen *dirState, a, b *shard) {
+	if m.st.Load() != seen {
+		return
+	}
+	capA, capB := uint64(a.tbl.Cap()), uint64(b.tbl.Cap())
+	g := &resharding{
+		merge: true,
+		srcs:  []*shard{a, b},
+		dsts:  []*shard{m.newShard(a.bits-1, a.pfx>>1, capA+capB)},
+		sizes: []uint64{capA, capB},
+	}
+	m.finishWindow(g)
+
+	ndir := make([]*shard, len(seen.dir))
+	for i, sh := range seen.dir {
+		if sh == a || sh == b {
+			ndir[i] = g.dsts[0]
+		} else {
+			ndir[i] = sh
+		}
+	}
+	g.next = &dirState{depth: seen.depth, dir: ndir}
+
+	m.gate.Lock()
+	if m.st.Load() != seen {
+		m.gate.Unlock()
+		return
+	}
+	m.moveReserved(seen, g)
+	m.st.Store(&dirState{depth: seen.depth, dir: seen.dir, mig: g})
+	m.gate.Unlock()
+}
+
+// moveReserved relocates reserved-key side entries owned by the window's
+// sources to their destinations, under the exclusive gate: the destination
+// is authoritative for them for the whole window.
+func (m *Map) moveReserved(seen *dirState, g *resharding) {
+	for _, rk := range []uint64{table.EmptyKey, table.TombstoneKey, table.MovedKey} {
+		h := m.sel(rk)
+		src := seen.dir[seen.slot(h)]
+		if !g.covers(src) {
+			continue
+		}
+		if v, ok := src.tbl.Get(rk); ok {
+			g.dst(h).tbl.Put(rk, v)
+			src.tbl.Delete(rk)
+		}
+	}
+}
+
+// Split opens a split window on the shard owning key. It reports whether a
+// window was installed; false means a window is already open elsewhere or
+// the shard is at the local-depth cap. The split completes cooperatively as
+// operations help (or via DrainResharding).
+func (m *Map) Split(key uint64) bool {
+	h := m.sel(key)
+	st := m.st.Load()
+	if st.mig != nil {
+		return false
+	}
+	sh := st.dir[st.slot(h)]
+	if sh.bits >= m.maxDepth {
+		return false
+	}
+	if !m.installing.CompareAndSwap(0, 1) {
+		return false
+	}
+	m.installSplit(st, sh)
+	m.installing.Store(0)
+	return m.st.Load() != st
+}
+
+// Merge opens a merge window funneling the shard owning key and its buddy
+// into one shard. It reports false when a window is already open, the shard
+// is the root (bits 0), or the buddy is itself split deeper (local depths
+// must match to merge).
+func (m *Map) Merge(key uint64) bool {
+	h := m.sel(key)
+	st := m.st.Load()
+	if st.mig != nil {
+		return false
+	}
+	sh := st.dir[st.slot(h)]
+	if sh.bits == 0 {
+		return false
+	}
+	buddyIdx := (sh.pfx ^ 1) << (st.depth - sh.bits)
+	buddy := st.dir[buddyIdx]
+	if buddy.bits != sh.bits || buddy == sh {
+		return false
+	}
+	a, b := sh, buddy
+	if a.pfx&1 == 1 {
+		a, b = b, a
+	}
+	if !m.installing.CompareAndSwap(0, 1) {
+		return false
+	}
+	m.installMerge(st, a, b)
+	m.installing.Store(0)
+	return m.st.Load() != st
+}
+
+// DrainResharding force-completes any open window: claim every remaining
+// chunk, wait out busy owners, swap. Loadgen's forced mid-run split and the
+// drain-before-next-window path both use it.
+func (m *Map) DrainResharding() {
+	st := m.st.Load()
+	if st.mig != nil {
+		m.drain(st)
+	}
+}
+
+// helpOne claims and migrates at most one chunk — the fixed helping quantum
+// every covered operation contributes during a window.
+func (m *Map) helpOne(g *resharding) {
+	for g.done.Load() < g.nchunks {
+		c := g.cursor.Add(1) - 1
+		if c >= g.nchunks {
+			return // every chunk claimed; stragglers are finishing
+		}
+		if g.state[c].CompareAndSwap(chunkUnclaimed, chunkBusy) {
+			m.migrateChunk(g, c)
+			return
+		}
+		// Claimed out of cursor order by a relocating writer; offer the next.
+	}
+}
+
+// relocate guarantees key's source-shard entry, if one is live, has been
+// migrated before the caller writes key in the destination.
+func (m *Map) relocate(g *resharding, sh *shard, key uint64) {
+	if table.IsReservedKey(key) {
+		return // moved at install; destination is authoritative
+	}
+	slot, found := sh.tbl.Locate(key)
+	if !found {
+		return // absent or already migrated: nothing to order against
+	}
+	base := uint64(0)
+	for i, s := range g.srcs {
+		if s == sh {
+			break
+		}
+		base += g.sizes[i]
+	}
+	m.ensureChunk(g, (base+slot)/g.chunk)
+}
+
+// ensureChunk returns once chunk c's migration is complete, claiming the
+// scatter itself when unclaimed and otherwise waiting out the owner.
+func (m *Map) ensureChunk(g *resharding, c uint64) {
+	waited := false
+	for spins := 0; ; spins++ {
+		switch g.state[c].Load() {
+		case chunkDone:
+			return
+		case chunkUnclaimed:
+			if g.state[c].CompareAndSwap(chunkUnclaimed, chunkBusy) {
+				m.migrateChunk(g, c)
+				return
+			}
+		default: // busy
+			if !waited {
+				waited = true
+				m.waits.Add(1)
+			}
+			if spins > 32 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// migrateChunk scatters chunk c (the caller holds its busy claim) and marks
+// it done. Chunk indices address the concatenation of the sources' slot
+// ranges; a chunk straddling the seam of a merge simply visits both sources.
+func (m *Map) migrateChunk(g *resharding, c uint64) {
+	var t0 time.Time
+	if m.splitHist != nil {
+		t0 = time.Now()
+	}
+	clo := c * g.chunk
+	chi := clo + g.chunk
+	if chi > g.size {
+		chi = g.size
+	}
+	base := uint64(0)
+	for i, src := range g.srcs {
+		sz := g.sizes[i]
+		lo, hi := clo, chi
+		if lo < base {
+			lo = base
+		}
+		if hi > base+sz {
+			hi = base + sz
+		}
+		if lo < hi {
+			src.tbl.MigrateRangeTo(lo-base, hi-base, g.dstTbl)
+		}
+		base += sz
+	}
+	g.state[c].Store(chunkDone)
+	g.done.Add(1)
+	m.helped.Add(1)
+	if m.splitHist != nil {
+		m.splitHist.Record(uint64(time.Since(t0).Nanoseconds()))
+	}
+}
+
+// maybeSwap retires a fully-migrated window: the state-pointer CAS succeeds
+// for exactly one caller, publishing the pre-built post-swap directory.
+func (m *Map) maybeSwap(st *dirState) {
+	g := st.mig
+	if g == nil || g.done.Load() < g.nchunks {
+		return
+	}
+	if m.st.CompareAndSwap(st, g.next) {
+		if g.merge {
+			m.merges.Add(1)
+		} else {
+			m.splits.Add(1)
+		}
+	}
+}
+
+// drain force-completes the window open under st.
+func (m *Map) drain(st *dirState) {
+	g := st.mig
+	for {
+		c := g.cursor.Add(1) - 1
+		if c >= g.nchunks {
+			break
+		}
+		if g.state[c].CompareAndSwap(chunkUnclaimed, chunkBusy) {
+			m.migrateChunk(g, c)
+		}
+	}
+	for spins := 0; g.done.Load() < g.nchunks; spins++ {
+		if spins > 32 {
+			runtime.Gosched()
+		}
+	}
+	m.maybeSwap(st)
+}

@@ -1,0 +1,442 @@
+package shardmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dramhit/internal/folklore"
+	"dramhit/internal/obs"
+	"dramhit/internal/table"
+	"dramhit/internal/workload"
+)
+
+// checkInvariants asserts, at a quiescent point (no operation in flight,
+// possibly mid-window), the properties the re-sharding protocol promises —
+// the cross-shard lift of growt's migration invariants:
+//
+//  1. no key is live in two shards at once (copy-then-kill: a key is visible
+//     on exactly one side of its MovedKey transition, and routing ownership
+//     is a partition of the selector-hash space);
+//  2. the multiset of live entries across all shards plus any open window's
+//     destinations equals the reference map;
+//  3. every reference entry is visible through the public Get, and Len
+//     agrees with the reference size.
+func checkInvariants(t *testing.T, m *Map, ref map[uint64]uint64) {
+	t.Helper()
+	st := m.st.Load()
+	if got := m.Len(); got != len(ref) {
+		t.Fatalf("Len = %d, reference %d", got, len(ref))
+	}
+	union := make(map[uint64]uint64, len(ref))
+	add := func(tbl *folklore.Table) {
+		tbl.Range(func(k, v uint64) bool {
+			if _, dup := union[k]; dup {
+				t.Fatalf("key %#x live in two shards", k)
+			}
+			union[k] = v
+			return true
+		})
+	}
+	st.distinct(func(sh *shard) { add(sh.tbl) })
+	if st.mig != nil {
+		for _, d := range st.mig.dsts {
+			add(d.tbl)
+		}
+	}
+	if len(union) != len(ref) {
+		t.Fatalf("shards hold %d entries, reference %d", len(union), len(ref))
+	}
+	for k, want := range ref {
+		if got, ok := union[k]; !ok || got != want {
+			t.Fatalf("union[%#x] = (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("Get(%#x) = (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+	}
+}
+
+// openWindow seeds m (with tombstone churn) until fill pressure installs a
+// split window, mirroring every mutation into ref. Requires m.noHelp so the
+// window stays open.
+func openWindow(t *testing.T, m *Map, ref map[uint64]uint64, seed int64) []uint64 {
+	t.Helper()
+	keys := workload.UniqueKeys(seed, 4096)
+	for i := 0; ; i++ {
+		if i >= len(keys) {
+			t.Fatal("window never opened")
+		}
+		k := keys[i]
+		m.Put(k, k^5)
+		ref[k] = k ^ 5
+		if m.st.Load().mig != nil {
+			return keys
+		}
+		if i%7 == 3 { // churn: accumulate source-shard tombstones
+			m.Delete(keys[i-1])
+			delete(ref, keys[i-1])
+		}
+	}
+}
+
+// stepWindow migrates exactly one chunk of the open window and swaps if it
+// was the last.
+func stepWindow(m *Map) bool {
+	st := m.st.Load()
+	if st.mig == nil {
+		return false
+	}
+	m.helpOne(st.mig)
+	m.maybeSwap(st)
+	return true
+}
+
+func TestRoutingBasic(t *testing.T) {
+	m := New(4096, WithShards(4))
+	if got := m.ShardCount(); got != 4 {
+		t.Fatalf("ShardCount = %d, want 4", got)
+	}
+	if got := m.Cap(); got != 4096 {
+		t.Fatalf("Cap = %d, want 4096", got)
+	}
+	keys := workload.UniqueKeys(11, 2000)
+	for _, k := range keys {
+		if !m.Put(k, k^3) {
+			t.Fatalf("Put(%#x) failed", k)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := m.Get(k); !ok || v != k^3 {
+			t.Fatalf("Get(%#x) = (%d,%v)", k, v, ok)
+		}
+	}
+	if m.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(keys))
+	}
+	// Every shard must own a fair share: 2000 uniform keys over 4 shards.
+	for _, s := range m.ShardStats() {
+		if s.Live < 2000/4/2 || s.Live > 2000 {
+			t.Fatalf("shard %d holds %d of 2000 keys — selector skew", s.ID, s.Live)
+		}
+	}
+}
+
+// TestSplitInvariantsAtEveryInterruption steps an open split window one
+// chunk at a time and, between chunk claims, injects a goroutine performing
+// puts, upserts and deletes that race the scatter (relocation and all);
+// after each join the window invariants must hold exactly — growt's
+// TestMigrationInvariantsAtEveryInterruption, lifted to cross-shard moves.
+func TestSplitInvariantsAtEveryInterruption(t *testing.T) {
+	m := New(128, WithChunkSlots(16))
+	m.noHelp = true
+	ref := make(map[uint64]uint64)
+	openWindow(t, m, ref, 4242)
+	checkInvariants(t, m, ref) // freshly installed, zero chunks done
+
+	for step := 0; m.st.Load().mig != nil; step++ {
+		base := uint64(1)<<40 + uint64(step)*8
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Put(base, base)
+			m.Put(base+1, base+1)
+			m.Upsert(base, 2)
+			m.Delete(base + 1)
+			m.Put(base+2, base+2)
+		}()
+		stepWindow(m)
+		wg.Wait()
+		ref[base] = base + 2
+		ref[base+2] = base + 2
+		checkInvariants(t, m, ref)
+	}
+	if m.ShardCount() != 2 {
+		t.Fatalf("ShardCount after completed split = %d, want 2", m.ShardCount())
+	}
+	checkInvariants(t, m, ref)
+}
+
+// TestSplitNoResurrection pins the relocation linchpin across shards: with
+// the victim's chunk never helped, a put-then-delete during the window must
+// not be resurrected by a later chunk scatter replaying the old source value
+// into a destination shard.
+func TestSplitNoResurrection(t *testing.T) {
+	m := New(64, WithChunkSlots(1))
+	m.noHelp = true
+	ref := make(map[uint64]uint64)
+	keys := openWindow(t, m, ref, 31337)
+	src := m.st.Load().mig.srcs[0]
+	var victim uint64
+	found := false
+	for _, k := range keys {
+		if _, ok := ref[k]; !ok {
+			continue
+		}
+		if _, live := src.tbl.Locate(k); live {
+			victim, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no live source-shard key to test against")
+	}
+	m.Put(victim, 999)
+	m.Delete(victim)
+	delete(ref, victim)
+	if _, ok := m.Get(victim); ok {
+		t.Fatal("deleted key still visible mid-window")
+	}
+	for stepWindow(m) {
+		if _, ok := m.Get(victim); ok {
+			t.Fatal("chunk scatter resurrected a deleted key")
+		}
+	}
+	checkInvariants(t, m, ref)
+}
+
+// TestExplicitSplitAndMerge drives the public Split/Merge API through a full
+// round trip and checks the directory, the counters, and every entry.
+func TestExplicitSplitAndMerge(t *testing.T) {
+	m := New(1024, WithShards(2))
+	ref := make(map[uint64]uint64)
+	for _, k := range workload.UniqueKeys(55, 300) {
+		m.Put(k, k|1)
+		ref[k] = k | 1
+	}
+	pivot := uint64(12345)
+
+	if !m.Split(pivot) {
+		t.Fatal("Split returned false with no window open")
+	}
+	if !m.Resharding() {
+		t.Fatal("Split installed no window")
+	}
+	m.DrainResharding()
+	if m.Resharding() {
+		t.Fatal("window still open after DrainResharding")
+	}
+	if got := m.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount after split = %d, want 3", got)
+	}
+	if s := m.Stats(); s.Splits != 1 {
+		t.Fatalf("Stats.Splits = %d, want 1", s.Splits)
+	}
+	checkInvariants(t, m, ref)
+
+	if !m.Merge(pivot) {
+		t.Fatal("Merge of freshly split buddies returned false")
+	}
+	m.DrainResharding()
+	if got := m.ShardCount(); got != 2 {
+		t.Fatalf("ShardCount after merge = %d, want 2", got)
+	}
+	if s := m.Stats(); s.Merges != 1 {
+		t.Fatalf("Stats.Merges = %d, want 1", s.Merges)
+	}
+	checkInvariants(t, m, ref)
+
+	// Merge of the root shard must refuse.
+	single := New(64)
+	single.Put(1, 1)
+	if single.Merge(1) {
+		t.Fatal("Merge split the un-split root")
+	}
+}
+
+// TestAutoSplitUnderLoad checks that sustained insert pressure grows the
+// shard count transparently and that completed splits leave no migration
+// debris (a fresh destination carries no tombstones after pure inserts).
+func TestAutoSplitUnderLoad(t *testing.T) {
+	m := New(64, WithChunkSlots(8))
+	keys := workload.UniqueKeys(77, 8192)
+	for _, k := range keys {
+		if !m.Put(k, k^9) {
+			t.Fatalf("Put(%#x) failed under auto-split", k)
+		}
+	}
+	m.DrainResharding()
+	if got := m.ShardCount(); got < 8 {
+		t.Fatalf("ShardCount = %d after 8192 inserts from one 64-slot shard", got)
+	}
+	if s := m.Stats(); s.Splits == 0 || s.ChunksHelped == 0 {
+		t.Fatalf("Stats = %+v; want nonzero Splits and ChunksHelped", s)
+	}
+	for _, k := range keys {
+		if v, ok := m.Get(k); !ok || v != k^9 {
+			t.Fatalf("Get(%#x) = (%d,%v) after auto-splits", k, v, ok)
+		}
+	}
+	if m.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(keys))
+	}
+	// Pure inserts: scatters skip tombstones, so no shard may carry any.
+	for _, s := range m.ShardStats() {
+		if s.Fill > DefaultMaxFill {
+			t.Fatalf("shard %d fill %.2f above the split threshold at quiescence", s.ID, s.Fill)
+		}
+	}
+}
+
+// TestReservedKeysAcrossSplit splits the shards owning each reserved key —
+// both drained and mid-window — and checks the side entries follow.
+func TestReservedKeysAcrossSplit(t *testing.T) {
+	reserved := []uint64{table.EmptyKey, table.TombstoneKey, table.MovedKey}
+	m := New(256)
+	for _, rk := range reserved {
+		m.Put(rk, rk^77)
+	}
+	for _, rk := range reserved {
+		if !m.Split(rk) {
+			t.Fatalf("Split(%#x) refused", rk)
+		}
+		// Mid-window: the destination is authoritative for reserved keys.
+		if v, ok := m.Get(rk); !ok || v != rk^77 {
+			t.Fatalf("mid-window Get(%#x) = (%d,%v)", rk, v, ok)
+		}
+		m.Put(rk, rk^88)
+		m.DrainResharding()
+		if v, ok := m.Get(rk); !ok || v != rk^88 {
+			t.Fatalf("post-split Get(%#x) = (%d,%v), want %d", rk, v, ok, rk^88)
+		}
+	}
+	if m.Len() != len(reserved) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(reserved))
+	}
+	for _, rk := range reserved {
+		if !m.Delete(rk) {
+			t.Fatalf("Delete(%#x) reported absent after splits", rk)
+		}
+	}
+}
+
+// TestConcurrentMutatorsDuringResharding races worker goroutines (disjoint
+// key ranges, deterministic final state) against a driver forcing split and
+// merge windows, under -race. Afterwards every key must hold its final
+// value, exactly once, across the whole directory.
+func TestConcurrentMutatorsDuringResharding(t *testing.T) {
+	const g = 4
+	const perG = 400
+	m := New(256, WithChunkSlots(8))
+	keys := workload.UniqueKeys(909, g*perG)
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := keys[w*perG : (w+1)*perG]
+			for j, k := range mine {
+				m.Put(k, k^1)
+				if j%5 == 0 {
+					m.Delete(k)
+					m.Put(k, k^1)
+				}
+				m.Upsert(k, 1)
+				if j%3 == 0 {
+					if _, ok := m.Get(mine[j/2]); !ok && j/2 < j {
+						// mine[j/2] was fully written before mine[j]: it must
+						// be visible.
+						t.Errorf("worker %d lost key %#x mid-reshard", w, mine[j/2])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 40; i++ {
+			k := keys[rng.Intn(len(keys))]
+			if i%4 == 3 {
+				m.Merge(k)
+			} else {
+				m.Split(k)
+			}
+			m.DrainResharding()
+		}
+	}()
+	wg.Wait()
+	<-done
+	m.DrainResharding()
+	ref := make(map[uint64]uint64, len(keys))
+	for _, k := range keys {
+		ref[k] = (k ^ 1) + 1
+	}
+	checkInvariants(t, m, ref)
+}
+
+// TestStatsAndObserve pins the aggregate pull source, the per-shard labelled
+// keys, and the chunk-scatter histogram through forced auto-splits.
+func TestStatsAndObserve(t *testing.T) {
+	m := New(64, WithChunkSlots(8))
+	reg := obs.NewWith(1024, 1)
+	m.Observe(reg)
+	for _, k := range workload.UniqueKeys(13, 4000) {
+		m.Put(k, k)
+	}
+	m.DrainResharding()
+	s := m.Stats()
+	if s.Splits == 0 || s.ChunksHelped == 0 {
+		t.Fatalf("Stats = %+v; want nonzero Splits and ChunksHelped", s)
+	}
+	var vals map[string]float64
+	for _, src := range reg.Sources() {
+		if src.Name == "shardmap" {
+			vals = src.Collect()
+		}
+	}
+	if vals == nil {
+		t.Fatal("Observe did not register the shardmap source")
+	}
+	if vals["shard_splits_total"] != float64(s.Splits) {
+		t.Fatalf("obs shard_splits_total = %v, want %d", vals["shard_splits_total"], s.Splits)
+	}
+	if vals["shards"] != float64(m.ShardCount()) {
+		t.Fatalf("obs shards = %v, want %d", vals["shards"], m.ShardCount())
+	}
+	if vals["migration_progress"] != 1.0 {
+		t.Fatalf("obs migration_progress = %v at quiescence, want 1", vals["migration_progress"])
+	}
+	if got := int(vals["live"]); got != m.Len() {
+		t.Fatalf("obs live = %d, Len = %d", got, m.Len())
+	}
+	// Per-shard labelled keys: every directory shard reports ops/fill/live,
+	// and the op counters saw the inserts.
+	var ops float64
+	for _, sh := range m.ShardStats() {
+		for _, suffix := range []string{"ops", "fill", "live"} {
+			key := fmt.Sprintf("shard%d_%s", sh.ID, suffix)
+			if _, present := vals[key]; !present {
+				t.Fatalf("obs source missing per-shard key %q", key)
+			}
+		}
+		ops += vals[fmt.Sprintf("shard%d_ops", sh.ID)]
+	}
+	if ops == 0 {
+		t.Fatal("per-shard op counters all zero after 4000 inserts")
+	}
+	if m.splitHist.Count() == 0 {
+		t.Fatal("no chunk-scatter latencies recorded")
+	}
+}
+
+// TestObserveOffZeroAlloc pins the observe-off contract: an unobserved map's
+// steady-state operations allocate nothing (the observability hooks are nil
+// checks only).
+func TestObserveOffZeroAlloc(t *testing.T) {
+	m := New(1024, WithShards(4))
+	for _, k := range workload.UniqueKeys(3, 64) {
+		m.Put(k, k)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		m.Get(42)
+		m.Put(42, 7)
+		m.Upsert(42, 1)
+	}); avg != 0 {
+		t.Fatalf("observe-off steady-state ops allocate %.1f per run, want 0", avg)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"dramhit/internal/folklore"
 	"dramhit/internal/growt"
 	"dramhit/internal/locked"
+	"dramhit/internal/shardmap"
 	"dramhit/internal/table"
 )
 
@@ -61,6 +62,26 @@ func FuzzTableOps(f *testing.F) {
 		churn = append(churn, 0, k, byte(i), 4, k, 0)
 	}
 	f.Add(churn)
+	// Force shard splits mid-sequence: drive the 64-slot sharded router past
+	// its 0.75 fill threshold (48 keys) with reserved keys and churn in the
+	// mix, then keep mutating through the windows the splits open.
+	split := fuzzSeq(
+		0, 0x00, 7, // reserved keys seeded before any window
+		0, 0xff, 8,
+		0, 0xfe, 9,
+	)
+	for i := 1; i <= 160; i++ {
+		split = append(split, 0, byte(i), byte(i))
+		switch i % 9 {
+		case 2:
+			split = append(split, 4, byte(i-1), 0) // delete behind the front
+		case 5:
+			split = append(split, 3, byte(i), 1) // upsert the newest key
+		case 7:
+			split = append(split, 2, 0xfe, 0) // read a reserved key mid-window
+		}
+	}
+	f.Add(split)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		replayTableOps(t, data)
@@ -102,6 +123,16 @@ func replayTableOps(t *testing.T, data []byte) {
 		{"dramhit", dramhit.New(dramhit.Config{Slots: slots}).NewSync()},
 		{"growt", growt.New(64)},
 		{"growt-gate", growt.New(64, growt.WithResizeMode(table.ResizeGate))},
+		// The sharded router joins tiny for the same reason growt does: long
+		// inputs push a 64-slot single shard through several splits (and the
+		// 16-slot-chunk variant holds each window open across many ops), so
+		// the fuzzer interleaves deletes, reserved keys and overwrites with
+		// live cross-shard migration.
+		{"shardmap", shardmap.New(64)},
+		{"shardmap-chunk16", shardmap.New(64, shardmap.WithChunkSlots(16))},
+		{"sharded-batched", shardmap.NewBatched(shardmap.BatchedConfig{
+			Shards: 4, Table: dramhit.Config{Slots: slots},
+		}).NewSync()},
 	}
 	ref := make(map[uint64]uint64)
 	for op := 0; op+3 <= len(data) && op/3 < maxFuzzOps; op += 3 {
