@@ -39,6 +39,8 @@ func main() {
 	governorFlag := flag.String("governor", "auto", "adaptive pipeline governor on the dramhit cells of real-execution experiments: off|auto|direct")
 	governorjson := flag.String("governorjson", "", "run the governor-ab experiment and write its machine-readable summary (schema "+bench.GovernorSchema+") to this path")
 	shardjson := flag.String("shardjson", "", "run the shard-ab experiment and write its machine-readable summary (schema "+bench.ShardSchema+") to this path")
+	layoutjson := flag.String("layoutjson", "", "run the layout-ab experiment and write its machine-readable summary (schema "+bench.LayoutSchema+") to this path")
+	layoutFlag := flag.String("layout", "flat", "physical slot layout for the real-execution experiments that honor it: flat|bucket (layout-ab runs both by construction)")
 	flag.Parse()
 
 	kernel, err := table.ParseProbeKernel(*probeKernel)
@@ -53,6 +55,11 @@ func main() {
 	}
 	if *missRatio < 0 || *missRatio > 1 {
 		fmt.Fprintln(os.Stderr, "dramhit-bench: -missratio must be in [0,1]")
+		os.Exit(2)
+	}
+	layout, err := table.ParseLayout(*layoutFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
 		os.Exit(2)
 	}
 	combining, err := table.ParseCombining(*combiningFlag)
@@ -83,7 +90,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
 	}
-	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" && *shardjson == "" {
+	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" && *shardjson == "" && *layoutjson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
@@ -104,6 +111,7 @@ func main() {
 		Combining:   combining,
 		Governor:    governor,
 		Observe:     liveReg,
+		Layout:      layout,
 	}
 	if *benchjson != "" {
 		start := time.Now()
@@ -137,6 +145,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *shardjson)
+	}
+	if *layoutjson != "" {
+		start := time.Now()
+		a, sum := bench.RunLayoutAB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(layout-ab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*layoutjson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *layoutjson)
 	}
 	if *resizejson != "" {
 		start := time.Now()

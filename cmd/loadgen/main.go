@@ -39,6 +39,7 @@ import (
 	"dramhit/internal/bench"
 	"dramhit/internal/latency"
 	"dramhit/internal/obs"
+	"dramhit/internal/workload"
 	"dramhit/internal/ycsb"
 )
 
@@ -59,6 +60,9 @@ func main() {
 	metrics := flag.String("metrics", "", "serve observability on this address during the run, e.g. :8090")
 	observe := flag.Bool("observe", false, "attach the observability registry to the table even without -metrics")
 	latsink := flag.String("latsink", "hist", "latency sink: hist (log-bucketed, zero-alloc, mergeable) | exact (reservoir + exact CDF)")
+	layoutFlag := flag.String("layout", "flat", "physical slot layout (dramhit and dramhit-p backends): flat | bucket")
+	valueSize := flag.Int("valuesize", 0, "run as a byte-string KV workload with values up to this many bytes (requires -layout bucket); 0 keeps the uint64 workload")
+	valueTheta := flag.Float64("valuetheta", 0, "zipf skew of per-write value sizes over [1,valuesize]; 0 = every value exactly -valuesize bytes")
 	flag.Parse()
 
 	mix, err := ycsb.ByName(*workloadName)
@@ -101,6 +105,26 @@ func main() {
 	if *splitAt < 0 || *splitAt >= 1 {
 		fail(fmt.Errorf("-splitat must be in (0,1), got %v", *splitAt))
 	}
+	layout, err := dramhit.ParseLayout(*layoutFlag)
+	if err != nil {
+		fail(err)
+	}
+	if layout == dramhit.LayoutBucket && *backend != "dramhit" && *backend != "dramhit-p" {
+		fail(fmt.Errorf("-layout bucket applies to the dramhit and dramhit-p backends, not %q", *backend))
+	}
+	if *valueSize < 0 {
+		fail(fmt.Errorf("-valuesize must be >= 0, got %d", *valueSize))
+	}
+	byteMode := *valueSize > 0
+	if byteMode && layout != dramhit.LayoutBucket {
+		fail(fmt.Errorf("-valuesize requires -layout bucket (variable-length values live in the bucket layout's arena)"))
+	}
+	if *valueTheta != 0 && !byteMode {
+		fail(fmt.Errorf("-valuetheta applies only with -valuesize"))
+	}
+	if *valueTheta < 0 || *valueTheta >= 1 {
+		fail(fmt.Errorf("-valuetheta must be in [0,1), got %v", *valueTheta))
+	}
 
 	// reg is the table-attached observability registry (nil unless asked
 	// for: observation off must cost nothing); latReg always exists so the
@@ -122,11 +146,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: observability on http://%s/metrics\n", srv.Addr)
 	}
 
-	// view is the per-worker synchronous face over whichever backend.
+	// view is the per-worker synchronous face over whichever backend. In
+	// byte mode (-valuesize) the getB/putB closures drive the bucket
+	// layout's byte-string API instead of get/put.
 	type view struct {
-		get func(k uint64) (uint64, bool)
-		put func(k, v uint64)
-		fin func()
+		get  func(k uint64) (uint64, bool)
+		put  func(k, v uint64)
+		getB func(k []byte) bool
+		putB func(k, v []byte)
+		fin  func()
 	}
 	var mkView func(w int) view
 	var teardown func()
@@ -153,10 +181,23 @@ func main() {
 			return view{get: t.Get, put: func(k, v uint64) { t.Put(k, v) }, fin: func() {}}
 		}
 	case "dramhit":
-		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining, Governor: governor, Observe: reg})
+		t := dramhit.New(dramhit.Config{Slots: slots, Combining: combining, Governor: governor, Observe: reg, Layout: layout})
 		h := t.NewHandle()
-		h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
+		if byteMode {
+			loadBytes(func(k, v []byte) { h.PutBytes(k, v) }, *records, *valueSize, *valueTheta)
+		} else {
+			h.PutBatch(ycsb.LoadKeys(*records, 1), make([]uint64, *records))
+		}
 		mkView = func(int) view {
+			if byteMode {
+				// Byte ops are synchronous on a handle; one per worker.
+				hw := t.NewHandle()
+				return view{
+					getB: func(k []byte) bool { _, ok := hw.GetBytes(k); return ok },
+					putB: func(k, v []byte) { hw.PutBytes(k, v) },
+					fin:  func() {},
+				}
+			}
 			s := t.NewSync()
 			return view{get: s.Get, put: func(k, v uint64) { s.Put(k, v) }, fin: func() {}}
 		}
@@ -185,19 +226,32 @@ func main() {
 	case "dramhit-p":
 		t := dramhit.NewPartitioned(dramhit.PartitionedConfig{
 			Slots: slots, Producers: *workers + 1, Consumers: max(1, *workers/2),
-			Combining: combining, Governor: governor, Observe: reg,
+			Combining: combining, Governor: governor, Observe: reg, Layout: layout,
 		})
 		t.Start()
 		teardown = t.Close
 		w := t.NewWriteHandle()
-		for _, k := range ycsb.LoadKeys(*records, 1) {
-			w.Put(k, 0)
+		if byteMode {
+			loadBytes(func(k, v []byte) { w.PutBytes(k, v) }, *records, *valueSize, *valueTheta)
+		} else {
+			for _, k := range ycsb.LoadKeys(*records, 1) {
+				w.Put(k, 0)
+			}
 		}
 		w.Barrier()
 		w.Close()
 		mkView = func(int) view {
 			wh := t.NewWriteHandle()
 			rh := t.NewReadHandle()
+			if byteMode {
+				// Byte ops bypass the delegation rings (synchronous on the
+				// engine), so no Flush/Barrier is needed at teardown.
+				return view{
+					getB: func(k []byte) bool { _, ok := rh.GetBytes(k); return ok },
+					putB: func(k, v []byte) { wh.PutBytes(k, v) },
+					fin:  func() { wh.Close() },
+				}
+			}
 			return view{
 				get: rh.Get,
 				put: func(k, v uint64) { wh.Put(k, v) },
@@ -268,10 +322,9 @@ func main() {
 			defer wg.Done()
 			v := mkView(wi)
 			g := ycsb.NewGeneratorMissTheta(mix, *records, int64(wi+1), *missRatio, *theta)
-			rec, hist := recs[wi], hists[wi]
-			for i := 0; i < perWorker; i++ {
-				op := g.Next()
-				t0 := time.Now()
+			// exec runs one operation against the view: uint64 values by
+			// default, rendered byte keys and sized byte values in byte mode.
+			exec := func(op ycsb.Op, i int) {
 				switch op.Kind {
 				case ycsb.Read:
 					v.get(op.Key)
@@ -288,6 +341,35 @@ func main() {
 						v.get(op.Key + uint64(j))
 					}
 				}
+			}
+			if byteMode {
+				g.WithValueSizer(workload.NewValueSizer(int64(wi+1), *valueSize, *valueTheta))
+				var kb, vb []byte
+				exec = func(op ycsb.Op, i int) {
+					kb = workload.AppendByteKey(kb[:0], op.Key)
+					switch op.Kind {
+					case ycsb.Read:
+						v.getB(kb)
+					case ycsb.Update, ycsb.Insert:
+						vb = workload.FillValue(vb, op.Key, op.ValueSize)
+						v.putB(kb, vb)
+					case ycsb.ReadModifyWrite:
+						v.getB(kb)
+						vb = workload.FillValue(vb, op.Key, op.ValueSize)
+						v.putB(kb, vb)
+					case ycsb.Scan:
+						for j := 0; j < op.ScanLen; j++ {
+							kb = workload.AppendByteKey(kb[:0], op.Key+uint64(j))
+							v.getB(kb)
+						}
+					}
+				}
+			}
+			rec, hist := recs[wi], hists[wi]
+			for i := 0; i < perWorker; i++ {
+				op := g.Next()
+				t0 := time.Now()
+				exec(op, i)
 				ns := time.Since(t0).Nanoseconds()
 				if hist != nil {
 					hist.Record(uint64(ns))
@@ -349,6 +431,15 @@ func main() {
 	if governor != dramhit.GovernorOff {
 		missNote += ", governor " + governor.String()
 	}
+	if layout == dramhit.LayoutBucket {
+		missNote += ", layout bucket"
+	}
+	if byteMode {
+		missNote += fmt.Sprintf(", byte values <=%dB", *valueSize)
+		if *valueTheta > 0 {
+			missNote += fmt.Sprintf(" (zipf %.2f)", *valueTheta)
+		}
+	}
 	fmt.Printf("ycsb-%s on %s: %d ops, %d workers%s, %v (%.2f Mops)\n",
 		mix.Name, *backend, total, *workers, missNote, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds()/1e6)
@@ -395,6 +486,13 @@ func main() {
 		if governor != dramhit.GovernorOff {
 			res.Governor = governor.String()
 		}
+		if layout == dramhit.LayoutBucket {
+			res.Layout = "bucket"
+		}
+		if byteMode {
+			res.ValueSize = *valueSize
+			res.ValueTheta = *valueTheta
+		}
 		if shmap != nil {
 			res.Shards = shmap.Stats().Shards
 			res.ShardStats = shmap.ShardStats()
@@ -407,6 +505,19 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
+	}
+}
+
+// loadBytes runs the byte-mode load phase: every load key in its canonical
+// "user<id>" string form with a deterministic, sizer-drawn value — the same
+// rank space the uint64 load phase covers, so run-phase streams hit.
+func loadBytes(put func(k, v []byte), records uint64, size int, theta float64) {
+	sizer := workload.NewValueSizer(1, size, theta)
+	var kb, vb []byte
+	for _, k := range ycsb.LoadKeys(records, 1) {
+		kb = workload.AppendByteKey(kb[:0], k)
+		vb = workload.FillValue(vb, k, sizer.Next())
+		put(kb, vb)
 	}
 }
 

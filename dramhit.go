@@ -108,6 +108,27 @@ const (
 	FilterNone = table.FilterNone
 )
 
+// Layout selects the physical slot layout (Config.Layout and
+// PartitionedConfig.Layout): LayoutFlat (the zero value and default) is the
+// open-addressed 16-byte-slot array with the optional tag sidecar —
+// bit-identical to pre-layout builds; LayoutBucket is the one-line bucket
+// layout: 64-byte buckets whose first word holds the publish bitmap and
+// seven fingerprints in-cell, whose seven slots reference records in a
+// log-structured arena, and which resizes itself — enabling the byte-string
+// API (GetBytes/PutBytes/UpsertBytes/DeleteBytes) on handles.
+type Layout = table.Layout
+
+// Layout choices.
+const (
+	// LayoutFlat is the open-addressed flat slot array (default).
+	LayoutFlat = table.LayoutFlat
+	// LayoutBucket is the in-cell-metadata bucket layout over the KV arena.
+	LayoutBucket = table.LayoutBucket
+)
+
+// ParseLayout maps "flat" (or "") and "bucket" to the Layout values.
+func ParseLayout(s string) (Layout, error) { return table.ParseLayout(s) }
+
 // Combining selects whether handles merge in-flight same-key requests
 // (Config.Combining and PartitionedConfig.Combining): CombineOn (the zero
 // value and default) folds duplicate Upserts and piggybacks duplicate Gets

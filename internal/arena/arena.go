@@ -1,0 +1,346 @@
+// Package arena is the log-structured key/value store backing the bucket
+// layout (internal/slotarr's BucketTable): an append-only arena of
+// length-prefixed records that turns the hash table into a pure index.
+// Records are immutable once published — an overwrite appends a new record
+// and swings the index's slot word to the new reference — so a resize moves
+// no key or value bytes, only 8-byte slot words, and variable-length []byte
+// keys and values ride the same fixed-width index the uint64 tables use.
+//
+// # Layout
+//
+// The arena is a set of segments, each a contiguous []byte filled by exactly
+// one Writer with a bump pointer (per-worker segments: no two writers ever
+// share a segment, so appends are unsynchronized). A record is
+//
+//	uvarint(len(key)) uvarint(len(value)) key-bytes value-bytes
+//
+// and is addressed by a Ref packing (segment, offset) into 48 bits — small
+// enough to share a slot word with the 8-bit fingerprint the bucket layout
+// stores redundantly in the slot's spare high bits.
+//
+// # Publication and reclamation
+//
+// A record's bytes are fully written before its Ref is published by the
+// index's slot-word CAS; readers load the slot word with an atomic (acquire)
+// load and only then touch the bytes, so the CAS/load pair carries the
+// happens-before edge and the byte reads are race-free. Superseded and
+// deleted records are retired with Retire, which advances the owning
+// segment's dead-byte count; a segment whose bytes are all dead is a
+// reclamation candidate. Actual freeing is epoch-based: readers pin the
+// current epoch around each record access (Pin.Enter/Exit), Advance — hooked
+// to the bucket table's migration completion, the moment the index provably
+// holds no stale Refs — steps the global epoch, and a candidate segment is
+// unlinked only once every pin has moved past the epoch in which it was
+// retired. Unlinking drops the arena's reference; Go's GC frees the bytes
+// once the last reader's subslice goes away, so a stale-but-pinned reader
+// can never observe recycled memory.
+package arena
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Ref addresses one record: segment index in bits 47:32, byte offset in bits
+// 31:0. The zero Ref is valid (segment 0, offset 0) — index layers that need
+// a null value must encode it outside the Ref (the bucket layout's slot word
+// does: an empty slot word is all-zero, and a published word always carries a
+// nonzero fingerprint above the Ref bits).
+type Ref uint64
+
+// RefBits is the width of a Ref; the bucket layout relies on it to pack a
+// Ref and a fingerprint into one slot word.
+const RefBits = 48
+
+// refMask isolates a Ref inside a wider word.
+const refMask = (uint64(1) << RefBits) - 1
+
+// MakeRef packs a segment index and offset.
+func MakeRef(seg uint32, off uint32) Ref {
+	return Ref(uint64(seg)<<32 | uint64(off))
+}
+
+func (r Ref) seg() uint32 { return uint32(r >> 32) }
+func (r Ref) off() uint32 { return uint32(r) }
+
+// DefaultSegmentBytes is the capacity of a freshly grown segment. Large
+// enough that segment turnover is rare, small enough that a mostly-dead
+// segment does not strand much memory.
+const DefaultSegmentBytes = 1 << 20
+
+// maxSegments bounds the segment index to its 16 bits in the Ref.
+const maxSegments = 1 << 16
+
+// segment is one append-only region. buf is written only by the owning
+// Writer (unsynchronized bump allocation) and read by anyone holding a Ref
+// into it; the publication protocol above makes those reads race-free.
+// size is the bytes appended so far (owner-written, atomically published at
+// seal time only for accounting); dead counts retired bytes.
+type segment struct {
+	buf    []byte
+	used   atomic.Uint64 // bytes appended (owner bump, atomic so scrapes race-free)
+	dead   atomic.Uint64 // bytes retired
+	sealed atomic.Bool   // owner moved on; used is final
+	// retireEpoch is the global epoch at which the segment became fully
+	// dead (valid once candidate is true).
+	retireEpoch uint64
+	candidate   bool
+}
+
+// Arena is the shared state: the copy-on-write segment directory, the
+// global reclamation epoch, and the pin registry. One Arena serves any
+// number of Writers and readers.
+type Arena struct {
+	segs    atomic.Pointer[[]*segment]
+	epoch   atomic.Uint64
+	segSize int
+
+	mu      sync.Mutex // guards directory growth, pin registry, reclamation
+	pins    []*Pin
+	retired []*segment // fully-dead segments awaiting a safe epoch
+	freed   atomic.Uint64
+}
+
+// Option configures New.
+type Option func(*Arena)
+
+// WithSegmentBytes overrides the per-segment capacity (records larger than
+// the capacity get a dedicated segment of exactly their size).
+func WithSegmentBytes(n int) Option {
+	return func(a *Arena) {
+		if n > 0 {
+			a.segSize = n
+		}
+	}
+}
+
+// New creates an empty arena.
+func New(opts ...Option) *Arena {
+	a := &Arena{segSize: DefaultSegmentBytes}
+	for _, o := range opts {
+		o(a)
+	}
+	empty := make([]*segment, 0)
+	a.segs.Store(&empty)
+	return a
+}
+
+// Segments returns (total directory slots, still-linked segments); the gap
+// is segments reclaimed by Advance. For observability and tests.
+func (a *Arena) Segments() (total, live int) {
+	segs := *a.segs.Load()
+	for _, s := range segs {
+		if s != nil {
+			live++
+		}
+	}
+	return len(segs), live
+}
+
+// Freed returns the number of segments unlinked so far.
+func (a *Arena) Freed() uint64 { return a.freed.Load() }
+
+// newSegment allocates a segment of at least n bytes, links it into the
+// directory, and returns it with its index.
+func (a *Arena) newSegment(n int) (*segment, uint32) {
+	if n < a.segSize {
+		n = a.segSize
+	}
+	s := &segment{buf: make([]byte, n)}
+	a.mu.Lock()
+	old := *a.segs.Load()
+	if len(old) >= maxSegments {
+		a.mu.Unlock()
+		panic("arena: segment directory full")
+	}
+	grown := make([]*segment, len(old)+1)
+	copy(grown, old)
+	id := uint32(len(old))
+	grown[id] = s
+	a.segs.Store(&grown)
+	a.mu.Unlock()
+	return s, id
+}
+
+// Writer is a single-goroutine appender owning the tail of one segment. It
+// doubles as the goroutine's reclamation pin: Enter/Exit bracket every
+// record access made outside the index's own synchronization.
+type Writer struct {
+	Pin
+	a   *Arena
+	seg *segment
+	id  uint32
+	off uint32
+}
+
+// NewWriter creates a writer (and registers its pin). Writers are not safe
+// for concurrent use; create one per worker goroutine.
+func (a *Arena) NewWriter() *Writer {
+	w := &Writer{a: a}
+	a.mu.Lock()
+	a.pins = append(a.pins, &w.Pin)
+	a.mu.Unlock()
+	return w
+}
+
+// Arena returns the arena this writer appends to.
+func (w *Writer) Arena() *Arena { return w.a }
+
+// recordSize returns the encoded size of a (key, value) record.
+func recordSize(klen, vlen int) int {
+	return uvarintLen(uint64(klen)) + uvarintLen(uint64(vlen)) + klen + vlen
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Append writes one record and returns its Ref. The record is not yet
+// visible to readers — the caller publishes the Ref through an atomic store
+// or CAS on an index word, which is the release edge readers synchronize on.
+func (w *Writer) Append(key, value []byte) Ref {
+	n := recordSize(len(key), len(value))
+	if w.seg == nil || int(w.off)+n > len(w.seg.buf) {
+		if w.seg != nil {
+			w.seg.sealed.Store(true)
+			w.a.maybeRetire(w.seg)
+		}
+		w.seg, w.id = w.a.newSegment(n)
+		w.off = 0
+	}
+	buf := w.seg.buf[w.off:]
+	p := binary.PutUvarint(buf, uint64(len(key)))
+	p += binary.PutUvarint(buf[p:], uint64(len(value)))
+	copy(buf[p:], key)
+	copy(buf[p+len(key):], value)
+	ref := MakeRef(w.id, w.off)
+	w.off += uint32(n)
+	w.seg.used.Store(uint64(w.off))
+	return ref
+}
+
+// Record resolves ref to its key and value subslices with zero copies and
+// zero allocation. The caller must hold the happens-before edge on ref (an
+// atomic load of the index word that published it) and, if the access can
+// outlive the index entry, a pin.
+func (a *Arena) Record(ref Ref) (key, value []byte) {
+	seg := (*a.segs.Load())[ref.seg()]
+	buf := seg.buf[ref.off():]
+	klen, p := binary.Uvarint(buf)
+	vlen, q := binary.Uvarint(buf[p:])
+	p += q
+	return buf[p : p+int(klen) : p+int(klen)], buf[p+int(klen) : p+int(klen)+int(vlen) : p+int(klen)+int(vlen)]
+}
+
+// Key resolves only the key bytes of ref (same contract as Record).
+func (a *Arena) Key(ref Ref) []byte {
+	k, _ := a.Record(ref)
+	return k
+}
+
+// Retire marks ref's record dead (superseded or deleted). When the owning
+// segment's bytes are all dead and its writer has moved on, the segment is
+// stamped with the current epoch and queued for reclamation at a safe
+// Advance.
+func (a *Arena) Retire(ref Ref) {
+	seg := (*a.segs.Load())[ref.seg()]
+	buf := seg.buf[ref.off():]
+	klen, p := binary.Uvarint(buf)
+	vlen, q := binary.Uvarint(buf[p:])
+	n := uint64(p+q) + klen + vlen
+	if seg.dead.Add(n) >= seg.used.Load() && seg.sealed.Load() {
+		a.maybeRetire(seg)
+	}
+}
+
+// maybeRetire queues seg for reclamation if it is sealed and fully dead.
+func (a *Arena) maybeRetire(seg *segment) {
+	if !seg.sealed.Load() || seg.dead.Load() < seg.used.Load() {
+		return
+	}
+	a.mu.Lock()
+	if !seg.candidate {
+		seg.candidate = true
+		seg.retireEpoch = a.epoch.Load()
+		a.retired = append(a.retired, seg)
+	}
+	a.mu.Unlock()
+}
+
+// Advance steps the reclamation epoch and unlinks every retired segment no
+// pin can still reach: a segment retired at epoch e is freed once the global
+// epoch has passed e and no pin is parked at an epoch ≤ e. The bucket table
+// calls this when a migration completes — the point at which the index
+// provably holds no Refs into pre-migration state — and callers may also
+// invoke it periodically. Returns the number of segments unlinked.
+func (a *Arena) Advance() int {
+	e := a.epoch.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	minPinned := uint64(math.MaxUint64)
+	for _, p := range a.pins {
+		if ep := p.epoch.Load(); ep != 0 && ep-1 < minPinned {
+			minPinned = ep - 1
+		}
+	}
+	kept := a.retired[:0]
+	n := 0
+	for _, seg := range a.retired {
+		// Safe once the epoch has stepped past the retire stamp AND no pin
+		// predates it: any reader that could hold a Ref into seg pinned an
+		// epoch ≤ retireEpoch (later pins load the index after the Refs were
+		// all superseded — Retire happens-before the epoch step).
+		if e > seg.retireEpoch && minPinned > seg.retireEpoch {
+			segs := *a.segs.Load()
+			grown := make([]*segment, len(segs))
+			copy(grown, segs)
+			for i, s := range grown {
+				if s == seg {
+					grown[i] = nil
+				}
+			}
+			a.segs.Store(&grown)
+			a.freed.Add(1)
+			n++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	a.retired = kept
+	return n
+}
+
+// Pin is one reader's reclamation guard: a padded epoch slot. A zero epoch
+// means "not pinned"; a pinned reader stores current-epoch+1. Writers embed
+// one; standalone readers obtain one with NewPin.
+type Pin struct {
+	epoch atomic.Uint64
+	_     [7]uint64 // pad to a cache line: pins are per-goroutine hot
+}
+
+// NewPin registers a standalone reader pin.
+func (a *Arena) NewPin() *Pin {
+	p := &Pin{}
+	a.mu.Lock()
+	a.pins = append(a.pins, p)
+	a.mu.Unlock()
+	return p
+}
+
+// Enter pins the current epoch. Cheap: one load and one store on the pin's
+// own cache line; no shared-line RMW.
+func (p *Pin) Enter(a *Arena) {
+	p.epoch.Store(a.epoch.Load() + 1)
+}
+
+// Exit releases the pin.
+func (p *Pin) Exit() {
+	p.epoch.Store(0)
+}

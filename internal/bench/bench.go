@@ -40,6 +40,11 @@ type Config struct {
 	// governor-ab experiment ignores it — it runs off/auto/direct by
 	// construction.
 	Governor table.GovernorMode
+	// Layout selects the physical slot layout of the real tables in the
+	// real-execution experiments that honor it (reprobe-stats; zero value =
+	// flat, bit-identical to prior configurations). The layout-ab
+	// experiment ignores it — it runs both layouts by construction.
+	Layout table.Layout
 	// Observe, when non-nil, is the live observability registry real-
 	// execution experiments attach their tables and workers to, so a
 	// concurrently served /metrics endpoint sees the run. The obs-ab

@@ -43,8 +43,12 @@ func reprobeStats(cfg Config) *Artifact {
 
 	insS := Series{Name: "inserts dramhit"}
 	findS := Series{Name: "finds dramhit"}
+	if cfg.Layout == table.LayoutBucket {
+		insS.Name += " (bucket layout)"
+		findS.Name += " (bucket layout)"
+	}
 	for _, fill := range fills {
-		tbl := dramhit.New(dramhit.Config{Slots: size})
+		tbl := dramhit.New(dramhit.Config{Slots: size, Layout: cfg.Layout})
 		h := tbl.NewHandle()
 		n := int(float64(size) * fill)
 		keys := workload.UniqueKeys(cfg.Seed, n)

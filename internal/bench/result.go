@@ -26,6 +26,9 @@ const GovernorSchema = "dramhit-bench-governor/v1"
 // ShardSchema identifies the shard-ab summary layout (BENCH_shard.json).
 const ShardSchema = "dramhit-bench-shard/v1"
 
+// LayoutSchema identifies the layout-ab summary layout (BENCH_layout.json).
+const LayoutSchema = "dramhit-bench-layout/v1"
+
 // Percentiles summarizes a latency distribution in nanoseconds.
 type Percentiles struct {
 	P50   float64 `json:"p50"`
@@ -73,6 +76,13 @@ type RunResult struct {
 	// (auto mode only) — e.g. "direct" or "window=16 combine filter".
 	Governor         string `json:"governor,omitempty"`
 	GovernorDecision string `json:"governor_decision,omitempty"`
+	// Layout is the physical slot layout when it is not the flat default
+	// ("bucket"); ValueSize and ValueTheta describe byte-string runs
+	// (loadgen -valuesize): the value-size cap in bytes and the zipf skew
+	// of per-write sizes over [1, ValueSize] (0 = fixed at ValueSize).
+	Layout     string  `json:"layout,omitempty"`
+	ValueSize  int     `json:"value_size,omitempty"`
+	ValueTheta float64 `json:"value_theta,omitempty"`
 	// Shards, ShardStats, SplitAt and SplitSeconds describe sharded runs
 	// (loadgen -table sharded): the final shard count, per-shard occupancy,
 	// and — when a live split was forced at SplitAt of the timed ops — the

@@ -1,0 +1,335 @@
+package dramhit
+
+import (
+	"sync"
+	"testing"
+
+	"dramhit/internal/table"
+	"dramhit/internal/workload"
+)
+
+func newBucketTable(slots uint64, extra ...func(*Config)) *Table {
+	cfg := Config{Slots: slots, Layout: table.LayoutBucket}
+	for _, fn := range extra {
+		fn(&cfg)
+	}
+	return New(cfg)
+}
+
+// TestBucketPipelineBasic drives the batched interface end to end on the
+// bucket layout: puts, upserts, gets with ID scatter, deletes.
+func TestBucketPipelineBasic(t *testing.T) {
+	tb := newBucketTable(4096)
+	if tb.Layout() != table.LayoutBucket || tb.Bucket() == nil {
+		t.Fatal("bucket table does not report LayoutBucket")
+	}
+	h := tb.NewHandle()
+	keys := workload.UniqueKeys(42, 2000)
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = k ^ 0xdead
+	}
+	h.PutBatch(keys, vals)
+	got := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	h.GetBatch(keys, got, found)
+	for i := range keys {
+		if !found[i] || got[i] != vals[i] {
+			t.Fatalf("GetBatch[%d] = (%d, %v), want (%d, true)", i, got[i], found[i], vals[i])
+		}
+	}
+	h.UpsertBatch(keys, 3)
+	h.GetBatch(keys, got, found)
+	for i := range keys {
+		if got[i] != vals[i]+3 {
+			t.Fatalf("after upsert, key %d = %d, want %d", keys[i], got[i], vals[i]+3)
+		}
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(keys))
+	}
+	s := h.Stats()
+	if s.Ops() == 0 || s.KeyLines == 0 {
+		t.Fatalf("bucket stats not folded: %+v", s)
+	}
+}
+
+// TestBucketReservedKeys checks that the reserved uint64 key values are
+// ordinary keys on the bucket layout (no side slots involved).
+func TestBucketReservedKeys(t *testing.T) {
+	s := newBucketTable(256).NewSync()
+	for _, k := range []uint64{table.EmptyKey, table.TombstoneKey, table.MovedKey} {
+		if !s.Put(k, k+9) {
+			t.Fatalf("Put(%#x) failed", k)
+		}
+		if v, ok := s.Get(k); !ok || v != k+9 {
+			t.Fatalf("Get(%#x) = (%d, %v)", k, v, ok)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Delete(table.MovedKey) {
+		t.Fatal("Delete(MovedKey) reported absent")
+	}
+	if _, ok := s.Get(table.MovedKey); ok {
+		t.Fatal("deleted reserved key still present")
+	}
+}
+
+// TestBucketGrowthThroughPipeline forces the engine to resize mid-stream
+// under a pipelined writer and checks nothing is lost.
+func TestBucketGrowthThroughPipeline(t *testing.T) {
+	tb := newBucketTable(32) // tiny: 2000 inserts force several doublings
+	h := tb.NewHandle()
+	keys := workload.UniqueKeys(7, 2000)
+	vals := make([]uint64, len(keys))
+	for i, k := range keys {
+		vals[i] = k + 1
+	}
+	h.PutBatch(keys, vals)
+	if g := tb.Bucket().Grows(); g < 2 {
+		t.Fatalf("Grows = %d, want >= 2", g)
+	}
+	got := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	h.GetBatch(keys, got, found)
+	for i := range keys {
+		if !found[i] || got[i] != vals[i] {
+			t.Fatalf("lost key %d across resize: (%d, %v)", keys[i], got[i], found[i])
+		}
+	}
+}
+
+// TestBucketFlatEquivalence replays one uint64 workload through a flat and
+// a bucket table via the synchronous adapter and requires bit-identical
+// responses op by op (the layouts differ physically, never semantically).
+func TestBucketFlatEquivalence(t *testing.T) {
+	flat := New(Config{Slots: 4096}).NewSync()
+	bkt := newBucketTable(4096).NewSync()
+	rng := workload.UniqueKeys(99, 1)[0] // deterministic scramble seed
+	key := func(i int) uint64 { return (uint64(i)%257)*0x9e37 ^ rng }
+	for i := 0; i < 12000; i++ {
+		k := key(i)
+		switch i % 7 {
+		case 0, 1:
+			v := uint64(i) * 3
+			pf, pb := flat.Put(k, v), bkt.Put(k, v)
+			if pf != pb {
+				t.Fatalf("op %d: Put diverged: flat=%v bucket=%v", i, pf, pb)
+			}
+		case 2:
+			vf, of := flat.Upsert(k, 5)
+			vb, ob := bkt.Upsert(k, 5)
+			if vf != vb || of != ob {
+				t.Fatalf("op %d: Upsert diverged: flat=(%d,%v) bucket=(%d,%v)", i, vf, of, vb, ob)
+			}
+		case 3:
+			df, db := flat.Delete(k), bkt.Delete(k)
+			if df != db {
+				t.Fatalf("op %d: Delete diverged: flat=%v bucket=%v", i, df, db)
+			}
+		default:
+			vf, of := flat.Get(k)
+			vb, ob := bkt.Get(k)
+			if vf != vb || of != ob {
+				t.Fatalf("op %d: Get diverged: flat=(%d,%v) bucket=(%d,%v)", i, vf, of, vb, ob)
+			}
+		}
+		if flat.Len() != bkt.Len() {
+			t.Fatalf("op %d: Len diverged: flat=%d bucket=%d", i, flat.Len(), bkt.Len())
+		}
+	}
+}
+
+// TestBucketConcurrentEquivalence runs racing mutators on both layouts over
+// disjoint key ranges (so the final state is deterministic) across at least
+// one bucket resize, then requires identical final contents. Run under
+// -race this doubles as the layout's pipeline-level race check.
+func TestBucketConcurrentEquivalence(t *testing.T) {
+	flatT := New(Config{Slots: 1 << 14})
+	bktT := newBucketTable(64) // starts tiny: racing writers drive resizes
+	const g = 4
+	const perG = 1500
+	keys := workload.UniqueKeys(123, g*perG)
+	run := func(tb *Table) {
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				h := tb.NewHandle()
+				part := keys[w*perG : (w+1)*perG]
+				vals := make([]uint64, len(part))
+				for i, k := range part {
+					vals[i] = k * 2
+				}
+				h.PutBatch(part, vals)
+				h.UpsertBatch(part[:perG/2], 1)
+				for i := 0; i < perG/8; i++ {
+					h.Submit([]table.Request{{Op: table.Delete, Key: part[perG-1-i]}}, nil)
+				}
+				h.Flush(nil)
+			}(w)
+		}
+		wg.Wait()
+	}
+	run(flatT)
+	run(bktT)
+	if bktT.Bucket().Grows() == 0 {
+		t.Fatal("expected at least one resize under racing writers")
+	}
+	if flatT.Len() != bktT.Len() {
+		t.Fatalf("final Len: flat=%d bucket=%d", flatT.Len(), bktT.Len())
+	}
+	fs, bs := flatT.NewSync(), bktT.NewSync()
+	for _, k := range keys {
+		vf, of := fs.Get(k)
+		vb, ob := bs.Get(k)
+		if vf != vb || of != ob {
+			t.Fatalf("key %d: flat=(%d,%v) bucket=(%d,%v)", k, vf, of, vb, ob)
+		}
+	}
+}
+
+// TestBucketDirectMode pins the governor's direct path on the bucket
+// layout: a forced-direct table must agree with the pipelined one.
+func TestBucketDirectMode(t *testing.T) {
+	dir := newBucketTable(2048, func(c *Config) { c.Governor = table.GovernorDirect }).NewSync()
+	pip := newBucketTable(2048).NewSync()
+	for i := 0; i < 4000; i++ {
+		k := uint64(i % 301)
+		switch i % 6 {
+		case 0, 1:
+			dir.Put(k, uint64(i))
+			pip.Put(k, uint64(i))
+		case 2:
+			vd, _ := dir.Upsert(k, 2)
+			vp, _ := pip.Upsert(k, 2)
+			if vd != vp {
+				t.Fatalf("op %d: direct Upsert %d != pipelined %d", i, vd, vp)
+			}
+		case 3:
+			if dd, dp := dir.Delete(k), pip.Delete(k); dd != dp {
+				t.Fatalf("op %d: direct Delete %v != pipelined %v", i, dd, dp)
+			}
+		default:
+			vd, od := dir.Get(k)
+			vp, op := pip.Get(k)
+			if vd != vp || od != op {
+				t.Fatalf("op %d: direct Get (%d,%v) != pipelined (%d,%v)", i, vd, od, vp, op)
+			}
+		}
+	}
+}
+
+// TestBucketByteAPI exercises the byte-string surface the layout grows:
+// variable-length keys and values, mutate-in-place, delete.
+func TestBucketByteAPI(t *testing.T) {
+	h := newBucketTable(1024).NewHandle()
+	if existed := h.PutBytes([]byte("chr1:1042"), []byte("ACGTACGT")); existed {
+		t.Fatal("fresh byte key reported existing")
+	}
+	if v, ok := h.GetBytes([]byte("chr1:1042")); !ok || string(v) != "ACGTACGT" {
+		t.Fatalf("GetBytes = (%q, %v)", v, ok)
+	}
+	if _, ok := h.GetBytes([]byte("chr1:1043")); ok {
+		t.Fatal("absent byte key reported present")
+	}
+	h.UpsertBytes([]byte("chr1:1042"), func(old []byte, present bool) []byte {
+		if !present || string(old) != "ACGTACGT" {
+			t.Fatalf("UpsertBytes saw (%q, %v)", old, present)
+		}
+		return append(append([]byte(nil), old...), '!')
+	})
+	if v, _ := h.GetBytes([]byte("chr1:1042")); string(v) != "ACGTACGT!" {
+		t.Fatalf("after mutate, value = %q", v)
+	}
+	if !h.DeleteBytes([]byte("chr1:1042")) {
+		t.Fatal("DeleteBytes of present key reported absent")
+	}
+	if h.DeleteBytes([]byte("chr1:1042")) {
+		t.Fatal("second DeleteBytes reported present")
+	}
+	s := h.Stats()
+	if s.Gets != 3 || s.Puts != 1 || s.Upserts != 1 || s.Deletes != 2 {
+		t.Fatalf("byte ops miscounted: %+v", s)
+	}
+}
+
+// TestBucketByteGetZeroAlloc pins the acceptance criterion: a byte-KV Get
+// allocates nothing.
+func TestBucketByteGetZeroAlloc(t *testing.T) {
+	h := newBucketTable(1024).NewHandle()
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte{byte(i), byte(i >> 3), 'k', 'e', 'y'}
+		h.PutBytes(keys[i], []byte{byte(i), 0xaa})
+	}
+	var sink byte
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, k := range keys {
+			v, ok := h.GetBytes(k)
+			if !ok {
+				t.Fatal("lost key")
+			}
+			sink ^= v[0]
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetBytes allocates %.1f per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestBucketByteAPIRequiresLayout pins the panic contract on flat tables.
+func TestBucketByteAPIRequiresLayout(t *testing.T) {
+	h := New(Config{Slots: 64}).NewHandle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("byte API on a flat table did not panic")
+		}
+	}()
+	h.PutBytes([]byte("k"), []byte("v"))
+}
+
+// TestBucketCombining checks that in-window combining composes with the
+// bucket drain: duplicate upserts fold, duplicate gets piggyback, and the
+// counts stay exact.
+func TestBucketCombining(t *testing.T) {
+	tb := newBucketTable(1024) // CombineOn is the default
+	h := tb.NewHandle()
+	reqs := make([]table.Request, 0, 64)
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, table.Request{Op: table.Upsert, Key: 77, Value: 1})
+	}
+	resps := make([]table.Response, 64)
+	h.Submit(reqs, resps)
+	h.Flush(resps)
+	if v, ok := tb.NewSync().Get(77); !ok || v != 16 {
+		t.Fatalf("combined upserts: Get(77) = (%d, %v), want (16, true)", v, ok)
+	}
+	if h.Stats().CombinedUpserts == 0 {
+		t.Fatal("no upserts were combined in a same-key burst")
+	}
+	// A burst of Gets for one key: every request gets its own response.
+	reqs = reqs[:0]
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, table.Request{Op: table.Get, Key: 77, ID: uint64(i)})
+	}
+	var n int
+	_, n = h.Submit(reqs, resps)
+	more, done := h.Flush(resps[n:])
+	if !done {
+		t.Fatal("flush did not finish")
+	}
+	n += more
+	if n != 16 {
+		t.Fatalf("16 combined gets produced %d responses", n)
+	}
+	for _, r := range resps[:16] {
+		if !r.Found || r.Value != 16 {
+			t.Fatalf("combined get response = %+v", r)
+		}
+	}
+}

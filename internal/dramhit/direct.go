@@ -33,6 +33,9 @@ import (
 // never builds a pending — completion is countOp, a counter switch — so the
 // synchronous path carries none of the ring machinery's per-request weight.
 func (h *Handle) submitDirect(reqs []table.Request, resps []table.Response) (nreq, nresp int) {
+	if h.t.bkt != nil {
+		return h.submitDirectBucket(reqs, resps)
+	}
 	obsOn := h.trace != nil || h.onComplete != nil
 	for nreq < len(reqs) {
 		req := reqs[nreq]

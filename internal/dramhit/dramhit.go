@@ -80,6 +80,17 @@ type Config struct {
 	// ring. Nil — the default — is bit-identical to an uninstrumented table
 	// and adds no allocation or branch beyond a nil check.
 	Observe *obs.Registry
+	// Layout selects the physical slot layout. The zero value
+	// (table.LayoutFlat) is the interleaved uint64 array with the optional
+	// tag sidecar, bit-identical to prior configurations.
+	// table.LayoutBucket stores the index as one-line buckets with in-cell
+	// metadata over a log-structured KV arena: probes touch a single cache
+	// line with no sidecar traffic, reserved keys need no side slots, and
+	// the handle grows the byte-string API (GetBytes/PutBytes/UpsertBytes/
+	// DeleteBytes). A bucket table resizes itself and ignores Config.Hash
+	// and ProbeFilter (the hash must match the engine's byte hash; there is
+	// no sidecar to filter).
+	Layout table.Layout
 	// Governor selects the adaptive pipeline controller. The zero value
 	// (table.GovernorOff) runs the statically configured pipeline,
 	// bit-identical to a governorless build. table.GovernorAuto attaches the
@@ -101,6 +112,7 @@ type Config struct {
 // slotarr.InFlightValue are reserved.
 type Table struct {
 	arr     *slotarr.Array
+	bkt     *slotarr.BucketTable // non-nil iff Layout == table.LayoutBucket
 	side    slotarr.SidePair
 	hash    func(uint64) uint64
 	size    uint64
@@ -138,12 +150,29 @@ func New(cfg Config) *Table {
 		// a tag sidecar would cost maintenance with nothing to gate.
 		f = table.FilterNone
 	}
-	arr := slotarr.New(cfg.Slots)
-	if f == table.FilterTags {
-		arr = slotarr.NewTagged(cfg.Slots)
+	var arr *slotarr.Array
+	var bkt *slotarr.BucketTable
+	if cfg.Layout == table.LayoutBucket {
+		// The bucket engine owns hashing (its byte hash must agree with the
+		// fingerprints it publishes) and has no tag sidecar; the front-end
+		// hash wraps the engine's so combining tags and prefetch targets
+		// stay consistent with the fingerprint a probe will match.
+		f = table.FilterNone
+		bkt = slotarr.NewBucketTableSlots(cfg.Slots)
+		h = func(k uint64) uint64 {
+			var kb [8]byte
+			putLE(kb[:], k)
+			return bkt.HashOf(kb[:])
+		}
+	} else {
+		arr = slotarr.New(cfg.Slots)
+		if f == table.FilterTags {
+			arr = slotarr.NewTagged(cfg.Slots)
+		}
 	}
 	t := &Table{
 		arr:     arr,
+		bkt:     bkt,
 		hash:    h,
 		size:    cfg.Slots,
 		window:  w,
@@ -206,14 +235,42 @@ func (t *Table) Filter() table.ProbeFilter { return t.filter }
 // Combining returns the configured in-window combining setting.
 func (t *Table) Combining() table.Combining { return t.combine }
 
-// Len returns the number of live entries.
-func (t *Table) Len() int { return int(t.live.Load()) + t.side.Count() }
+// Layout returns the physical layout the table was constructed with.
+func (t *Table) Layout() table.Layout {
+	if t.bkt != nil {
+		return table.LayoutBucket
+	}
+	return table.LayoutFlat
+}
 
-// Cap returns the slot capacity.
-func (t *Table) Cap() int { return int(t.size) }
+// Bucket returns the bucket-layout engine, or nil on a flat table
+// (benchmarks read its growth and stash statistics).
+func (t *Table) Bucket() *slotarr.BucketTable { return t.bkt }
+
+// Len returns the number of live entries.
+func (t *Table) Len() int {
+	if t.bkt != nil {
+		return t.bkt.Len()
+	}
+	return int(t.live.Load()) + t.side.Count()
+}
+
+// Cap returns the slot capacity (the current capacity on a self-resizing
+// bucket table).
+func (t *Table) Cap() int {
+	if t.bkt != nil {
+		return t.bkt.Cap()
+	}
+	return int(t.size)
+}
 
 // Fill returns claimed slots (including tombstones) over capacity.
-func (t *Table) Fill() float64 { return float64(t.used.Load()) / float64(t.size) }
+func (t *Table) Fill() float64 {
+	if t.bkt != nil {
+		return float64(t.bkt.Claimed()) / float64(t.bkt.Cap())
+	}
+	return float64(t.used.Load()) / float64(t.size)
+}
 
 // Window returns the configured prefetch window.
 func (t *Table) Window() int { return t.window }
@@ -313,6 +370,11 @@ type Handle struct {
 	filter  table.ProbeFilter
 	combine bool
 
+	// bh is the bucket-layout engine view (non-nil iff the table is
+	// LayoutBucket): it owns the handle's arena writer/pin and the
+	// engine-level probe counters that Stats folds into KeyLines/Reprobes.
+	bh *slotarr.BucketHandle
+
 	// ptags mirrors each ring slot's tag fingerprint, one byte per slot
 	// packed eight to a word, so the combine scan checks the whole window
 	// with a handful of SWAR byte-matches instead of touching any pending
@@ -388,6 +450,9 @@ func (t *Table) NewHandle() *Handle {
 	}
 	if h.combine {
 		h.ptags = make([]uint64, (capacity+7)/8)
+	}
+	if t.bkt != nil {
+		h.bh = t.bkt.NewHandle()
 	}
 	if t.obsReg != nil {
 		n := t.nhandle.Add(1)
@@ -613,6 +678,18 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 		if !hashed {
 			hv = h.t.hash(p.req.Key)
 		}
+		if h.t.bkt != nil {
+			// Bucket layout: idx carries the FULL hash — the engine resizes
+			// itself, so a materialized slot index would go stale; the drain
+			// re-derives the bucket from the hash against the live state.
+			p.idx = hv
+			p.tag = table.TagOf(hv)
+			h.t.bkt.Prefetch(hv)
+			h.enqueue(p)
+			h.stats.Lines++
+			nreq++
+			continue
+		}
 		p.idx = hashfn.Fastrange(hv, h.t.size)
 		p.tag = table.TagOf(hv)
 		if h.filter == table.FilterTags {
@@ -681,6 +758,13 @@ func (h *Handle) processOldest(resps []table.Response, nresp *int) (wrote, block
 		}
 		h.q[h.tail&h.mask] = p // chain shrank; stay parked at the head
 		return false, true
+	}
+
+	// Bucket layout: the one-line probe resolves synchronously against the
+	// engine (reserved keys are ordinary byte strings there — no side
+	// slots), so the drain is a single dispatch with no reprobe loop.
+	if h.t.bkt != nil {
+		return h.processBucket(p, resps, nresp)
 	}
 
 	// Reserved keys bypass the array entirely (side slots are always

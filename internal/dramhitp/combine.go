@@ -68,8 +68,8 @@ func (w *WriteHandle) holdUpsert(key, delta uint64) bool {
 		}
 	}
 	t := w.t
-	part, _ := t.locate(key)
-	if t.parts[part].full.Load() {
+	part := t.partOf(key)
+	if t.layout != table.LayoutBucket && t.parts[part].full.Load() {
 		t.dropped.Add(1)
 		return false
 	}
@@ -88,7 +88,7 @@ func (w *WriteHandle) holdUpsert(key, delta uint64) bool {
 func (w *WriteHandle) flushHeld() {
 	t := w.t
 	for i := 0; i < w.cn; i++ {
-		part, _ := t.locate(w.ckeys[i])
+		part := t.partOf(w.ckeys[i])
 		w.p.Send(t.ownerOf(part), delegation.Message{A: w.ckeys[i], B: w.cvals[i], Aux: uint64(table.Upsert)})
 	}
 	w.sends += uint64(w.cn)
@@ -103,7 +103,7 @@ func (w *WriteHandle) flushKey(key uint64) {
 			continue
 		}
 		t := w.t
-		part, _ := t.locate(key)
+		part := t.partOf(key)
 		w.p.Send(t.ownerOf(part), delegation.Message{A: key, B: w.cvals[i], Aux: uint64(table.Upsert)})
 		w.sends++
 		w.cn--

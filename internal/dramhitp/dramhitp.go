@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dramhit/internal/arena"
 	"dramhit/internal/delegation"
 	"dramhit/internal/governor"
 	"dramhit/internal/hashfn"
@@ -74,6 +75,16 @@ type Config struct {
 	// readers), plus a table-level pull source of quiescent-safe aggregates.
 	// Nil — the default — is bit-identical and allocation-free.
 	Observe *obs.Registry
+	// Layout selects the physical slot layout of every partition. The zero
+	// value (table.LayoutFlat) is the interleaved uint64 array, bit-identical
+	// to prior configurations. table.LayoutBucket gives each partition a
+	// one-line-bucket index over one arena shared across all partitions:
+	// probes touch a single cache line, partitions resize themselves (updates
+	// are never dropped for a full partition), reserved keys are ordinary
+	// byte strings (no side slots), and the handles grow byte-string
+	// operations. A bucket table ignores Config.Hash, ProbeKernel and
+	// ProbeFilter (the engine owns hashing and has no sidecar).
+	Layout table.Layout
 	// Governor selects the read-pipeline adaptive controller.
 	// table.GovernorOff (the zero value) keeps ReadHandles exactly as
 	// configured — bit-identical to an ungoverned table.
@@ -122,6 +133,10 @@ type partition struct {
 	full   atomic.Bool
 	_      [7]byte
 	wstats FilterStats // owner-local: write-path filter events
+	// bkt is the partition's self-resizing bucket index (non-nil iff the
+	// table's Layout is table.LayoutBucket; arr is nil then). All partition
+	// engines share one arena, so a record's Ref is meaningful table-wide.
+	bkt *slotarr.BucketTable
 }
 
 // Table is a partitioned DRAMHiT. Obtain WriteHandles (one per writer
@@ -139,6 +154,8 @@ type Table struct {
 	kernel    table.ProbeKernel
 	filter    table.ProbeFilter
 	combine   table.Combining
+	layout    table.Layout
+	ar        *arena.Arena // shared KV arena; non-nil iff layout is bucket
 
 	started atomic.Bool
 	wg      sync.WaitGroup
@@ -183,6 +200,10 @@ func New(cfg Config) *Table {
 		// Line-granular filter, slot-granular kernel: nothing to gate.
 		filter = table.FilterNone
 	}
+	if cfg.Layout == table.LayoutBucket {
+		// The bucket engine owns hashing and has no sidecar to filter.
+		filter = table.FilterNone
+	}
 	nparts := uint64(cfg.Consumers * cfg.PartitionsPerConsumer)
 	partSlots := (cfg.Slots + nparts - 1) / nparts
 	if partSlots == 0 {
@@ -198,6 +219,7 @@ func New(cfg Config) *Table {
 		kernel:    kernel,
 		filter:    filter,
 		combine:   cfg.Combining,
+		layout:    cfg.Layout,
 		fabric: delegation.New(delegation.Config{
 			Producers:     cfg.Producers,
 			Consumers:     cfg.Consumers,
@@ -205,11 +227,24 @@ func New(cfg Config) *Table {
 			Sections:      cfg.Sections,
 		}),
 	}
-	for i := range t.parts {
-		if filter == table.FilterTags {
-			t.parts[i].arr = slotarr.NewTagged(partSlots)
-		} else {
-			t.parts[i].arr = slotarr.New(partSlots)
+	if cfg.Layout == table.LayoutBucket {
+		// One arena across all partitions: records written by any owner are
+		// readable from any partition handle, and reclamation epochs advance
+		// table-wide. Each partition gets its own self-resizing index.
+		t.ar = arena.New()
+		for i := range t.parts {
+			t.parts[i].bkt = slotarr.NewBucketTable(slotarr.BucketConfig{
+				Buckets: (partSlots + slotarr.BucketLanes - 1) / slotarr.BucketLanes,
+				Arena:   t.ar,
+			})
+		}
+	} else {
+		for i := range t.parts {
+			if filter == table.FilterTags {
+				t.parts[i].arr = slotarr.NewTagged(partSlots)
+			} else {
+				t.parts[i].arr = slotarr.New(partSlots)
+			}
 		}
 	}
 	switch cfg.Governor {
@@ -286,6 +321,39 @@ func (t *Table) locateTag(key uint64) (part, local uint64, tag uint8) {
 	return g / t.partSlots, g % t.partSlots, table.TagOf(h)
 }
 
+// locateBucket maps a key to its partition and the bucket engine's hash.
+// The partition selector scrambles the hash through the splitmix64
+// finalizer first (the shardmap precedent): Fastrange over both the raw
+// hash and its in-partition bucket index would consume the same high bits,
+// clustering each partition's keys into a band of buckets.
+func (t *Table) locateBucket(key uint64) (part, hv uint64) {
+	var kb [8]byte
+	putLE(kb[:], key)
+	return t.locateBucketBytes(kb[:])
+}
+
+// locateBucketBytes is locateBucket for a byte-string key.
+func (t *Table) locateBucketBytes(key []byte) (part, hv uint64) {
+	hv = t.parts[0].bkt.HashOf(key) // all partitions share one hash
+	return hashfn.Fastrange(hashfn.Shard64(hv), t.nparts), hv
+}
+
+// partOf maps a key to its partition under the table's layout. Every
+// routing decision for one key must go through one locator: the flat and
+// bucket locators disagree, and mixing them would send same-key updates to
+// different owners, breaking the per-key FIFO that delegation guarantees.
+func (t *Table) partOf(key uint64) uint64 {
+	if t.layout == table.LayoutBucket {
+		part, _ := t.locateBucket(key)
+		return part
+	}
+	part, _ := t.locate(key)
+	return part
+}
+
+// Layout returns the physical layout the table was constructed with.
+func (t *Table) Layout() table.Layout { return t.layout }
+
 // Filter returns the effective probe filter (FilterNone on scalar-kernel
 // tables regardless of the configured value).
 func (t *Table) Filter() table.ProbeFilter { return t.filter }
@@ -320,6 +388,14 @@ func (t *Table) Start() {
 		go func(c int) {
 			defer t.wg.Done()
 			cons := t.fabric.Consumer(c)
+			if t.layout == table.LayoutBucket {
+				// Consumer-goroutine-local engine handles: each owns an arena
+				// writer (records this consumer appends go to its own
+				// segments) and the goroutine's reclamation pin.
+				bhs := t.newPartHandles()
+				cons.Run(func(m delegation.Message) { t.applyBucket(m, bhs) })
+				return
+			}
 			cons.Run(func(m delegation.Message) { t.apply(m) })
 		}(c)
 	}
@@ -347,17 +423,92 @@ func (t *Table) Dropped() uint64 { return t.dropped.Load() }
 // beyond atomics).
 func (t *Table) Len() int {
 	n := 0
+	if t.layout == table.LayoutBucket {
+		for i := range t.parts {
+			n += t.parts[i].bkt.Len()
+		}
+		return n
+	}
 	for i := range t.parts {
 		n += int(atomic.LoadInt64(&t.parts[i].live))
 	}
 	return n + t.side.Count()
 }
 
-// Cap returns the total slot capacity.
-func (t *Table) Cap() int { return int(t.total) }
+// Cap returns the total slot capacity (current, on self-resizing bucket
+// partitions).
+func (t *Table) Cap() int {
+	if t.layout == table.LayoutBucket {
+		n := 0
+		for i := range t.parts {
+			n += t.parts[i].bkt.Cap()
+		}
+		return n
+	}
+	return int(t.total)
+}
 
 // Partitions returns the partition count.
 func (t *Table) Partitions() int { return int(t.nparts) }
+
+// newPartHandles builds one bucket-engine handle per partition for a single
+// goroutine's use.
+func (t *Table) newPartHandles() []*slotarr.BucketHandle {
+	bhs := make([]*slotarr.BucketHandle, len(t.parts))
+	for i := range t.parts {
+		bhs[i] = t.parts[i].bkt.NewHandle()
+	}
+	return bhs
+}
+
+// putLE stores v into b[0:8] little-endian (the fixed encoding bridging
+// uint64 keys and values onto the byte-record arena).
+func putLE(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// getLE loads a little-endian uint64 from b[0:8].
+func getLE(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// applyBucket executes one delegated update against the owning partition's
+// bucket engine. Reserved keys take this path like any other (the layout
+// has no side slots), and a bucket partition never reports full — the
+// engine resizes itself, so fire-and-forget updates are never dropped.
+func (t *Table) applyBucket(m delegation.Message, bhs []*slotarr.BucketHandle) {
+	op := table.Op(m.Aux)
+	part, _ := t.locateBucket(m.A)
+	bh := bhs[part]
+	var kb, vb [8]byte
+	putLE(kb[:], m.A)
+	switch op {
+	case table.Put:
+		putLE(vb[:], m.B)
+		bh.Put(kb[:], vb[:])
+	case table.Upsert:
+		bh.Mutate(kb[:], func(old []byte, present bool) []byte {
+			nv := m.B
+			if present {
+				nv += getLE(old)
+			}
+			putLE(vb[:], nv)
+			return vb[:]
+		})
+	case table.Delete:
+		bh.Delete(kb[:])
+	}
+}
 
 // apply executes one delegated update on the owning consumer thread.
 func (t *Table) apply(m delegation.Message) {
@@ -584,14 +735,20 @@ func (t *Table) deleteLocal(pt *partition, local, key uint64, tag uint8) {
 // lane compare per line; the matched lane's value is loaded after its key
 // was observed, which is all the single-writer publication order
 // value-then-key needs (once the key is visible the value is already
-// published, so the read completes without spinning). With FilterTags each
+// published, so the read completes without spinning). When tagged, each
 // line's packed tag word is consulted first and rejected lines are never
 // loaded; filter events land in fs, which is caller-owned (one per
 // ReadHandle) so concurrent readers share no counter cache lines.
-func (t *Table) getLocal(pt *partition, local, key uint64, tag uint8, fs *FilterStats) (uint64, bool) {
+//
+// tagged is the CALLER's effective filter, not the table's: a governed
+// ReadHandle that has switched its filter off must skip the sidecar loads
+// entirely (gating on t.filter here would keep issuing the tag-word load —
+// exactly the traffic the decision was meant to shed — and skew the
+// KeyLines/TagSkips sensors the governor steers by). Callers on tagged
+// paths always hold t.filter == table.FilterTags, so the sidecar exists.
+func (t *Table) getLocal(pt *partition, local, key uint64, tag uint8, tagged bool, fs *FilterStats) (uint64, bool) {
 	arr := pt.arr
 	if t.kernel == table.KernelSWAR {
-		tagged := t.filter == table.FilterTags
 		i := local
 		for probes := uint64(0); ; {
 			if tagged {

@@ -33,6 +33,12 @@ type WriteHandle struct {
 	// into obsw at Flush/Barrier/Close boundaries).
 	sends uint64
 	obsw  *obs.Worker
+	// wbhs holds this writer's per-partition bucket-engine handles (non-nil
+	// iff the table's Layout is bucket). The byte-string operations execute
+	// through them synchronously — direct to the engine, not delegated: a
+	// variable-length record does not fit a delegation message, and the
+	// engine's CAS protocol already serializes racing writers safely.
+	wbhs []*slotarr.BucketHandle
 }
 
 // NewWriteHandle allocates the next producer slot. It panics if more
@@ -43,10 +49,50 @@ func (t *Table) NewWriteHandle() *WriteHandle {
 		panic("dramhitp: more WriteHandles requested than Config.Producers")
 	}
 	w := &WriteHandle{t: t, p: t.fabric.Producer(id), coalesce: t.combine == table.CombineOn}
+	if t.layout == table.LayoutBucket {
+		w.wbhs = t.newPartHandles()
+	}
 	if t.obsReg != nil {
 		w.obsw = t.obsReg.Worker("dramhitp-w" + strconv.Itoa(id))
 	}
 	return w
+}
+
+// requireBucket panics unless the table's Layout is bucket — the byte API
+// has nowhere to store variable-length records on a flat table.
+func (t *Table) requireBucket() {
+	if t.layout != table.LayoutBucket {
+		panic("dramhitp: byte-string API requires Config.Layout == table.LayoutBucket")
+	}
+}
+
+// PutBytes stores value for a byte-string key, overwriting silently,
+// reporting whether the key existed. Synchronous (direct to the partition
+// engine, not delegated): it does not order against this handle's
+// delegated uint64 updates until a Barrier, and a uint64 key k aliases the
+// byte key of its 8-byte little-endian encoding.
+func (w *WriteHandle) PutBytes(key, value []byte) (existed bool) {
+	w.t.requireBucket()
+	part, _ := w.t.locateBucketBytes(key)
+	return w.wbhs[part].Put(key, value)
+}
+
+// UpsertBytes atomically read-modify-writes a byte-string key: fn receives
+// the current value (nil, false when absent) and returns the value to
+// store; under contention fn may run multiple times and exactly the final
+// invocation's result is published. Synchronous, like PutBytes.
+func (w *WriteHandle) UpsertBytes(key []byte, fn func(old []byte, present bool) []byte) (existed bool) {
+	w.t.requireBucket()
+	part, _ := w.t.locateBucketBytes(key)
+	return w.wbhs[part].Mutate(key, fn)
+}
+
+// DeleteBytes removes a byte-string key, reporting whether it was present.
+// Synchronous, like PutBytes.
+func (w *WriteHandle) DeleteBytes(key []byte) bool {
+	w.t.requireBucket()
+	part, _ := w.t.locateBucketBytes(key)
+	return w.wbhs[part].Delete(key)
 }
 
 // obsPublish copies the writer's plain counters into its registry shard and
@@ -62,6 +108,15 @@ func (w *WriteHandle) obsPublish() {
 // §3.2). It reports false if the update was denied.
 func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
 	t := w.t
+	if t.layout == table.LayoutBucket {
+		// Bucket partitions resize themselves (no full flag) and reserved
+		// keys are ordinary engine keys (no side slots): every update routes
+		// straight to its partition's owner.
+		part, _ := t.locateBucket(key)
+		w.p.Send(t.ownerOf(part), delegation.Message{A: key, B: value, Aux: uint64(op)})
+		w.sends++
+		return true
+	}
 	if t.side.For(key) != nil {
 		// Reserved keys are owned by consumer 0.
 		w.p.Send(0, delegation.Message{A: key, B: value, Aux: uint64(op)})
@@ -93,7 +148,8 @@ func (w *WriteHandle) Put(key, value uint64) bool {
 // keys fold locally (see holdUpsert) and a window of distinct keys rides
 // one delegation flush.
 func (w *WriteHandle) Upsert(key, delta uint64) bool {
-	if !w.coalesce || w.t.side.For(key) != nil {
+	if !w.coalesce ||
+		(w.t.layout != table.LayoutBucket && w.t.side.For(key) != nil) {
 		return w.send(table.Upsert, key, delta)
 	}
 	return w.holdUpsert(key, delta)
@@ -185,6 +241,10 @@ type ReadHandle struct {
 	// Filter accumulates this reader's tag-filter events (handle-local so
 	// concurrent readers never share counter cache lines).
 	Filter FilterStats
+	// rbhs holds per-partition bucket-engine handles (non-nil iff the
+	// table's Layout is bucket): lookups resolve through them in one bucket
+	// line, and their line/hop counters fold into Filter.KeyLines.
+	rbhs []*slotarr.BucketHandle
 
 	// Observability (nil/zero without a registry): the plain counters above
 	// are published into obsw at Submit/Flush exit; trace samples 1-in-
@@ -246,6 +306,9 @@ func (t *Table) NewReadHandle() *ReadHandle {
 	}
 	if r.combine {
 		r.rtags = make([]uint64, (capacity+7)/8)
+	}
+	if t.layout == table.LayoutBucket {
+		r.rbhs = t.newPartHandles()
 	}
 	if t.obsReg != nil {
 		n := t.nread.Add(1)
@@ -344,11 +407,14 @@ func (r *ReadHandle) submitDirect(reqs []table.Request, resps []table.Response) 
 		}
 		var v uint64
 		var ok bool
-		if s := t.side.For(req.Key); s != nil {
+		if r.rbhs != nil {
+			v, ok = r.getBucket(req.Key)
+		} else if s := t.side.For(req.Key); s != nil {
 			v, ok = s.Get()
 		} else {
 			part, local, tag := t.locateTag(req.Key)
-			v, ok = t.getLocal(&t.parts[part], local, req.Key, tag, &r.Filter)
+			v, ok = t.getLocal(&t.parts[part], local, req.Key, tag,
+				r.filter == table.FilterTags, &r.Filter)
 		}
 		resps[nresp] = table.Response{ID: req.ID, Value: v, Found: ok}
 		nresp++
@@ -402,15 +468,51 @@ func (r *ReadHandle) obsPublish() {
 	w.SetGauge(obs.GWindowMax, r.occMax)
 }
 
+// getBucket resolves a uint64 lookup through the key's partition engine,
+// folding the engine's bucket-line loads and stash hops into this reader's
+// KeyLines (every bucket visit consults key material — there is no sidecar
+// to skip from, so the other filter counters stay zero).
+func (r *ReadHandle) getBucket(key uint64) (uint64, bool) {
+	var kb [8]byte
+	putLE(kb[:], key)
+	part, _ := r.t.locateBucketBytes(kb[:])
+	bh := r.rbhs[part]
+	pre := bh.Lines + bh.Hops
+	vb, ok := bh.Get(kb[:])
+	r.Filter.KeyLines += bh.Lines + bh.Hops - pre
+	if !ok {
+		return 0, false
+	}
+	return getLE(vb), true
+}
+
 // Get is the direct synchronous read path (two loads, no atomics beyond
 // plain atomic loads), bypassing the pipeline.
 func (r *ReadHandle) Get(key uint64) (uint64, bool) {
 	t := r.t
+	if r.rbhs != nil {
+		return r.getBucket(key)
+	}
 	if s := t.side.For(key); s != nil {
 		return s.Get()
 	}
 	part, local, tag := t.locateTag(key)
-	return t.getLocal(&t.parts[part], local, key, tag, &r.Filter)
+	return t.getLocal(&t.parts[part], local, key, tag,
+		r.filter == table.FilterTags, &r.Filter)
+}
+
+// GetBytes looks up a byte-string key directly. The returned slice aliases
+// the arena record: valid indefinitely, stale once the key is overwritten.
+// Zero-allocation.
+func (r *ReadHandle) GetBytes(key []byte) ([]byte, bool) {
+	r.t.requireBucket()
+	part, _ := r.t.locateBucketBytes(key)
+	bh := r.rbhs[part]
+	pre := bh.Lines + bh.Hops
+	v, ok := bh.Get(key)
+	r.Filter.KeyLines += bh.Lines + bh.Hops - pre
+	r.complete(ok)
+	return v, ok
 }
 
 // Submit pipelines lookup requests; completed responses are appended into
@@ -434,8 +536,18 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 		var part, local uint64
 		var tag uint8
 		hashed := false
-		if r.combine && r.head != r.tail && t.side.For(req.Key) == nil {
-			part, local, tag = t.locateTag(req.Key)
+		// In bucket mode reserved keys are ordinary engine keys, so they
+		// combine like any other; local carries the engine's full hash (the
+		// drain re-derives the bucket against the live, possibly resized
+		// state).
+		if r.combine && r.head != r.tail &&
+			(r.rbhs != nil || t.side.For(req.Key) == nil) {
+			if r.rbhs != nil {
+				part, local = t.locateBucket(req.Key)
+				tag = table.TagOf(local)
+			} else {
+				part, local, tag = t.locateTag(req.Key)
+			}
 			hashed = true
 			// tagcnt gates the ring scan down to one L1 load when nothing in
 			// flight shares the tag byte — the overwhelmingly common case
@@ -453,7 +565,12 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 			}
 		}
 		if !hashed {
-			part, local, tag = t.locateTag(req.Key)
+			if r.rbhs != nil {
+				part, local = t.locateBucket(req.Key)
+				tag = table.TagOf(local)
+			} else {
+				part, local, tag = t.locateTag(req.Key)
+			}
 		}
 		p := rpending{key: req.Key, id: req.ID, part: part, idx: local, tag: tag}
 		if r.trace != nil {
@@ -461,6 +578,12 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 				r.traceCnt = 0
 				p.trace = r.trace.NextID()
 			}
+		}
+		if r.rbhs != nil {
+			t.parts[part].bkt.Prefetch(local)
+			r.push(p)
+			nreq++
+			continue
 		}
 		arr := t.parts[part].arr
 		if r.filter == table.FilterTags {
@@ -515,6 +638,16 @@ func (r *ReadHandle) processOldest(resps []table.Response, nresp *int) (blocked 
 		return true
 	}
 	t := r.t
+	// Bucket layout: the home bucket line was prefetched at Submit and the
+	// probe resolves in-cell, so the drain is one synchronous engine lookup
+	// with no reprobe loop (and no side slots — reserved keys are ordinary).
+	if r.rbhs != nil {
+		if *nresp >= len(resps) {
+			return true
+		}
+		v, ok := r.getBucket(p.key)
+		return r.retire(p, v, ok, resps, nresp)
+	}
 	if s := t.side.For(p.key); s != nil {
 		if *nresp >= len(resps) {
 			return true

@@ -84,6 +84,47 @@ func mix(h, v uint64) uint64 {
 	return bits.RotateLeft64(h, 31) * 0xbf58476d1ce4e5b9
 }
 
+// xxh3-style striping primes for Bytes64 (the XXH64 prime family, disjoint
+// from both the City64/murmur3 finalizer constants and the splitmix64
+// constants of Shard64).
+const (
+	xxPrime1 = 0x9e3779b185ebca87
+	xxPrime2 = 0xc2b2ae3d27d4eb4f
+	xxPrime3 = 0x165667b19e3779f9
+	xxPrime4 = 0x27d4eb2f165667c5
+)
+
+// Bytes64 is the byte-string hash of the bucket layout's index (the arena's
+// variable-length keys). It is an xxh3-style construction — two independent
+// accumulator lanes striped over 16-byte blocks with rotate-multiply folds,
+// length-seeded so prefixes of each other cannot collide trivially —
+// finished with the City64 avalanche core, so its low byte (the bucket
+// fingerprint via table.TagOf) and high bits (the bucket index via
+// Fastrange) get the same finalizer quality as the fixed-width hashes.
+// Zero-allocation on every input length.
+func Bytes64(b []byte) uint64 {
+	n := uint64(len(b))
+	acc0 := xxPrime1 + n*xxPrime2
+	acc1 := uint64(xxPrime3)
+	for len(b) >= 16 {
+		acc0 = bits.RotateLeft64(acc0^(getUint64(b)*xxPrime2), 27) * xxPrime1
+		acc1 = bits.RotateLeft64(acc1^(getUint64(b[8:])*xxPrime1), 29) * xxPrime2
+		b = b[16:]
+	}
+	if len(b) >= 8 {
+		acc0 = bits.RotateLeft64(acc0^(getUint64(b)*xxPrime2), 27) * xxPrime1
+		b = b[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(b); i++ {
+		tail |= uint64(b[i]) << (8 * i)
+	}
+	// The length seed in acc0 disambiguates inputs whose tails zero-extend
+	// to the same word (e.g. "a" vs "a\x00").
+	acc0 ^= tail * xxPrime4
+	return City64(acc0 + bits.RotateLeft64(acc1, 23))
+}
+
 // Fastrange maps a 64-bit hash into [0, n) in an approximately uniform
 // manner using the high bits of the 128-bit product hash*n. It replaces the
 // modulo reduction and lets table sizes be arbitrary (not powers of two).

@@ -263,3 +263,16 @@ func TagCandidates8(w uint64, tag uint8) uint8 {
 	m := matchBits(w, BroadcastByte(tag)) | matchBits(w, 0)
 	return packMask(m)
 }
+
+// BucketCandidates7 is TagCandidates8 specialized to the bucket layout's
+// in-cell metadata word: byte 0 is the control byte (publish bitmap + stash
+// flag) and bytes 1..7 hold the fingerprints of payload lanes 0..6, so the
+// control lane is shifted out and the result is a 7-bit mask whose bit i
+// corresponds to slot lane i. The zero-byte fold carries the same
+// false-negative-free contract as TagCandidates8: a lane whose fingerprint
+// byte is still zero (unpublished, or slot word CASed but the metadata OR
+// not yet visible) stays a candidate and must be resolved against its slot
+// word.
+func BucketCandidates7(meta uint64, tag uint8) uint8 {
+	return uint8(TagCandidates8(meta, tag)>>1) & 0x7f
+}

@@ -1,0 +1,87 @@
+package slotarr
+
+import (
+	"sync/atomic"
+
+	"dramhit/internal/arena"
+)
+
+// This file holds the storage primitives of the second physical layout
+// ("bucket", selected by Config.Layout; see BucketTable in buckettable.go
+// for the engine). The flat layout above keeps keys and values inline and a
+// tag sidecar in a separate allocation; the bucket layout instead makes the
+// metadata co-resident with the slots, TurboHash-style, so a probe touches
+// exactly one cache line:
+//
+//	word 0  (meta)   byte 0: control — bits 0..6 per-lane publish bitmap,
+//	                          bit 7 stash-nonempty flag
+//	                  bytes 1..7: H2 fingerprints of payload lanes 0..6
+//	word 1..7 (slots) one payload lane each:
+//	                  0 = empty, ^0 = tombstone, else
+//	                  uint64(fp)<<48 | arena.Ref  (published)
+//
+// The fingerprint is stored twice — in its metadata byte for the SWAR match
+// (simd.BucketCandidates7 against word 0) and redundantly in the slot
+// word's spare high 16 bits — so a reader that takes a candidate lane can
+// confirm or reject it from the slot word alone, without re-deriving
+// anything, and a resize can rebuild metadata from slot words alone.
+//
+// Publication order is slot-word CAS first (the release edge for the arena
+// record bytes), metadata CAS-OR second; the zero-byte fold in
+// BucketCandidates7 keeps the window between the two false-negative-free.
+// Fingerprint bytes are write-once (0 → fp): a tombstoned lane is never
+// reclaimed in place, because reusing it under a different fingerprint
+// would let a concurrent reader's candidate mask go stale into a false
+// negative. Dead lanes are swept by the next resize, which drops
+// tombstones wholesale.
+
+const (
+	// BucketWords is the size of one bucket in uint64 words — exactly one
+	// cache line (table.CacheLineBytes).
+	BucketWords = 8
+	// BucketLanes is the number of payload slots per bucket (word 0 is
+	// metadata).
+	BucketLanes = 7
+)
+
+// bucketStashBit is the control-byte flag marking a non-empty stash chain.
+const bucketStashBit = 0x80
+
+// slotTombstone marks a deleted lane. A published word can never equal it:
+// the fingerprint is 1..255, so a published word's high 16 bits are
+// 0x0001..0x00ff, never 0xffff.
+const slotTombstone = ^uint64(0)
+
+// slotWord packs a fingerprint and an arena reference into one published
+// slot word.
+func slotWord(fp uint8, ref arena.Ref) uint64 {
+	return uint64(fp)<<arena.RefBits | uint64(ref)
+}
+
+// slotFP extracts the full 16-bit tag field: 0x0001..0x00ff for published
+// words, 0xffff for the tombstone, 0 for empty.
+func slotFP(w uint64) uint16 { return uint16(w >> arena.RefBits) }
+
+// slotRef extracts the arena reference of a published slot word.
+func slotRef(w uint64) arena.Ref {
+	return arena.Ref(w & (1<<arena.RefBits - 1))
+}
+
+// metaFPByte positions fp in lane's metadata byte (bytes 1..7 of the meta
+// word; byte 0 is the control byte).
+func metaFPByte(lane int, fp uint8) uint64 {
+	return uint64(fp) << (8 * (lane + 1))
+}
+
+// metaPublishBit is lane's bit in the control byte's publish bitmap.
+func metaPublishBit(lane int) uint64 { return 1 << lane }
+
+// stashNode is one overflow entry of a bucket's per-bucket stash chain
+// (Dash-style): inserts that find all seven lanes claimed prepend here
+// instead of reprobing into neighbouring buckets. word carries the same
+// encoding as a slot word and supports the same CAS transitions
+// (overwrite, tombstone); next is immutable once the node is linked.
+type stashNode struct {
+	word atomic.Uint64
+	next *stashNode
+}

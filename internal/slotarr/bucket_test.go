@@ -1,0 +1,360 @@
+package slotarr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dramhit/internal/hashfn"
+	"dramhit/internal/simd"
+	"dramhit/internal/table"
+)
+
+func TestBucketCandidates7(t *testing.T) {
+	// Build a meta word by hand: control byte 0x05, lane fingerprints
+	// 0x11 0x22 0x11 0x00 0x33 0x00 0x11 for lanes 0..6.
+	var meta uint64 = 0x05
+	fps := []uint8{0x11, 0x22, 0x11, 0x00, 0x33, 0x00, 0x11}
+	for lane, fp := range fps {
+		meta |= metaFPByte(lane, fp)
+	}
+	// Matching 0x11 must flag lanes 0, 2, 6 plus the zero lanes 3, 5 (the
+	// false-negative-free fold), and never the control byte.
+	got := simd.BucketCandidates7(meta, 0x11)
+	want := uint8(1<<0 | 1<<2 | 1<<6 | 1<<3 | 1<<5)
+	if got != want {
+		t.Fatalf("candidates = %07b, want %07b", got, want)
+	}
+	// A fingerprint present nowhere still flags only the zero lanes.
+	if got := simd.BucketCandidates7(meta, 0x77); got != 1<<3|1<<5 {
+		t.Fatalf("absent fp candidates = %07b", got)
+	}
+	// A full bucket with no match yields an empty mask — the one-line miss.
+	var full uint64 = 0xff
+	for lane := 0; lane < BucketLanes; lane++ {
+		full |= metaFPByte(lane, 0x44)
+	}
+	if got := simd.BucketCandidates7(full, 0x55); got != 0 {
+		t.Fatalf("full-bucket miss mask = %07b, want 0", got)
+	}
+}
+
+func TestSlotWordEncoding(t *testing.T) {
+	for _, fp := range []uint8{1, 0x7f, 0xff} {
+		w := slotWord(fp, 0x0000_1234_5678_9abc)
+		if slotFP(w) != uint16(fp) || uint64(slotRef(w)) != 0x0000_1234_5678_9abc {
+			t.Fatalf("round trip failed for fp %#x", fp)
+		}
+		if w == 0 || w == slotTombstone {
+			t.Fatalf("published word %#x collides with a sentinel", w)
+		}
+	}
+	if slotFP(slotTombstone) == uint16(0xff) {
+		t.Fatal("tombstone tag field collides with a legal fingerprint")
+	}
+}
+
+func TestBucketBasicBytes(t *testing.T) {
+	bt := NewBucketTableSlots(64)
+	h := bt.NewHandle()
+	if _, ok := h.Get([]byte("absent")); ok {
+		t.Fatal("empty table reported a key")
+	}
+	if h.Put([]byte("k1"), []byte("v1")) {
+		t.Fatal("first Put reported existing")
+	}
+	if v, ok := h.Get([]byte("k1")); !ok || string(v) != "v1" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if !h.Put([]byte("k1"), []byte("v2-longer-than-before")) {
+		t.Fatal("overwrite reported new")
+	}
+	if v, _ := h.Get([]byte("k1")); string(v) != "v2-longer-than-before" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if !h.Delete([]byte("k1")) || h.Delete([]byte("k1")) {
+		t.Fatal("delete semantics broken")
+	}
+	if _, ok := h.Get([]byte("k1")); ok {
+		t.Fatal("deleted key visible")
+	}
+	if h.Put([]byte("k1"), []byte("back")) {
+		t.Fatal("reinsert after delete reported existing")
+	}
+	if v, _ := h.Get([]byte("k1")); string(v) != "back" {
+		t.Fatal("reinsert lost")
+	}
+}
+
+// TestBucketStashOverflow pins the overflow path: a single bucket with
+// growth disabled absorbs far more than its 7 lanes via the stash chain,
+// and every key stays reachable, including after deletes.
+func TestBucketStashOverflow(t *testing.T) {
+	bt := NewBucketTable(BucketConfig{Buckets: 1, MaxLoad: 1000})
+	h := bt.NewHandle()
+	const n = 64
+	for i := 0; i < n; i++ {
+		h.Put([]byte(fmt.Sprintf("key-%02d", i)), []byte{byte(i)})
+	}
+	if bt.Grows() != 0 {
+		t.Fatal("growth ran despite MaxLoad > 1")
+	}
+	if bt.Stashed() < n-BucketLanes {
+		t.Fatalf("stashed = %d, want >= %d", bt.Stashed(), n-BucketLanes)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := h.Get([]byte(fmt.Sprintf("key-%02d", i)))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key %d lost in stash (%v)", i, ok)
+		}
+	}
+	// Delete half (both lane and stash residents), verify the rest.
+	for i := 0; i < n; i += 2 {
+		if !h.Delete([]byte(fmt.Sprintf("key-%02d", i))) {
+			t.Fatalf("delete of stashed key %d failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, ok := h.Get([]byte(fmt.Sprintf("key-%02d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, want)
+		}
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n/2)
+	}
+}
+
+// TestBucketGrowth starts tiny and forces repeated index rebuilds; every
+// key must survive every migration, and the rebuild must sweep tombstones.
+func TestBucketGrowth(t *testing.T) {
+	bt := NewBucketTable(BucketConfig{Buckets: 2})
+	h := bt.NewHandle()
+	const n = 500
+	key := func(i int) []byte { return []byte(fmt.Sprintf("grow-key-%04d", i)) }
+	for i := 0; i < n; i++ {
+		h.Put(key(i), []byte(fmt.Sprintf("val-%d", i)))
+		if i%3 == 0 {
+			h.Delete(key(i)) // interleave churn so rebuilds sweep tombstones
+		}
+	}
+	if bt.Grows() < 2 {
+		t.Fatalf("grows = %d, want >= 2", bt.Grows())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := h.Get(key(i))
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, want)
+		}
+		if ok && string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d value corrupted across resize: %q", i, v)
+		}
+	}
+	// The current generation must hold no tombstones: claimed == live.
+	if bt.Claimed() < int64(bt.Len()) {
+		t.Fatalf("claimed %d < live %d", bt.Claimed(), bt.Len())
+	}
+}
+
+// TestBucketGetZeroAlloc pins the acceptance criterion: the byte-KV Get
+// path allocates nothing.
+func TestBucketGetZeroAlloc(t *testing.T) {
+	bt := NewBucketTableSlots(1024)
+	h := bt.NewHandle()
+	key := []byte("the-key")
+	h.Put(key, []byte("the-value"))
+	var sink byte
+	allocs := testing.AllocsPerRun(200, func() {
+		v, ok := h.Get(key)
+		if !ok {
+			t.Fatal("key lost")
+		}
+		sink += v[0]
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocated %v times per run", allocs)
+	}
+	_ = sink
+}
+
+// TestBucketMutateExact checks the read-add-CAS loop under concurrency:
+// G goroutines each add 1 to the same counters N times; totals must be
+// exact (the k-mer counting contract).
+func TestBucketMutateExact(t *testing.T) {
+	bt := NewBucketTable(BucketConfig{Buckets: 4})
+	const g, n, nkeys = 6, 250, 10
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := bt.NewHandle()
+			var vb [8]byte
+			for i := 0; i < n; i++ {
+				for k := 0; k < nkeys; k++ {
+					key := []byte(fmt.Sprintf("ctr-%d", k))
+					h.Mutate(key, func(old []byte, present bool) []byte {
+						var c uint64
+						if present {
+							c = binary.LittleEndian.Uint64(old)
+						}
+						binary.LittleEndian.PutUint64(vb[:], c+1)
+						return vb[:]
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h := bt.NewHandle()
+	for k := 0; k < nkeys; k++ {
+		v, ok := h.Get([]byte(fmt.Sprintf("ctr-%d", k)))
+		if !ok || binary.LittleEndian.Uint64(v) != g*n {
+			t.Fatalf("counter %d = %d, want %d", k, binary.LittleEndian.Uint64(v), g*n)
+		}
+	}
+}
+
+// TestBucketConcurrentAcrossResize races byte-KV mutators and readers while
+// the table grows from 1 bucket through multiple rebuilds — the racing-
+// mutators-across-a-resize acceptance case, meaningful under -race.
+func TestBucketConcurrentAcrossResize(t *testing.T) {
+	bt := NewBucketTable(BucketConfig{Buckets: 1})
+	const g, perG = 4, 300
+	key := func(w, i int) []byte { return []byte(fmt.Sprintf("rz-%d-%04d", w, i)) }
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := bt.NewHandle()
+			for i := 0; i < perG; i++ {
+				h.Put(key(w, i), bytes.Repeat([]byte{byte(w)}, 1+i%32))
+				if i%5 == 0 {
+					h.Delete(key(w, i))
+				}
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		h := bt.NewHandle()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for w := 0; w < g; w++ {
+				for i := 0; i < perG; i += 17 {
+					if v, ok := h.Get(key(w, i)); ok {
+						if len(v) != 1+i%32 || v[0] != byte(w) {
+							t.Errorf("torn read: key(%d,%d) -> %d bytes", w, i, len(v))
+							return
+						}
+					}
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if bt.Grows() < 1 {
+		t.Fatalf("expected at least one grow, got %d", bt.Grows())
+	}
+	h := bt.NewHandle()
+	for w := 0; w < g; w++ {
+		for i := 0; i < perG; i++ {
+			v, ok := h.Get(key(w, i))
+			if want := i%5 != 0; ok != want {
+				t.Fatalf("key(%d,%d) presence = %v, want %v", w, i, ok, want)
+			}
+			if ok && (len(v) != 1+i%32 || v[0] != byte(w)) {
+				t.Fatalf("key(%d,%d) corrupted", w, i)
+			}
+		}
+	}
+}
+
+// TestBucketMapVsReference drives the uint64 adapter against a Go map,
+// mixing all four ops over a small key space with reserved keys included.
+func TestBucketMapVsReference(t *testing.T) {
+	m := NewBucketMap(256)
+	ref := make(map[uint64]uint64)
+	rng := hashfn.City64
+	state := uint64(1)
+	next := func(n uint64) uint64 { state = rng(state); return state % n }
+	for i := 0; i < 30000; i++ {
+		k := next(200)
+		switch k % 17 {
+		case 0:
+			k = table.TombstoneKey
+		case 1:
+			k = table.EmptyKey
+		case 2:
+			k = table.MovedKey
+		}
+		switch next(10) {
+		case 0, 1, 2, 3:
+			v := next(1 << 40)
+			m.Put(k, v)
+			ref[k] = v
+		case 4, 5:
+			got, _ := m.Upsert(k, 7)
+			ref[k] += 7
+			if got != ref[k] {
+				t.Fatalf("op %d: Upsert(%d) = %d, want %d", i, k, got, ref[k])
+			}
+		case 6:
+			got := m.Delete(k)
+			if _, want := ref[k]; got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, k, got, ok, want, wok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", m.Len(), len(ref))
+	}
+}
+
+// TestBucketProbeCost pins the headline property at the engine level: at
+// 75% fill, a positive lookup costs about one bucket line and almost no
+// stash hops.
+func TestBucketProbeCost(t *testing.T) {
+	const n = 7000 // 75% of 1000 buckets * 7 lanes ≈ 5250; use 1000 buckets
+	bt := NewBucketTable(BucketConfig{Buckets: 1000, MaxLoad: 1000})
+	h := bt.NewHandle()
+	keys := make([][]byte, 0, 5250)
+	for i := 0; i < 5250; i++ {
+		k := []byte(fmt.Sprintf("probe-key-%05d", i))
+		keys = append(keys, k)
+		h.Put(k, []byte("v"))
+	}
+	_ = n
+	h.Lines, h.Hops = 0, 0
+	for _, k := range keys {
+		if _, ok := h.Get(k); !ok {
+			t.Fatal("key lost")
+		}
+	}
+	ops := float64(len(keys))
+	linesPerOp := (float64(h.Lines) + float64(h.Hops)) / ops
+	if linesPerOp > 1.2 {
+		t.Fatalf("positive lookup cost %.3f lines/op at 75%% fill, want <= 1.2", linesPerOp)
+	}
+}

@@ -1,0 +1,95 @@
+package slotarr
+
+import (
+	"encoding/binary"
+
+	"dramhit/internal/table"
+)
+
+// BucketMap adapts BucketTable to the uint64 table.Map contract: keys and
+// values travel as 8-byte little-endian records through the arena. The
+// reserved key values (EmptyKey, TombstoneKey, MovedKey) need no special
+// casing — the bucket layout has no in-band key sentinels, so they are
+// ordinary byte strings.
+type BucketMap struct {
+	t *BucketTable
+	h *BucketHandle
+}
+
+// NewBucketMap creates a bucket-layout table sized for at least slots
+// entries, wrapped in the synchronous uint64 view.
+func NewBucketMap(slots uint64) *BucketMap {
+	t := NewBucketTableSlots(slots)
+	return &BucketMap{t: t, h: t.NewHandle()}
+}
+
+// NewBucketMapOf wraps an existing engine in the synchronous uint64 view —
+// the hook for conformance and fuzz harnesses that need a hand-built
+// configuration (for example Buckets:1 with growth disabled, which forces
+// every insert past lane 7 onto the stash chain).
+func NewBucketMapOf(t *BucketTable) *BucketMap {
+	return &BucketMap{t: t, h: t.NewHandle()}
+}
+
+// Clone gives a concurrent goroutine its own handle over the shared table
+// (the tabletest Cloner contract).
+func (m *BucketMap) Clone() table.Map {
+	return &BucketMap{t: m.t, h: m.t.NewHandle()}
+}
+
+// Table exposes the underlying engine (benchmarks read its probe stats).
+func (m *BucketMap) Table() *BucketTable { return m.t }
+
+// Handle exposes the map's own view (benchmarks read its Lines/Hops).
+func (m *BucketMap) Handle() *BucketHandle { return m.h }
+
+// Get implements table.Map.
+func (m *BucketMap) Get(key uint64) (uint64, bool) {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	v, ok := m.h.Get(kb[:])
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}
+
+// Put implements table.Map. The engine resizes, so Put never reports full.
+func (m *BucketMap) Put(key, value uint64) bool {
+	var kb, vb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	binary.LittleEndian.PutUint64(vb[:], value)
+	m.h.Put(kb[:], vb[:])
+	return true
+}
+
+// Upsert implements table.Map: an atomic add via the engine's
+// read-modify-write CAS loop, so concurrent upserts of one key never lose
+// increments.
+func (m *BucketMap) Upsert(key, delta uint64) (uint64, bool) {
+	var kb, vb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	var res uint64
+	m.h.Mutate(kb[:], func(old []byte, present bool) []byte {
+		res = delta
+		if present {
+			res = binary.LittleEndian.Uint64(old) + delta
+		}
+		binary.LittleEndian.PutUint64(vb[:], res)
+		return vb[:]
+	})
+	return res, true
+}
+
+// Delete implements table.Map.
+func (m *BucketMap) Delete(key uint64) bool {
+	var kb [8]byte
+	binary.LittleEndian.PutUint64(kb[:], key)
+	return m.h.Delete(kb[:])
+}
+
+// Len implements table.Map.
+func (m *BucketMap) Len() int { return m.t.Len() }
+
+// Cap implements table.Map.
+func (m *BucketMap) Cap() int { return m.t.Cap() }

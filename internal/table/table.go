@@ -161,6 +161,46 @@ func ParseProbeFilter(s string) (ProbeFilter, error) {
 	return 0, fmt.Errorf("unknown probe filter %q (want tags|none)", s)
 }
 
+// Layout selects the physical slot layout of a table. The zero value is
+// LayoutFlat — the original interleaved key/value array with its optional
+// tag sidecar — so existing configurations are bit-identical. LayoutBucket
+// switches to the one-line bucket layout: 64-byte buckets whose first word
+// is in-cell metadata (7 fingerprint bytes + a publish bitmap) over 7 slot
+// words referencing a log-structured arena, which both removes the
+// sidecar's extra line load on positive lookups and unlocks variable-length
+// []byte keys and values (the GetBytes/PutBytes API).
+type Layout uint8
+
+const (
+	// LayoutFlat is the interleaved uint64 key/value array (slotarr.Array).
+	LayoutFlat Layout = iota
+	// LayoutBucket is the bucketized cell-metadata layout over the KV arena
+	// (slotarr.BucketTable).
+	LayoutBucket
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (l Layout) String() string {
+	switch l {
+	case LayoutFlat:
+		return "flat"
+	case LayoutBucket:
+		return "bucket"
+	}
+	return "invalid"
+}
+
+// ParseLayout maps a benchmark-flag string back to a layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "flat":
+		return LayoutFlat, nil
+	case "bucket":
+		return LayoutBucket, nil
+	}
+	return 0, fmt.Errorf("unknown layout %q (want flat|bucket)", s)
+}
+
 // Combining selects whether a handle's Submit merges a request whose key
 // already has a pending request in the prefetch queue instead of enqueueing
 // it (duplicate-key coalescing and read piggybacking). The zero value is

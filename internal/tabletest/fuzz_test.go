@@ -8,6 +8,7 @@ import (
 	"dramhit/internal/growt"
 	"dramhit/internal/locked"
 	"dramhit/internal/shardmap"
+	"dramhit/internal/slotarr"
 	"dramhit/internal/table"
 )
 
@@ -62,6 +63,21 @@ func FuzzTableOps(f *testing.F) {
 		churn = append(churn, 0, k, byte(i), 4, k, 0)
 	}
 	f.Add(churn)
+	// Stash-chain overflow: forty live keys bury the one-bucket variant's
+	// seven lanes under a deep stash chain, then deletes, upserts and
+	// reinserts churn the chain's middle while lookups keep walking it.
+	stash := []byte(nil)
+	for i := 1; i <= 40; i++ {
+		stash = append(stash, 0, byte(i), byte(i))
+	}
+	for i := 1; i+1 <= 40; i += 3 {
+		stash = append(stash,
+			4, byte(i), 0, // delete a chained key
+			3, byte(i+1), 5, // upsert its neighbour in place
+			0, byte(i), 1, // reinsert the deleted key
+			2, byte(i), 0) // read it back through the chain
+	}
+	f.Add(stash)
 	// Force shard splits mid-sequence: drive the 64-slot sharded router past
 	// its 0.75 fill threshold (48 keys) with reserved keys and churn in the
 	// mix, then keep mutating through the windows the splits open.
@@ -133,6 +149,17 @@ func replayTableOps(t *testing.T, data []byte) {
 		{"sharded-batched", shardmap.NewBatched(shardmap.BatchedConfig{
 			Shards: 4, Table: dramhit.Config{Slots: slots},
 		}).NewSync()},
+		// Bucket layout, three postures: the raw engine starting at 64 slots
+		// (the dbl seed drives it through at least two index rebuilds), the
+		// dramhit pipeline over the same engine, and a one-bucket growth-
+		// disabled engine where all but seven live keys ride stash chains —
+		// the overflow path replayed against every other implementation.
+		{"bucket", slotarr.NewBucketMap(64)},
+		{"dramhit-bucket", dramhit.New(dramhit.Config{
+			Slots: 64, Layout: table.LayoutBucket,
+		}).NewSync()},
+		{"bucket-stash", slotarr.NewBucketMapOf(slotarr.NewBucketTable(
+			slotarr.BucketConfig{Buckets: 1, MaxLoad: 1 << 30}))},
 	}
 	ref := make(map[uint64]uint64)
 	for op := 0; op+3 <= len(data) && op/3 < maxFuzzOps; op += 3 {

@@ -1,0 +1,115 @@
+// Byte-string workload generation for the bucket layout's KV surface:
+// YCSB-style string keys over the same scrambled rank space as the uint64
+// streams, and per-operation value sizes (fixed or zipf-tailed) with
+// deterministic, verifiable contents. Everything is allocation-free after
+// construction — generators hand out internal buffers valid until the next
+// draw, matching how the byte APIs borrow their arguments.
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// byteKeyPrefix matches YCSB's "user<id>" convention.
+const byteKeyPrefix = "user"
+
+// AppendByteKey renders the uint64 key k as its canonical string form —
+// "user" plus the decimal digits — appending to dst. The same k always
+// renders identically, so a byte-key load phase and a uint64-derived run
+// phase agree on which records exist.
+func AppendByteKey(dst []byte, k uint64) []byte {
+	dst = append(dst, byteKeyPrefix...)
+	return strconv.AppendUint(dst, k, 10)
+}
+
+// ByteKeyStream draws string keys from the same salted, scrambled rank
+// space as NewKeyStream with identical parameters — rank for rank, the
+// string stream names exactly the keys the uint64 stream would produce.
+type ByteKeyStream struct {
+	keys *KeyStream
+	buf  []byte
+}
+
+// NewByteKeyStream builds a string-key stream over ranks [0, n) with the
+// given zipf skew (0 = uniform). Same seed, same sequence.
+func NewByteKeyStream(seed int64, n uint64, theta float64) *ByteKeyStream {
+	return &ByteKeyStream{
+		keys: NewKeyStream(seed, n, theta),
+		buf:  make([]byte, 0, len(byteKeyPrefix)+20),
+	}
+}
+
+// Next returns the next string key. The slice aliases an internal buffer
+// and is valid until the next call — callers that retain it must copy.
+func (s *ByteKeyStream) Next() []byte {
+	return AppendByteKey(s.buf[:0], s.keys.Next())
+}
+
+// UniqueByteKeys renders UniqueKeys(seed, n) in string form, for the load
+// phase preceding a ByteKeyStream run with the same seed.
+func UniqueByteKeys(seed int64, n int) [][]byte {
+	ks := UniqueKeys(seed, n)
+	keys := make([][]byte, n)
+	for i, k := range ks {
+		keys[i] = AppendByteKey(nil, k)
+	}
+	return keys
+}
+
+// ValueSizer produces per-operation value sizes. With theta = 0 every draw
+// is the fixed size; with theta > 0 sizes follow a zipf tail over [1, size]
+// — most values land near 1 byte and a heavy-ranked few reach the cap, the
+// shape of real KV value populations (caches, metadata stores), so the
+// arena's variable-length records and segment-fill behaviour get exercised
+// across their whole range instead of at one point.
+type ValueSizer struct {
+	fixed int
+	zipf  *Zipf
+}
+
+// NewValueSizer builds a sizer: fixed at size when theta == 0, zipf-tailed
+// over [1, size] otherwise. Same seed, same sequence.
+func NewValueSizer(seed int64, size int, theta float64) *ValueSizer {
+	if size < 1 {
+		panic("workload: value size must be >= 1")
+	}
+	v := &ValueSizer{fixed: size}
+	if theta > 0 {
+		v.zipf = NewZipf(rand.New(rand.NewSource(seed)), uint64(size), theta)
+	}
+	return v
+}
+
+// Next returns the next value size in bytes.
+func (v *ValueSizer) Next() int {
+	if v.zipf == nil {
+		return v.fixed
+	}
+	return 1 + int(v.zipf.Next()) // rank 0 (the hot rank) is the 1-byte value
+}
+
+// Max returns the largest size Next can produce, for buffer pre-allocation.
+func (v *ValueSizer) Max() int { return v.fixed }
+
+// FillValue writes the canonical n-byte value for key k into dst's first n
+// bytes, growing dst if needed, and returns the filled slice. The contents
+// are a cheap splitmix-style keyed byte sequence: any reader can recompute
+// the expected value from (key, length) alone and verify reads end to end
+// without keeping a shadow copy of the dataset.
+func FillValue(dst []byte, k uint64, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	x := k ^ 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		if i&7 == 0 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		dst[i] = byte(x >> ((i & 7) * 8))
+	}
+	return dst
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestByteKeyStreamDeterministicAndConsistent(t *testing.T) {
+	a := NewByteKeyStream(9, 1000, 0.9)
+	b := NewByteKeyStream(9, 1000, 0.9)
+	u := NewKeyStream(9, 1000, 0.9)
+	for i := 0; i < 2000; i++ {
+		ka := append([]byte(nil), a.Next()...)
+		if !bytes.Equal(ka, b.Next()) {
+			t.Fatalf("draw %d: same-seed streams diverged", i)
+		}
+		// Rank for rank, the string stream names the uint64 stream's keys.
+		if want := AppendByteKey(nil, u.Next()); !bytes.Equal(ka, want) {
+			t.Fatalf("draw %d: %q does not render the uint64 stream's key %q", i, ka, want)
+		}
+	}
+}
+
+func TestUniqueByteKeysMatchLoadPhase(t *testing.T) {
+	// A uniform run-phase stream must only name keys the load phase inserted.
+	keys := UniqueByteKeys(3, 500)
+	loaded := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		loaded[string(k)] = true
+	}
+	s := NewByteKeyStream(3, 500, 0)
+	for i := 0; i < 5000; i++ {
+		if k := s.Next(); !loaded[string(k)] {
+			t.Fatalf("draw %d: stream produced unloaded key %q", i, k)
+		}
+	}
+}
+
+func TestByteKeyStreamZeroAlloc(t *testing.T) {
+	s := NewByteKeyStream(5, 1<<16, 0.99)
+	if avg := testing.AllocsPerRun(1000, func() { s.Next() }); avg != 0 {
+		t.Errorf("ByteKeyStream.Next allocates %.1f per draw, want 0", avg)
+	}
+}
+
+func TestValueSizer(t *testing.T) {
+	fixed := NewValueSizer(1, 64, 0)
+	for i := 0; i < 100; i++ {
+		if n := fixed.Next(); n != 64 {
+			t.Fatalf("fixed sizer returned %d, want 64", n)
+		}
+	}
+	a, b := NewValueSizer(2, 512, 0.99), NewValueSizer(2, 512, 0.99)
+	small := 0
+	for i := 0; i < 10000; i++ {
+		n := a.Next()
+		if n != b.Next() {
+			t.Fatalf("draw %d: same-seed sizers diverged", i)
+		}
+		if n < 1 || n > 512 {
+			t.Fatalf("draw %d: size %d out of [1, 512]", i, n)
+		}
+		if n <= 8 {
+			small++
+		}
+	}
+	// The zipf tail concentrates mass at the small end — that is its point.
+	// Uniform sizing would put ~1.6% of draws at <= 8 bytes; theta 0.99
+	// puts roughly 40% there.
+	if small < 3000 {
+		t.Errorf("only %d/10000 zipf-sized values were <= 8 bytes; tail is not heavy", small)
+	}
+}
+
+func TestFillValue(t *testing.T) {
+	v1 := FillValue(nil, 42, 33)
+	v2 := FillValue(make([]byte, 0, 64), 42, 33)
+	if len(v1) != 33 || !bytes.Equal(v1, v2) {
+		t.Fatal("FillValue is not deterministic in (key, length)")
+	}
+	if bytes.Equal(v1, FillValue(nil, 43, 33)) {
+		t.Fatal("distinct keys produced identical values")
+	}
+	if bytes.Equal(v1[:16], FillValue(nil, 42, 16)) == false {
+		t.Fatal("a shorter fill must be a prefix of the longer one")
+	}
+	if len(FillValue(nil, 7, 0)) != 0 {
+		t.Fatal("zero-length fill must return an empty slice")
+	}
+}

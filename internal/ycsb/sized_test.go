@@ -1,0 +1,48 @@
+package ycsb
+
+import (
+	"testing"
+
+	"dramhit/internal/workload"
+)
+
+// TestGeneratorValueSizes checks the sized-generator contract: writes carry
+// a drawn size, reads carry zero, attaching a sizer perturbs nothing else
+// (keys and kinds match the unsized twin draw for draw), and the whole
+// stream stays deterministic under a fixed seed.
+func TestGeneratorValueSizes(t *testing.T) {
+	const records = 10000
+	plain := NewGenerator(A, records, 7)
+	sized := NewGenerator(A, records, 7).
+		WithValueSizer(workload.NewValueSizer(7, 256, 0.99))
+	again := NewGenerator(A, records, 7).
+		WithValueSizer(workload.NewValueSizer(7, 256, 0.99))
+	writes := 0
+	for i := 0; i < 20000; i++ {
+		p, s, s2 := plain.Next(), sized.Next(), again.Next()
+		if s != s2 {
+			t.Fatalf("op %d: same-seed sized generators diverged", i)
+		}
+		if p.Kind != s.Kind || p.Key != s.Key {
+			t.Fatalf("op %d: sizer changed the op stream: (%v,%d) vs (%v,%d)",
+				i, p.Kind, p.Key, s.Kind, s.Key)
+		}
+		if p.ValueSize != 0 {
+			t.Fatalf("op %d: unsized generator drew ValueSize %d", i, p.ValueSize)
+		}
+		switch s.Kind {
+		case Update, Insert, ReadModifyWrite:
+			if s.ValueSize < 1 || s.ValueSize > 256 {
+				t.Fatalf("op %d: write ValueSize %d out of [1, 256]", i, s.ValueSize)
+			}
+			writes++
+		default:
+			if s.ValueSize != 0 {
+				t.Fatalf("op %d: %v op carries ValueSize %d", i, s.Kind, s.ValueSize)
+			}
+		}
+	}
+	if writes == 0 {
+		t.Fatal("workload A produced no writes")
+	}
+}

@@ -99,6 +99,10 @@ type Op struct {
 	Key  uint64
 	// ScanLen applies to Scan ops (number of point reads to issue).
 	ScanLen int
+	// ValueSize is the write's value length in bytes; 0 unless a value
+	// sizer is attached (see WithValueSizer), in which case Update, Insert
+	// and ReadModifyWrite ops carry their drawn size.
+	ValueSize int
 }
 
 // Generator produces a deterministic operation stream for one worker.
@@ -113,6 +117,9 @@ type Generator struct {
 	miss    float64
 	missRng *rand.Rand
 	records uint64
+	// sizer, when attached, draws a value size for every write op (the
+	// byte-KV benchmarks use it; uint64 runs leave it nil and ValueSize 0).
+	sizer *workload.ValueSizer
 }
 
 // missRankBase offsets miss ranks far above both the loaded population
@@ -180,6 +187,21 @@ func NewGeneratorMissTheta(mix Mix, records uint64, seed int64, miss, theta floa
 	return g
 }
 
+// WithValueSizer attaches a value-size stream: every Update, Insert and
+// ReadModifyWrite op draws its ValueSize from it. Returns g for chaining.
+func (g *Generator) WithValueSizer(vs *workload.ValueSizer) *Generator {
+	g.sizer = vs
+	return g
+}
+
+// writeSize draws the next write's value size (0 when no sizer is attached).
+func (g *Generator) writeSize() int {
+	if g.sizer == nil {
+		return 0
+	}
+	return g.sizer.Next()
+}
+
 // readKey draws a Read key, honoring the miss ratio.
 func (g *Generator) readKey() uint64 {
 	if g.missRng != nil && g.missRng.Float64() < g.miss {
@@ -203,14 +225,14 @@ func (g *Generator) Next() Op {
 	case r < m.Read:
 		return Op{Kind: Read, Key: g.readKey()}
 	case r < m.Read+m.Update:
-		return Op{Kind: Update, Key: g.keys.Next()}
+		return Op{Kind: Update, Key: g.keys.Next(), ValueSize: g.writeSize()}
 	case r < m.Read+m.Update+m.Insert:
 		g.inserted++
-		return Op{Kind: Insert, Key: workload.ScrambleRank(g.inserted, g.salt)}
+		return Op{Kind: Insert, Key: workload.ScrambleRank(g.inserted, g.salt), ValueSize: g.writeSize()}
 	case r < m.Read+m.Update+m.Insert+m.Scan:
 		return Op{Kind: Scan, Key: g.keys.Next(), ScanLen: 1 + g.rng.Intn(g.maxScan)}
 	default:
-		return Op{Kind: ReadModifyWrite, Key: g.keys.Next()}
+		return Op{Kind: ReadModifyWrite, Key: g.keys.Next(), ValueSize: g.writeSize()}
 	}
 }
 
