@@ -40,6 +40,7 @@ func main() {
 	governorjson := flag.String("governorjson", "", "run the governor-ab experiment and write its machine-readable summary (schema "+bench.GovernorSchema+") to this path")
 	shardjson := flag.String("shardjson", "", "run the shard-ab experiment and write its machine-readable summary (schema "+bench.ShardSchema+") to this path")
 	layoutjson := flag.String("layoutjson", "", "run the layout-ab experiment and write its machine-readable summary (schema "+bench.LayoutSchema+") to this path")
+	introspectjson := flag.String("introspectjson", "", "run the introspect-ab experiment and write its machine-readable summary (schema "+bench.IntrospectSchema+") to this path")
 	layoutFlag := flag.String("layout", "flat", "physical slot layout for the real-execution experiments that honor it: flat|bucket (layout-ab runs both by construction)")
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dramhit-bench: observability on http://%s/metrics\n", srv.Addr)
 	}
-	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" && *shardjson == "" && *layoutjson == "" {
+	if *exp == "" && *benchjson == "" && *resizejson == "" && *governorjson == "" && *shardjson == "" && *layoutjson == "" && *introspectjson == "" {
 		fmt.Fprintln(os.Stderr, "usage: dramhit-bench -exp <id|all> [-quick] [-out dir]; -list shows IDs")
 		os.Exit(2)
 	}
@@ -156,6 +157,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *layoutjson)
+	}
+	if *introspectjson != "" {
+		start := time.Now()
+		a, sum := bench.RunIntrospectAB(cfg)
+		fmt.Print(bench.Format(a))
+		fmt.Printf("(introspect-ab in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		if err := bench.WriteJSONFile(*introspectjson, sum); err != nil {
+			fmt.Fprintln(os.Stderr, "dramhit-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dramhit-bench: wrote %s\n", *introspectjson)
 	}
 	if *resizejson != "" {
 		start := time.Now()

@@ -24,6 +24,12 @@
 // and pprof under /debug/) while it executes; with -json the run's
 // configuration, throughput, and latency percentiles land in a
 // machine-readable file using the same schema as BENCH_ycsb.json entries.
+// Every timed run additionally classifies each operation by kind and
+// outcome (get_hit, get_miss, put, upsert, delete_hit, delete_miss) and
+// reports per-class counts and latency percentiles; -introspect arms the
+// table-side introspection extras on top (the hot-key Space-Saving sketch
+// and per-op-class latency stamping inside the table), whose results land
+// on /metrics, /heatmap and in the JSON summary's hot_keys.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"dramhit/internal/bench"
 	"dramhit/internal/latency"
 	"dramhit/internal/obs"
+	"dramhit/internal/table"
 	"dramhit/internal/workload"
 	"dramhit/internal/ycsb"
 )
@@ -59,6 +66,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the run summary (config, Mops, latency percentiles) as JSON to this path")
 	metrics := flag.String("metrics", "", "serve observability on this address during the run, e.g. :8090")
 	observe := flag.Bool("observe", false, "attach the observability registry to the table even without -metrics")
+	introspect := flag.Bool("introspect", false, "arm table-side introspection (hot-key sketch + per-op-class latency stamping); implies -observe")
 	latsink := flag.String("latsink", "hist", "latency sink: hist (log-bucketed, zero-alloc, mergeable) | exact (reservoir + exact CDF)")
 	layoutFlag := flag.String("layout", "flat", "physical slot layout (dramhit and dramhit-p backends): flat | bucket")
 	valueSize := flag.Int("valuesize", 0, "run as a byte-string KV workload with values up to this many bytes (requires -layout bucket); 0 keeps the uint64 workload")
@@ -130,8 +138,14 @@ func main() {
 	// for: observation off must cost nothing); latReg always exists so the
 	// histogram latency sink has worker shards to record into.
 	var reg *dramhit.Observability
-	if *metrics != "" || *observe {
+	if *metrics != "" || *observe || *introspect {
 		reg = dramhit.NewObservability()
+	}
+	if *introspect {
+		// Arm before any table or handle is created: workers pick up their
+		// sketch shard and latency stamping at creation time.
+		reg.EnableHotKeys(0)
+		reg.EnableOpLatency()
 	}
 	latReg := reg
 	if latReg == nil {
@@ -269,13 +283,20 @@ func main() {
 	useHist := *latsink == "hist"
 	recs := make([]*latency.Recorder, *workers)
 	hists := make([]*obs.Histogram, *workers)
+	opws := make([]*obs.Worker, *workers)
 	for i := 0; i < *workers; i++ {
 		if useHist {
-			hists[i] = &latReg.Worker(fmt.Sprintf("loadgen-w%d", i)).Lat
+			w := latReg.Worker(fmt.Sprintf("loadgen-w%d", i))
+			hists[i] = &w.Lat
+			opws[i] = w
 		} else {
 			recs[i] = latency.NewRecorder(1 << 18)
 		}
 	}
+	// Per-op-class accounting is client-side (loadgen's own clock), so it
+	// costs the table nothing and works on every backend: counts always,
+	// per-class latency histograms when the histogram sink is active.
+	opCounts := make([][obs.NumOpClasses]uint64, *workers)
 
 	// With -splitat, a driver goroutine watches run progress and forces a
 	// live shard split once the requested fraction of the timed ops has
@@ -322,57 +343,74 @@ func main() {
 			defer wg.Done()
 			v := mkView(wi)
 			g := ycsb.NewGeneratorMissTheta(mix, *records, int64(wi+1), *missRatio, *theta)
-			// exec runs one operation against the view: uint64 values by
-			// default, rendered byte keys and sized byte values in byte mode.
-			exec := func(op ycsb.Op, i int) {
+			// exec runs one operation against the view and reports its op
+			// class: uint64 values by default, rendered byte keys and sized
+			// byte values in byte mode. A read-modify-write counts as one
+			// upsert (its latency covers both halves); a scan is classed by
+			// its first probe's outcome.
+			exec := func(op ycsb.Op, i int) int {
 				switch op.Kind {
 				case ycsb.Read:
-					v.get(op.Key)
+					_, ok := v.get(op.Key)
+					return obs.OpClass(table.Get, ok)
 				case ycsb.Update, ycsb.Insert:
 					v.put(op.Key, uint64(i))
+					return obs.OpClass(table.Put, true)
 				case ycsb.ReadModifyWrite:
 					if old, ok := v.get(op.Key); ok {
 						v.put(op.Key, old+1)
 					} else {
 						v.put(op.Key, 1)
 					}
+					return obs.OpClass(table.Upsert, true)
 				case ycsb.Scan:
-					for j := 0; j < op.ScanLen; j++ {
+					_, first := v.get(op.Key)
+					for j := 1; j < op.ScanLen; j++ {
 						v.get(op.Key + uint64(j))
 					}
+					return obs.OpClass(table.Get, first)
 				}
+				return obs.OpClass(table.Get, false)
 			}
 			if byteMode {
 				g.WithValueSizer(workload.NewValueSizer(int64(wi+1), *valueSize, *valueTheta))
 				var kb, vb []byte
-				exec = func(op ycsb.Op, i int) {
+				exec = func(op ycsb.Op, i int) int {
 					kb = workload.AppendByteKey(kb[:0], op.Key)
 					switch op.Kind {
 					case ycsb.Read:
-						v.getB(kb)
+						return obs.OpClass(table.Get, v.getB(kb))
 					case ycsb.Update, ycsb.Insert:
 						vb = workload.FillValue(vb, op.Key, op.ValueSize)
 						v.putB(kb, vb)
+						return obs.OpClass(table.Put, true)
 					case ycsb.ReadModifyWrite:
 						v.getB(kb)
 						vb = workload.FillValue(vb, op.Key, op.ValueSize)
 						v.putB(kb, vb)
+						return obs.OpClass(table.Upsert, true)
 					case ycsb.Scan:
-						for j := 0; j < op.ScanLen; j++ {
+						first := v.getB(kb)
+						for j := 1; j < op.ScanLen; j++ {
 							kb = workload.AppendByteKey(kb[:0], op.Key+uint64(j))
 							v.getB(kb)
 						}
+						return obs.OpClass(table.Get, first)
 					}
+					return obs.OpClass(table.Get, false)
 				}
 			}
-			rec, hist := recs[wi], hists[wi]
+			rec, hist, ow := recs[wi], hists[wi], opws[wi]
+			var cnt [obs.NumOpClasses]uint64
 			for i := 0; i < perWorker; i++ {
 				op := g.Next()
 				t0 := time.Now()
-				exec(op, i)
+				cls := exec(op, i)
 				ns := time.Since(t0).Nanoseconds()
+				cnt[cls]++
 				if hist != nil {
 					hist.Record(uint64(ns))
+					ow.Op[cls].Record(uint64(ns))
 				} else {
 					rec.Add(float64(ns))
 				}
@@ -380,6 +418,7 @@ func main() {
 					opsDone.Add(1)
 				}
 			}
+			opCounts[wi] = cnt
 			v.fin()
 		}(wi)
 	}
@@ -418,6 +457,34 @@ func main() {
 		}
 	}
 
+	// Per-op-class rollup: counts from every worker, latency summaries from
+	// the merged per-class histograms (histogram sink only).
+	var clsTotals [obs.NumOpClasses]uint64
+	for _, c := range opCounts {
+		for cls, n := range c {
+			clsTotals[cls] += n
+		}
+	}
+	opsByType := map[string]uint64{}
+	for cls, n := range clsTotals {
+		if n != 0 {
+			opsByType[obs.OpClassNames[cls]] = n
+		}
+	}
+	var opLatNS map[string]bench.Percentiles
+	if useHist {
+		opLatNS = map[string]bench.Percentiles{}
+		for cls := 0; cls < obs.NumOpClasses; cls++ {
+			var m obs.Histogram
+			for _, w := range opws {
+				m.Merge(&w.Op[cls])
+			}
+			if m.Count() != 0 {
+				opLatNS[obs.OpClassNames[cls]] = bench.PercentilesFromHistogram(&m)
+			}
+		}
+	}
+
 	missNote := ""
 	if *missRatio > 0 {
 		missNote = fmt.Sprintf(", miss %.0f%%", *missRatio*100)
@@ -451,6 +518,28 @@ func main() {
 			fmt.Printf("  worker %d latency ns: %s\n", wi, r.CDF().String())
 		}
 	}
+	for cls := 0; cls < obs.NumOpClasses; cls++ {
+		name := obs.OpClassNames[cls]
+		n := clsTotals[cls]
+		if n == 0 {
+			continue
+		}
+		if p, ok := opLatNS[name]; ok {
+			fmt.Printf("  %-11s %9d ops  p50=%.0f p99=%.0f p99.9=%.0f mean=%.0f ns\n",
+				name, n, p.P50, p.P99, p.P999, p.Mean)
+		} else {
+			fmt.Printf("  %-11s %9d ops\n", name, n)
+		}
+	}
+	if *introspect {
+		if top := reg.TopKeys(8); len(top) > 0 {
+			fmt.Printf("  hot keys (count±err):")
+			for _, it := range top {
+				fmt.Printf(" %#x=%d±%d", it.Key, it.Count, it.Err)
+			}
+			fmt.Println()
+		}
+	}
 	if shmap != nil {
 		st := shmap.Stats()
 		fmt.Printf("  shards: %d (depth %d, splits %d, chunks helped %d)\n",
@@ -482,6 +571,11 @@ func main() {
 			// The merged log-bucketed distribution rides along when the
 			// histogram sink is active (-latsink hist, the default).
 			LatencyHist: latHist,
+			OpsByType:   opsByType,
+			OpLatencyNS: opLatNS,
+		}
+		if *introspect {
+			res.HotKeys = reg.TopKeys(16)
 		}
 		if governor != dramhit.GovernorOff {
 			res.Governor = governor.String()

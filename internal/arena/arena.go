@@ -142,6 +142,36 @@ func (a *Arena) Segments() (total, live int) {
 // Freed returns the number of segments unlinked so far.
 func (a *Arena) Freed() uint64 { return a.freed.Load() }
 
+// SegmentStat is one linked segment's scrape-time utilization: bytes
+// appended, bytes retired (Used-Dead is the live payload), the segment's
+// capacity, and whether its owner moved on (Used is final).
+type SegmentStat struct {
+	Used   uint64 `json:"used"`
+	Dead   uint64 `json:"dead"`
+	Cap    uint64 `json:"cap"`
+	Sealed bool   `json:"sealed"`
+}
+
+// SegmentStats returns per-segment utilization for the still-linked
+// segments, in directory order. Scrape-time only; the counters are atomic
+// reads against live writers.
+func (a *Arena) SegmentStats() []SegmentStat {
+	segs := *a.segs.Load()
+	out := make([]SegmentStat, 0, len(segs))
+	for _, s := range segs {
+		if s == nil {
+			continue
+		}
+		out = append(out, SegmentStat{
+			Used:   s.used.Load(),
+			Dead:   s.dead.Load(),
+			Cap:    uint64(len(s.buf)),
+			Sealed: s.sealed.Load(),
+		})
+	}
+	return out
+}
+
 // newSegment allocates a segment of at least n bytes, links it into the
 // directory, and returns it with its index.
 func (a *Arena) newSegment(n int) (*segment, uint32) {

@@ -1,0 +1,206 @@
+// Benchmark regression diffing: compare two BENCH_*.json artifacts (or any
+// pair of JSON documents) metric by metric, with a relative tolerance and a
+// direction per metric. This is the library under cmd/benchdiff, the CI
+// gate that turns "the committed baseline says X, this run says Y" into a
+// red build when Y regresses past the tolerance.
+package bench
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// FlattenJSON reduces a decoded JSON document (the result of json.Unmarshal
+// into any) to a path → value map over its numeric leaves. Object fields
+// join with "."; array elements key by their "name" field when every
+// element is an object carrying a unique string name (the shape of every
+// runs[] array in BENCH_*.json — stable under reordering), by index
+// otherwise. Booleans count as 0/1; strings and nulls are dropped.
+func FlattenJSON(doc any) map[string]float64 {
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out
+}
+
+func flatten(path string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			flatten(join(path, k), e, out)
+		}
+	case []any:
+		if names, ok := uniqueNames(x); ok {
+			for i, e := range x {
+				flatten(join(path, names[i]), e, out)
+			}
+			return
+		}
+		for i, e := range x {
+			flatten(join(path, strconv.Itoa(i)), e, out)
+		}
+	case float64:
+		out[path] = x
+	case bool:
+		if x {
+			out[path] = 1
+		} else {
+			out[path] = 0
+		}
+	}
+}
+
+func join(path, k string) string {
+	if path == "" {
+		return k
+	}
+	return path + "." + k
+}
+
+// uniqueNames reports the per-element "name" keys of arr if every element
+// is an object with a distinct non-empty string name.
+func uniqueNames(arr []any) ([]string, bool) {
+	if len(arr) == 0 {
+		return nil, false
+	}
+	names := make([]string, len(arr))
+	seen := map[string]bool{}
+	for i, e := range arr {
+		obj, ok := e.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		name, ok := obj["name"].(string)
+		if !ok || name == "" || seen[name] {
+			return nil, false
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	return names, true
+}
+
+// DiffOptions selects and judges the compared metrics.
+type DiffOptions struct {
+	// Tol is the relative tolerance: |new-old|/|old| beyond it in the bad
+	// direction is a regression. 0 means the default 0.15.
+	Tol float64
+	// Metrics selects which flattened paths are compared (nil: paths ending
+	// in "mops" — the throughput headline of every benchmark artifact).
+	Metrics *regexp.Regexp
+	// LowerBetter marks selected paths where an increase is the regression
+	// direction (latencies, probe costs). Nil: higher is always better.
+	LowerBetter *regexp.Regexp
+	// MinMetrics is the smallest acceptable number of compared paths; a
+	// diff matching fewer is an error, not a pass (a renamed metric must
+	// not silently disarm the gate). 0 means 1.
+	MinMetrics int
+}
+
+// DefaultMetrics matches the throughput headline of every BENCH artifact.
+var DefaultMetrics = regexp.MustCompile(`(^|\.)mops$`)
+
+// DiffRow is one compared metric.
+type DiffRow struct {
+	Path        string  `json:"path"`
+	Old         float64 `json:"old"`
+	New         float64 `json:"new"`
+	Delta       float64 `json:"delta"` // (new-old)/|old|; +Inf shape avoided by the old==0 guard
+	LowerBetter bool    `json:"lower_better,omitempty"`
+	Regression  bool    `json:"regression,omitempty"`
+	Improvement bool    `json:"improvement,omitempty"`
+}
+
+// DiffReport is the full comparison: every compared row (sorted by path),
+// plus the selected paths present on only one side — a missing metric is a
+// regression signal in its own right (the run lost coverage), a new one is
+// informational.
+type DiffReport struct {
+	Rows        []DiffRow `json:"rows"`
+	Missing     []string  `json:"missing,omitempty"`
+	Added       []string  `json:"added,omitempty"`
+	Regressions int       `json:"regressions"`
+	Tol         float64   `json:"tol"`
+}
+
+// Failed reports whether the diff should gate: any row regressed past the
+// tolerance, or a previously present metric disappeared.
+func (r *DiffReport) Failed() bool { return r.Regressions > 0 || len(r.Missing) > 0 }
+
+// Diff compares two decoded JSON documents under opts.
+func Diff(oldDoc, newDoc any, opts DiffOptions) (*DiffReport, error) {
+	tol := opts.Tol
+	if tol == 0 {
+		tol = 0.15
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("tolerance must be positive, got %v", tol)
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = DefaultMetrics
+	}
+	minMetrics := opts.MinMetrics
+	if minMetrics == 0 {
+		minMetrics = 1
+	}
+
+	oldF, newF := FlattenJSON(oldDoc), FlattenJSON(newDoc)
+	rep := &DiffReport{Tol: tol}
+	for path, ov := range oldF {
+		if !metrics.MatchString(path) {
+			continue
+		}
+		nv, ok := newF[path]
+		if !ok {
+			rep.Missing = append(rep.Missing, path)
+			continue
+		}
+		row := DiffRow{Path: path, Old: ov, New: nv,
+			LowerBetter: opts.LowerBetter != nil && opts.LowerBetter.MatchString(path)}
+		switch {
+		case ov == nv:
+			// exact match (covers 0 == 0)
+		case ov == 0:
+			// No relative scale: any appearance from zero is only judged by
+			// direction, never within tolerance.
+			worse := nv > 0 == row.LowerBetter
+			row.Delta = 0
+			row.Regression = worse
+			row.Improvement = !worse
+		default:
+			abs := ov
+			if abs < 0 {
+				abs = -abs
+			}
+			row.Delta = (nv - ov) / abs
+			bad := row.Delta
+			if row.LowerBetter {
+				bad = -bad
+			}
+			// bad < 0 now means the metric moved in the losing direction.
+			row.Regression = bad < -tol
+			row.Improvement = bad > tol
+		}
+		if row.Regression {
+			rep.Regressions++
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	for path := range newF {
+		if metrics.MatchString(path) {
+			if _, ok := oldF[path]; !ok {
+				rep.Added = append(rep.Added, path)
+			}
+		}
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Path < rep.Rows[j].Path })
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Added)
+	if len(rep.Rows)+len(rep.Missing) < minMetrics {
+		return nil, fmt.Errorf("only %d metrics matched %q (want >= %d) — gate would be vacuous",
+			len(rep.Rows)+len(rep.Missing), metrics, minMetrics)
+	}
+	return rep, nil
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+)
+
+func decode(t *testing.T, s string) any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestFlattenJSON pins the path grammar: dotted objects, name-keyed arrays
+// of named objects, index-keyed arrays otherwise, numeric leaves only.
+func TestFlattenJSON(t *testing.T) {
+	doc := decode(t, `{
+		"schema": "x/v1",
+		"quick": true,
+		"runs": [
+			{"name": "a", "mops": 10, "latency_ns": {"p50": 100}},
+			{"name": "b", "mops": 20}
+		],
+		"points": [1, 2, 3]
+	}`)
+	f := FlattenJSON(doc)
+	want := map[string]float64{
+		"quick":                 1,
+		"runs.a.mops":           10,
+		"runs.a.latency_ns.p50": 100,
+		"runs.b.mops":           20,
+		"points.0":              1,
+		"points.1":              2,
+		"points.2":              3,
+	}
+	for k, v := range want {
+		if f[k] != v {
+			t.Errorf("flat[%q] = %v, want %v", k, f[k], v)
+		}
+	}
+	if _, ok := f["schema"]; ok {
+		t.Error("string leaf flattened to a metric")
+	}
+	// Duplicate names fall back to index keying.
+	dup := decode(t, `{"runs": [{"name": "a", "m": 1}, {"name": "a", "m": 2}]}`)
+	fd := FlattenJSON(dup)
+	if fd["runs.0.m"] != 1 || fd["runs.1.m"] != 2 {
+		t.Errorf("duplicate-name array not index-keyed: %v", fd)
+	}
+}
+
+// TestDiffWithinTolerance: a 10% wobble under the 15% gate passes, and run
+// reordering does not shift paths.
+func TestDiffWithinTolerance(t *testing.T) {
+	oldDoc := decode(t, `{"runs": [{"name": "a", "mops": 10}, {"name": "b", "mops": 20}]}`)
+	newDoc := decode(t, `{"runs": [{"name": "b", "mops": 21.9}, {"name": "a", "mops": 9.0}]}`)
+	rep, err := Diff(oldDoc, newDoc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("10%% wobble failed the 15%% gate: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+}
+
+// TestDiffRegression: the CI demonstration case — a synthetic −20% on a
+// throughput metric must gate.
+func TestDiffRegression(t *testing.T) {
+	oldDoc := decode(t, `{"runs": [{"name": "a", "mops": 10}, {"name": "b", "mops": 20}]}`)
+	newDoc := decode(t, `{"runs": [{"name": "a", "mops": 8}, {"name": "b", "mops": 20}]}`)
+	rep, err := Diff(oldDoc, newDoc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("-20%% did not gate: %+v", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.Path == "runs.a.mops" && !row.Regression {
+			t.Errorf("runs.a.mops not flagged: %+v", row)
+		}
+		if row.Path == "runs.b.mops" && (row.Regression || row.Improvement) {
+			t.Errorf("unchanged metric flagged: %+v", row)
+		}
+	}
+}
+
+// TestDiffLowerBetter: latency metrics gate on increase, pass on decrease.
+func TestDiffLowerBetter(t *testing.T) {
+	oldDoc := decode(t, `{"lat": {"p99": 100}, "mops": 10}`)
+	upDoc := decode(t, `{"lat": {"p99": 140}, "mops": 10}`)
+	opts := DiffOptions{
+		Metrics:     regexp.MustCompile(`p99|mops`),
+		LowerBetter: regexp.MustCompile(`lat`),
+	}
+	rep, err := Diff(oldDoc, upDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 1 {
+		t.Fatalf("+40%% latency did not gate: %+v", rep)
+	}
+	downDoc := decode(t, `{"lat": {"p99": 60}, "mops": 10}`)
+	rep, err = Diff(oldDoc, downDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("-40%% latency gated: %+v", rep)
+	}
+}
+
+// TestDiffMissingMetric: losing a previously present metric fails the gate
+// (coverage loss is not a pass).
+func TestDiffMissingMetric(t *testing.T) {
+	oldDoc := decode(t, `{"runs": [{"name": "a", "mops": 10}, {"name": "b", "mops": 20}]}`)
+	newDoc := decode(t, `{"runs": [{"name": "a", "mops": 10}]}`)
+	rep, err := Diff(oldDoc, newDoc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || len(rep.Missing) != 1 || rep.Missing[0] != "runs.b.mops" {
+		t.Fatalf("missing metric not flagged: %+v", rep)
+	}
+}
+
+// TestDiffVacuousGate: a metrics regexp that matches nothing is an error,
+// never a pass.
+func TestDiffVacuousGate(t *testing.T) {
+	oldDoc := decode(t, `{"mops": 10}`)
+	if _, err := Diff(oldDoc, oldDoc, DiffOptions{Metrics: regexp.MustCompile(`nonexistent`)}); err == nil {
+		t.Fatal("zero matched metrics did not error")
+	}
+}
+
+// TestDiffZeroBaseline: no relative scale at old == 0 — judged by direction
+// only, and 0 → 0 is an exact pass.
+func TestDiffZeroBaseline(t *testing.T) {
+	oldDoc := decode(t, `{"a": {"mops": 0}, "b": {"mops": 0}}`)
+	newDoc := decode(t, `{"a": {"mops": 5}, "b": {"mops": 0}}`)
+	rep, err := Diff(oldDoc, newDoc, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("throughput appearing from zero gated: %+v", rep)
+	}
+}

@@ -97,6 +97,14 @@ type RunResult struct {
 	// LatencyHist is the merged log-bucketed distribution (occupied buckets
 	// only), for consumers that need more than the fixed percentiles.
 	LatencyHist []obs.HistBucket `json:"latency_hist,omitempty"`
+	// OpsByType counts timed operations per op class (get_hit, get_miss,
+	// put, upsert, delete_hit, delete_miss) and OpLatencyNS summarizes each
+	// class's client-side latency distribution; HotKeys is the merged
+	// Space-Saving hot-key ranking when the run was introspected
+	// (loadgen -introspect).
+	OpsByType   map[string]uint64      `json:"ops_by_type,omitempty"`
+	OpLatencyNS map[string]Percentiles `json:"op_latency_ns,omitempty"`
+	HotKeys     []obs.TopKItem         `json:"hot_keys,omitempty"`
 }
 
 // YCSBSummary is the top-level BENCH_ycsb.json document.

@@ -36,16 +36,19 @@ func (h *Handle) submitDirect(reqs []table.Request, resps []table.Response) (nre
 	if h.t.bkt != nil {
 		return h.submitDirectBucket(reqs, resps)
 	}
-	obsOn := h.trace != nil || h.onComplete != nil
+	obsOn := h.trace != nil || h.onComplete != nil || h.opLat
 	for nreq < len(reqs) {
 		req := reqs[nreq]
 		if req.Op == table.Get && nresp >= len(resps) {
 			return nreq, nresp
 		}
+		if h.hot != nil {
+			h.hot.Offer(req.Key)
+		}
 		var traceID uint64
 		var startNS int64
 		if obsOn {
-			if h.onComplete != nil {
+			if h.onComplete != nil || h.opLat {
 				startNS = time.Now().UnixNano()
 			}
 			if h.trace != nil {

@@ -221,6 +221,7 @@ func New(cfg Config) *Table {
 				"handles": float64(t.nhandle.Load()),
 			}
 		})
+		t.obsReg.AddHeatmapSource("dramhit", t.heatmap)
 	}
 	return t
 }
@@ -410,6 +411,12 @@ type Handle struct {
 	traceCnt   int
 	pubCnt     int    // Submit calls since the last throttled publish
 	occMax     uint64 // high-water pipeline occupancy since creation
+	// hot is the worker's hot-key sketch shard (nil unless the registry has
+	// hot keys enabled): every submitted key is offered, one predictable nil
+	// check per request otherwise. opLat arms per-op-class latency stamping
+	// (two clock reads per op, priced like onComplete).
+	hot   *obs.TopK
+	opLat bool
 
 	// onComplete, when set, receives every completed request and its
 	// latency in nanoseconds (used by the Figure 9 latency experiment).
@@ -459,6 +466,8 @@ func (t *Table) NewHandle() *Handle {
 		h.obsw = t.obsReg.Worker("dramhit-h" + strconv.FormatInt(n-1, 10))
 		h.trace = t.obsReg.Trace()
 		h.traceEvery = t.obsReg.TraceSampleN()
+		h.hot = h.obsw.Hot
+		h.opLat = t.obsReg.OpLatencyEnabled()
 	}
 	if t.gov != nil {
 		h.gov = t.gov
@@ -653,6 +662,12 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 			// uncombined pipeline's speed.
 			if tag := table.TagOf(hv); h.tagcnt[tag] != 0 {
 				if pos := h.combineScan(req.Key, tag); pos >= 0 && h.tryCombine(req, pos) {
+					// The sketch feed sits on the combining sidecar path: a
+					// merged request is exactly a repeated key, the signal the
+					// hot-key ranking exists to surface.
+					if h.hot != nil {
+						h.hot.OfferSampled(req.Key)
+					}
 					nreq++
 					continue
 				}
@@ -665,8 +680,13 @@ func (h *Handle) Submit(reqs []table.Request, resps []table.Response) (nreq, nre
 			}
 			_ = wrote
 		}
+		// Feed after the backpressure loop so a blocked-and-resubmitted
+		// request is counted once, at the submission that actually enqueues.
+		if h.hot != nil {
+			h.hot.OfferSampled(req.Key)
+		}
 		p := pending{req: req}
-		if h.onComplete != nil {
+		if h.onComplete != nil || h.opLat {
 			p.startNS = time.Now().UnixNano()
 		}
 		if h.trace != nil {
@@ -965,17 +985,23 @@ func (h *Handle) finish(p pending, op table.Op, hit bool) {
 		}
 		h.trace.Record(p.trace, obs.EvComplete, uint8(op), p.req.Key, arg)
 	}
-	if h.onComplete != nil {
-		// startNS is only stamped at Submit when the hook was already
-		// installed; a request that predates SetLatencyHook completes with a
-		// zero latency instead of a nonsense now-minus-zero reading (and
-		// skips the second time.Now() call entirely). When the hook is unset
-		// this branch is the whole cost: no timestamps are taken anywhere.
+	if h.onComplete != nil || h.opLat {
+		// startNS is only stamped at Submit when a latency consumer (the
+		// hook or per-op histograms) was already armed; a request that
+		// predates it completes with a zero latency instead of a nonsense
+		// now-minus-zero reading (and skips the second time.Now() call
+		// entirely). When neither is armed this branch is the whole cost:
+		// no timestamps are taken anywhere.
 		var lat time.Duration
 		if p.startNS != 0 {
 			lat = time.Duration(time.Now().UnixNano() - p.startNS)
+			if h.opLat {
+				h.obsw.Op[obs.OpClass(op, hit)].Record(uint64(lat))
+			}
 		}
-		h.onComplete(p.req, lat)
+		if h.onComplete != nil {
+			h.onComplete(p.req, lat)
+		}
 	}
 }
 

@@ -1,0 +1,23 @@
+package dramhit
+
+import (
+	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
+	"dramhit/internal/slotarr"
+)
+
+// heatmap is the table's registered obs heatmap source. Both layouts
+// delegate to the slotarr walkers: the flat side re-derives displacement
+// from stored keys (the home function is the same fastrange-of-hash the
+// probe paths use, so probe_lines is exactly the lines-touched a cold Get
+// of that key pays), the bucket side folds the ScanBuckets walk with the
+// arena's segment accounting. Scrape-time work only — nothing on the op
+// paths feeds it.
+func (t *Table) heatmap() obs.Heatmap {
+	if t.bkt != nil {
+		return slotarr.BucketHeatmap(t.bkt, 0)
+	}
+	return slotarr.FlatHeatmap(t.arr, func(k uint64) uint64 {
+		return hashfn.Fastrange(t.hash(k), t.size)
+	}, 0)
+}

@@ -195,12 +195,18 @@ func TestObserveParks(t *testing.T) {
 // observation off AND on (the merged-Get arena and worker shard are
 // allocated up front / on first use, so steady state allocates nothing).
 func TestObserveZeroAlloc(t *testing.T) {
+	armed := obs.NewWith(4096, 8)
+	armed.EnableHotKeys(256)
+	armed.EnableOpLatency()
 	for _, mode := range []struct {
 		name string
 		reg  *obs.Registry
 	}{
 		{"off", nil},
 		{"on", obs.NewWith(4096, 8)},
+		// The introspection arms must not buy their data with allocations:
+		// TopK.Offer and the per-op-class histograms are allocation-free.
+		{"hotkeys+oplat", armed},
 	} {
 		tb := New(Config{Slots: 1 << 14, Observe: mode.reg})
 		h := tb.NewHandle()
@@ -221,6 +227,20 @@ func TestObserveZeroAlloc(t *testing.T) {
 		run() // warm the merged-node arena
 		if n := testing.AllocsPerRun(5, run); n != 0 {
 			t.Errorf("observe %s: %v allocs per batch, want 0", mode.name, n)
+		}
+	}
+	// The armed registry must actually have collected: hot keys in the
+	// sketch, latencies in every exercised op class.
+	snap := armed.TakeSnapshot()
+	if len(snap.HotKeys) == 0 {
+		t.Error("armed registry collected no hot keys")
+	}
+	if len(snap.OpLatency) == 0 {
+		t.Error("armed registry collected no op latencies")
+	}
+	for _, class := range []string{"get_hit", "put", "upsert"} {
+		if snap.OpLatency[class].Count == 0 {
+			t.Errorf("op class %s: no latencies recorded", class)
 		}
 	}
 }

@@ -24,6 +24,7 @@ package dramhitp
 
 import (
 	"math/bits"
+	"time"
 
 	"dramhit/internal/delegation"
 	"dramhit/internal/obs"
@@ -253,6 +254,11 @@ func (r *ReadHandle) retire(p rpending, v uint64, ok bool, resps []table.Respons
 	resps[*nresp] = table.Response{ID: p.id, Value: v, Found: ok}
 	*nresp++
 	r.complete(ok)
+	if p.start != 0 {
+		// Pipeline residency of the leader: submit to retire. Piggybacked
+		// chain members share the leader's probe and are not re-timed.
+		r.obsw.Op[obs.OpClass(table.Get, ok)].Record(uint64(time.Now().UnixNano() - p.start))
+	}
 	if p.trace != 0 {
 		var arg uint32
 		if ok {

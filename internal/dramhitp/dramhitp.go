@@ -276,6 +276,7 @@ func New(cfg Config) *Table {
 				"partitions": float64(t.Partitions()),
 			}
 		})
+		t.obsReg.AddHeatmapSource("dramhitp", t.heatmap)
 		if t.gov != nil {
 			// Distinct source name from the core table's "governor" so a
 			// process embedding both tables scrapes both controllers.

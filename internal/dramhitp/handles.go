@@ -33,6 +33,12 @@ type WriteHandle struct {
 	// into obsw at Flush/Barrier/Close boundaries).
 	sends uint64
 	obsw  *obs.Worker
+	// hot feeds the writer's hot-key sketch (nil unless the registry armed
+	// EnableHotKeys); opLat times the synchronous submission cost of each
+	// update — the delegation send or the local coalesce, not the owner-side
+	// apply, which is what this handle can observe.
+	hot   *obs.TopK
+	opLat bool
 	// wbhs holds this writer's per-partition bucket-engine handles (non-nil
 	// iff the table's Layout is bucket). The byte-string operations execute
 	// through them synchronously — direct to the engine, not delegated: a
@@ -54,6 +60,8 @@ func (t *Table) NewWriteHandle() *WriteHandle {
 	}
 	if t.obsReg != nil {
 		w.obsw = t.obsReg.Worker("dramhitp-w" + strconv.Itoa(id))
+		w.hot = w.obsw.Hot
+		w.opLat = t.obsReg.OpLatencyEnabled()
 	}
 	return w
 }
@@ -133,35 +141,74 @@ func (w *WriteHandle) send(op table.Op, key, value uint64) bool {
 	return true
 }
 
+// opStart/opEnd time the submission-side cost of one update into the
+// handle's per-op-class histograms when the registry armed EnableOpLatency.
+// The owner-side apply is asynchronous by design; Barrier is the
+// read-your-writes point, so the distribution here prices what delegation
+// puts ON the caller's critical path — the paper's argument, in a metric.
+func (w *WriteHandle) opStart() int64 {
+	if w.opLat {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+func (w *WriteHandle) opEnd(start int64, op table.Op, hit bool) {
+	if start != 0 {
+		w.obsw.Op[obs.OpClass(op, hit)].Record(uint64(time.Now().UnixNano() - start))
+	}
+}
+
 // Put requests an insert/overwrite. It returns false if the destination
 // partition is full (the update is dropped, fire-and-forget semantics). A
 // held coalesced Upsert of the same key is released first so the owner
 // applies the two in submission order.
 func (w *WriteHandle) Put(key, value uint64) bool {
+	if w.hot != nil {
+		w.hot.OfferSampled(key)
+	}
+	start := w.opStart()
 	if w.cn > 0 {
 		w.flushKey(key)
 	}
-	return w.send(table.Put, key, value)
+	ok := w.send(table.Put, key, value)
+	w.opEnd(start, table.Put, ok)
+	return ok
 }
 
 // Upsert requests an insert-or-add of delta. With combining on, duplicate
 // keys fold locally (see holdUpsert) and a window of distinct keys rides
 // one delegation flush.
 func (w *WriteHandle) Upsert(key, delta uint64) bool {
+	if w.hot != nil {
+		w.hot.OfferSampled(key)
+	}
+	start := w.opStart()
+	var ok bool
 	if !w.coalesce ||
 		(w.t.layout != table.LayoutBucket && w.t.side.For(key) != nil) {
-		return w.send(table.Upsert, key, delta)
+		ok = w.send(table.Upsert, key, delta)
+	} else {
+		ok = w.holdUpsert(key, delta)
 	}
-	return w.holdUpsert(key, delta)
+	w.opEnd(start, table.Upsert, ok)
+	return ok
 }
 
 // Delete requests a tombstone, releasing any held same-key Upsert first so
 // the owner applies the two in submission order.
 func (w *WriteHandle) Delete(key uint64) {
+	if w.hot != nil {
+		w.hot.OfferSampled(key)
+	}
+	start := w.opStart()
 	if w.cn > 0 {
 		w.flushKey(key)
 	}
 	w.send(table.Delete, key, 0)
+	// A delegated delete reports nothing back; class it as a hit (the
+	// delete_miss class is for synchronous tables that observed the miss).
+	w.opEnd(start, table.Delete, true)
 }
 
 // Flush publishes partially filled delegation sections, including any held
@@ -255,6 +302,11 @@ type ReadHandle struct {
 	traceCnt   int
 	pubCnt     int // Submit calls since the last throttled publish
 	occMax     uint64
+	// hot feeds the reader's hot-key sketch at Submit (nil unless armed);
+	// opLat stamps each pending lookup so retire can record pipeline
+	// residency into the per-op-class histograms.
+	hot   *obs.TopK
+	opLat bool
 
 	// Governor plumbing (nil/zero on an ungoverned table): the handle polls
 	// the shared decision word every govPollEvery Submits, feeds its counter
@@ -281,6 +333,7 @@ type rpending struct {
 	probes uint64
 	rval   uint64 // resolved value of a parked leader (state != stateProbing)
 	trace  uint64 // lifecycle trace id; 0 = not sampled
+	start  int64  // submit stamp for op-latency recording; 0 = not armed
 	chain  int32  // 1+index into merged of the newest piggybacked Get; 0 = none
 	ngets  int32
 	tag    uint8 // key's tag fingerprint (table.TagOf of the full hash)
@@ -315,6 +368,8 @@ func (t *Table) NewReadHandle() *ReadHandle {
 		r.obsw = t.obsReg.Worker("dramhitp-r" + strconv.Itoa(int(n)-1))
 		r.trace = t.obsReg.Trace()
 		r.traceEvery = t.obsReg.TraceSampleN()
+		r.hot = r.obsw.Hot
+		r.opLat = t.obsReg.OpLatencyEnabled()
 	}
 	if t.gov != nil {
 		r.gov = t.gov
@@ -397,6 +452,13 @@ func (r *ReadHandle) submitDirect(reqs []table.Request, resps []table.Response) 
 			return nreq, nresp
 		}
 		req := reqs[nreq]
+		if r.hot != nil {
+			r.hot.OfferSampled(req.Key)
+		}
+		var startNS int64
+		if r.opLat {
+			startNS = time.Now().UnixNano()
+		}
 		var traceID uint64
 		if r.trace != nil {
 			if r.traceCnt++; r.traceCnt >= r.traceEvery {
@@ -419,6 +481,9 @@ func (r *ReadHandle) submitDirect(reqs []table.Request, resps []table.Response) 
 		resps[nresp] = table.Response{ID: req.ID, Value: v, Found: ok}
 		nresp++
 		r.complete(ok)
+		if startNS != 0 {
+			r.obsw.Op[obs.OpClass(table.Get, ok)].Record(uint64(time.Now().UnixNano() - startNS))
+		}
 		if traceID != 0 {
 			arg := uint32(0)
 			if ok {
@@ -554,6 +619,12 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 			// under low skew.
 			if r.tagcnt[tag] != 0 {
 				if pos := r.combineScan(req.Key, tag); pos >= 0 && r.tryCombine(req.ID, pos) {
+					// The sketch feed sits on the combining sidecar path:
+					// a piggybacked key is by definition in-window hot, so
+					// it must reach the sketch even though no probe issues.
+					if r.hot != nil {
+						r.hot.OfferSampled(req.Key)
+					}
 					nreq++
 					continue
 				}
@@ -572,7 +643,15 @@ func (r *ReadHandle) Submit(reqs []table.Request, resps []table.Response) (nreq,
 				part, local, tag = t.locateTag(req.Key)
 			}
 		}
+		// Feed after the backpressure loop so a blocked-and-resubmitted
+		// request is counted once.
+		if r.hot != nil {
+			r.hot.OfferSampled(req.Key)
+		}
 		p := rpending{key: req.Key, id: req.ID, part: part, idx: local, tag: tag}
+		if r.opLat {
+			p.start = time.Now().UnixNano()
+		}
 		if r.trace != nil {
 			if r.traceCnt++; r.traceCnt >= r.traceEvery {
 				r.traceCnt = 0

@@ -1,0 +1,32 @@
+package dramhitp
+
+import (
+	"dramhit/internal/hashfn"
+	"dramhit/internal/obs"
+	"dramhit/internal/slotarr"
+	"dramhit/internal/table"
+)
+
+// heatmap is the table's registered obs heatmap source: the concatenation of
+// the partitions' slot (or bucket) ranges in partition order, walked by the
+// slotarr multi-table builders. One Regions row therefore shows partition
+// skew directly — owner sharding never moves keys, so a hot partition is a
+// hot selector range. The flat home function re-derives the global fastrange
+// slot and reduces it to the partition-local coordinate, exactly as locate
+// does, so probe_depth/probe_lines measure real probe displacement.
+func (t *Table) heatmap() obs.Heatmap {
+	if t.layout == table.LayoutBucket {
+		bkts := make([]*slotarr.BucketTable, len(t.parts))
+		for i := range t.parts {
+			bkts[i] = t.parts[i].bkt
+		}
+		return slotarr.BucketHeatmapMulti(bkts, 0)
+	}
+	arrs := make([]*slotarr.Array, len(t.parts))
+	for i := range t.parts {
+		arrs[i] = t.parts[i].arr
+	}
+	return slotarr.FlatHeatmapMulti(arrs, func(_ int, key uint64) uint64 {
+		return hashfn.Fastrange(t.hash(key), t.total) % t.partSlots
+	}, 0)
+}

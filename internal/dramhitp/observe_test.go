@@ -148,12 +148,18 @@ func TestPObservePublished(t *testing.T) {
 // TestPObserveZeroAlloc pins the pipelined read path at zero allocations per
 // batch with observation off AND on.
 func TestPObserveZeroAlloc(t *testing.T) {
+	armed := obs.NewWith(4096, 8)
+	armed.EnableHotKeys(256)
+	armed.EnableOpLatency()
 	for _, mode := range []struct {
 		name string
 		reg  *obs.Registry
 	}{
 		{"off", nil},
 		{"on", obs.NewWith(4096, 8)},
+		// Hot-key sketch feed and per-op-class latency must stay
+		// allocation-free on the pipelined read path.
+		{"hotkeys+oplat", armed},
 	} {
 		tb := newObsTable(mode.reg)
 		obsFill(tb, 4000, 3)
@@ -181,5 +187,12 @@ func TestPObserveZeroAlloc(t *testing.T) {
 			t.Errorf("observe %s: %v allocs per batch, want 0", mode.name, n)
 		}
 		tb.Close()
+	}
+	snap := armed.TakeSnapshot()
+	if len(snap.HotKeys) == 0 {
+		t.Error("armed registry collected no hot keys")
+	}
+	if snap.OpLatency["get_hit"].Count == 0 {
+		t.Error("armed registry recorded no get_hit latencies")
 	}
 }

@@ -13,6 +13,7 @@ package folklore
 
 import (
 	"sync/atomic"
+	"time"
 
 	"dramhit/internal/hashfn"
 	"dramhit/internal/obs"
@@ -39,19 +40,35 @@ type obsCounters struct {
 	ops    *obs.ShardedCounter // completed operations
 	probes *obs.ShardedCounter // slots inspected
 	hits   *obs.ShardedCounter // Gets that found / Deletes that removed
+
+	// w holds the per-op-class latency histograms when the registry armed
+	// EnableOpLatency before Observe. Folklore has no per-goroutine handle,
+	// so every operator records into this one Worker — sound because
+	// Histogram is bucket-atomic, at the price of shared-line contention
+	// the handle-sharded tables don't pay. The hot-key sketch is NOT fed
+	// here for the same structural reason: TopK is writer-private by
+	// design, and folklore has no single writer to own one.
+	w     *obs.Worker
+	opLat bool
 }
 
 // Observe attaches the table to the observability registry: per-op counters
-// stripe over padded cells (see obsCounters) and a pull source reports
-// table-level aggregates at scrape time. Call before the table is shared;
-// a table without Observe pays one nil check per operation and nothing else.
+// stripe over padded cells (see obsCounters), a pull source reports
+// table-level aggregates at scrape time, and a heatmap source walks the slot
+// array on demand. If the registry armed EnableOpLatency before this call,
+// every operation is additionally timed into per-op-class histograms. Call
+// before the table is shared; a table without Observe pays one nil check per
+// operation and nothing else.
 func (t *Table) Observe(reg *obs.Registry) {
 	oc := &obsCounters{
 		ops:    obs.NewShardedCounter(64),
 		probes: obs.NewShardedCounter(64),
 		hits:   obs.NewShardedCounter(64),
+		w:      reg.Worker("folklore"),
+		opLat:  reg.OpLatencyEnabled(),
 	}
 	t.obs = oc
+	reg.AddHeatmapSource("folklore", t.Heatmap)
 	reg.AddSource("folklore", func() map[string]float64 {
 		return map[string]float64{
 			"ops":         float64(oc.ops.Total()),
@@ -107,8 +124,32 @@ func (t *Table) step(i uint64) uint64 {
 	return i
 }
 
+// opStart returns the operation start timestamp when per-op latency is
+// armed, else 0. The paired opEnd records into the shared Worker's class
+// histogram. Two time.Now calls per op — the same price the pipelined
+// tables' latency hook quotes — paid only when EnableOpLatency was set.
+func (t *Table) opStart() int64 {
+	if o := t.obs; o != nil && o.opLat {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+func (t *Table) opEnd(start int64, op table.Op, hit bool) {
+	if start != 0 {
+		t.obs.w.Op[obs.OpClass(op, hit)].Record(uint64(time.Now().UnixNano() - start))
+	}
+}
+
 // Get returns the value stored for key and whether it was present.
 func (t *Table) Get(key uint64) (uint64, bool) {
+	start := t.opStart()
+	v, ok := t.get(key)
+	t.opEnd(start, table.Get, ok)
+	return v, ok
+}
+
+func (t *Table) get(key uint64) (uint64, bool) {
 	if s := t.side.For(key); s != nil {
 		v, ok := s.Get()
 		if t.obs != nil {
@@ -142,6 +183,13 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 // Put stores value for key, overwriting silently. It returns false only if
 // the table has no free slot left on the probe path (table full).
 func (t *Table) Put(key, value uint64) bool {
+	start := t.opStart()
+	ok := t.put(key, value)
+	t.opEnd(start, table.Put, ok)
+	return ok
+}
+
+func (t *Table) put(key, value uint64) bool {
 	if s := t.side.For(key); s != nil {
 		s.Put(value)
 		if t.obs != nil {
@@ -187,6 +235,13 @@ func (t *Table) Put(key, value uint64) bool {
 // absent. It returns the resulting value, and false only if the table is
 // full.
 func (t *Table) Upsert(key, delta uint64) (uint64, bool) {
+	start := t.opStart()
+	v, ok := t.upsert(key, delta)
+	t.opEnd(start, table.Upsert, ok)
+	return v, ok
+}
+
+func (t *Table) upsert(key, delta uint64) (uint64, bool) {
 	if s := t.side.For(key); s != nil {
 		v, _ := s.Upsert(delta)
 		if t.obs != nil {
@@ -227,6 +282,13 @@ func (t *Table) Upsert(key, delta uint64) (uint64, bool) {
 // present. Tombstoned slots are never reused; space is reclaimed on resize
 // only.
 func (t *Table) Delete(key uint64) bool {
+	start := t.opStart()
+	hit := t.del(key)
+	t.opEnd(start, table.Delete, hit)
+	return hit
+}
+
+func (t *Table) del(key uint64) bool {
 	if s := t.side.For(key); s != nil {
 		ok := s.Delete()
 		if t.obs != nil {
@@ -264,6 +326,15 @@ func (t *Table) Delete(key uint64) bool {
 		t.obsRec(home, t.size, false)
 	}
 	return false
+}
+
+// Heatmap walks the slot array and builds the standard flat-layout
+// introspection heatmap (region fill, probe-depth and probe-line
+// distributions). Scrape-time work, safe against concurrent operations;
+// also used by wrappers (growt) that want the active generation's map
+// without re-deriving the home function.
+func (t *Table) Heatmap() obs.Heatmap {
+	return slotarr.FlatHeatmap(t.arr, t.index, 0)
 }
 
 // Len returns the number of live entries (including reserved-key entries).

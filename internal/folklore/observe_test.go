@@ -53,16 +53,28 @@ func TestObserveCounters(t *testing.T) {
 }
 
 // TestObserveZeroAlloc pins the synchronous hot path at zero allocations
-// with observation on.
+// with observation on — including with per-op latency armed.
 func TestObserveZeroAlloc(t *testing.T) {
-	tb := New(1 << 12)
-	tb.Observe(obs.New())
-	var k uint64
-	if n := testing.AllocsPerRun(100, func() {
-		k++
-		tb.Upsert(k&1023+1, 1)
-		tb.Get(k & 2047)
-	}); n != 0 {
-		t.Errorf("%v allocs per op pair, want 0", n)
+	plain := obs.New()
+	armed := obs.New()
+	armed.EnableOpLatency()
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{{"on", plain}, {"oplat", armed}} {
+		tb := New(1 << 12)
+		tb.Observe(mode.reg)
+		var k uint64
+		if n := testing.AllocsPerRun(100, func() {
+			k++
+			tb.Upsert(k&1023+1, 1)
+			tb.Get(k & 2047)
+		}); n != 0 {
+			t.Errorf("observe %s: %v allocs per op pair, want 0", mode.name, n)
+		}
+	}
+	snap := armed.TakeSnapshot()
+	if snap.OpLatency["upsert"].Count == 0 {
+		t.Error("armed registry recorded no upsert latencies")
 	}
 }

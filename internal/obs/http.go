@@ -9,15 +9,67 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dramhit/internal/table"
 )
+
+// parseN parses the /trace ?n= parameter; 0 means "keep all".
+func parseN(s string) int {
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// FilterEvents applies the /trace query filters: op selects events by
+// opcode name ("get", "put", "upsert", "delete" — lifecycle events only) or
+// by event-kind name ("resize", "reshard", "govern", "submit", ...); n > 0
+// keeps only the last n events after filtering. The input slice is not
+// modified; an empty result is a non-nil empty slice.
+func FilterEvents(evs []Event, op string, n int) []Event {
+	out := evs
+	if op != "" {
+		out = make([]Event, 0, len(evs))
+		for _, ev := range evs {
+			lifecycle := ev.Kind >= EvSubmit && ev.Kind <= EvComplete
+			if lifecycle && table.Op(ev.Op).String() == op {
+				out = append(out, ev)
+				continue
+			}
+			if ev.Kind.String() == op {
+				out = append(out, ev)
+			}
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	if out == nil {
+		out = []Event{}
+	}
+	return out
+}
 
 // Handler returns the observability HTTP surface for r:
 //
 //	/metrics        Prometheus text exposition format
-//	/trace          sampled request-lifecycle events as JSON
+//	/trace          sampled request-lifecycle events as JSON; ?n= keeps the
+//	                last N events, ?op= filters by opcode ("get", "put",
+//	                "upsert", "delete") or event kind ("resize", "reshard",
+//	                "govern"), ?format=chrome renders Chrome trace-event
+//	                JSON for chrome://tracing / Perfetto
+//	/heatmap        structural layout scrape (fill regions, probe-depth /
+//	                stash-chain / segment-utilization distributions) as
+//	                JSON; ?source= selects one collector
 //	/debug/vars     expvar (includes the registry snapshot as dramhit_obs)
 //	/debug/pprof/   the standard Go profiler endpoints
 //	/               a short index of the above
@@ -28,16 +80,39 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WriteMetrics(w, r)
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
 		var evs []Event
 		if tr := r.Trace(); tr != nil {
 			evs = tr.Snapshot()
 		}
-		if evs == nil {
-			evs = []Event{}
+		evs = FilterEvents(evs, req.URL.Query().Get("op"), parseN(req.URL.Query().Get("n")))
+		if req.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteChromeTrace(w, evs)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(evs)
+	})
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		maps := r.Heatmaps()
+		if want := req.URL.Query().Get("source"); want != "" {
+			kept := maps[:0]
+			for _, h := range maps {
+				if h.Source == want {
+					kept = append(kept, h)
+				}
+			}
+			maps = kept
+		}
+		if maps == nil {
+			maps = []Heatmap{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			UptimeSeconds float64   `json:"uptime_seconds"`
+			Heatmaps      []Heatmap `json:"heatmaps"`
+		}{time.Since(r.start).Seconds(), maps})
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -50,7 +125,7 @@ func Handler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintln(w, "dramhit observability: /metrics /trace /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "dramhit observability: /metrics /trace /heatmap /debug/vars /debug/pprof/")
 	})
 	return mux
 }
@@ -103,7 +178,56 @@ var promBounds = func() []uint64 {
 	return b
 }()
 
-// WriteMetrics renders r in the Prometheus text exposition format.
+// CounterHelp documents each counter family for the /metrics # HELP line.
+var CounterHelp = [NumCounters]string{
+	"Completed Get operations",
+	"Completed Put operations",
+	"Completed Upsert operations",
+	"Completed Delete operations",
+	"Gets that found their key and Deletes that removed one",
+	"Puts/Upserts rejected because the table was full",
+	"Probe line crossings re-enqueued behind a fresh prefetch",
+	"Cache lines touched by probes",
+	"Line visits whose key lanes were consulted",
+	"Line visits rejected from the packed tag word alone",
+	"Tag-admitted line visits confirmed by the kernel",
+	"Tag-admitted line visits rejected by the kernel (false positives)",
+	"Upserts folded onto an in-flight upsert to the same key",
+	"Gets answered by piggybacking on an in-flight get",
+	"Gets answered by store-to-load forwarding from an in-flight write",
+	"Atomic RMW/store attempts against slot words",
+	"Backpressure parks of combine leaders at the queue head",
+	"Delegated messages sent on the partitioned write path",
+	"Slots inspected by synchronous probes",
+	"Chain-node traversals",
+}
+
+// GaugeHelp documents each gauge family for the /metrics # HELP line.
+var GaugeHelp = [NumGauges]string{
+	"Prefetch-window occupancy at the last publish",
+	"Maximum prefetch-window occupancy observed",
+	"Delegation-queue backlog at the last publish",
+	"Longest combine chain resolved by one leader",
+}
+
+// writeHistogram renders one histogram series with the shared
+// octave-aligned cumulative bounds; labels is the rendered label set
+// (without braces) shared by every line of the series.
+func writeHistogram(w io.Writer, name string, h *Histogram, labels string) {
+	n := h.Count()
+	var cum uint64
+	for _, le := range promBounds {
+		cum = h.CountAtOrBelow(le)
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, n)
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum())
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
+}
+
+// WriteMetrics renders r in the Prometheus text exposition format. Every
+// family carries # HELP and # TYPE lines (the metrics format test parses
+// the output under internal/promtext's strict grammar).
 func WriteMetrics(w io.Writer, r *Registry) {
 	workers := r.Workers()
 
@@ -119,6 +243,7 @@ func WriteMetrics(w io.Writer, r *Registry) {
 			continue
 		}
 		name := "dramhit_" + CounterNames[i] + "_total"
+		fmt.Fprintf(w, "# HELP %s %s\n", name, CounterHelp[i])
 		fmt.Fprintf(w, "# TYPE %s counter\n", name)
 		for _, wk := range workers {
 			if v := wk.Counter(i); v != 0 {
@@ -139,6 +264,7 @@ func WriteMetrics(w io.Writer, r *Registry) {
 			continue
 		}
 		name := "dramhit_" + GaugeNames[g]
+		fmt.Fprintf(w, "# HELP %s %s\n", name, GaugeHelp[g])
 		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
 		for _, wk := range workers {
 			fmt.Fprintf(w, "%s{worker=%q} %d\n", name, wk.Name(), wk.Gauge(g))
@@ -148,28 +274,49 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	// Latency histograms, one series per worker with recorded samples.
 	headed := false
 	for _, wk := range workers {
-		n := wk.Lat.Count()
-		if n == 0 {
+		if wk.Lat.Count() == 0 {
 			continue
 		}
 		if !headed {
+			fmt.Fprintf(w, "# HELP dramhit_latency_ns Operation latency as recorded by the active latency sink\n")
 			fmt.Fprintf(w, "# TYPE dramhit_latency_ns histogram\n")
 			headed = true
 		}
-		var cum uint64
-		for _, le := range promBounds {
-			cum = wk.Lat.CountAtOrBelow(le)
-			fmt.Fprintf(w, "dramhit_latency_ns_bucket{worker=%q,le=%q} %d\n",
-				wk.Name(), fmt.Sprintf("%d", le), cum)
+		writeHistogram(w, "dramhit_latency_ns", &wk.Lat,
+			fmt.Sprintf("worker=%q", wk.Name()))
+	}
+
+	// Per-op-class latency: one series per (worker, op class) with samples.
+	headed = false
+	for _, wk := range workers {
+		for c := 0; c < NumOpClasses; c++ {
+			if wk.Op[c].Count() == 0 {
+				continue
+			}
+			if !headed {
+				fmt.Fprintf(w, "# HELP dramhit_op_latency_ns Per-op-class operation latency (op label: kind_outcome)\n")
+				fmt.Fprintf(w, "# TYPE dramhit_op_latency_ns histogram\n")
+				headed = true
+			}
+			writeHistogram(w, "dramhit_op_latency_ns", &wk.Op[c],
+				fmt.Sprintf("worker=%q,op=%q", wk.Name(), OpClassNames[c]))
 		}
-		fmt.Fprintf(w, "dramhit_latency_ns_bucket{worker=%q,le=\"+Inf\"} %d\n", wk.Name(), n)
-		fmt.Fprintf(w, "dramhit_latency_ns_sum{worker=%q} %d\n", wk.Name(), wk.Lat.Sum())
-		fmt.Fprintf(w, "dramhit_latency_ns_count{worker=%q} %d\n", wk.Name(), n)
+	}
+
+	// Hot keys: the merged Space-Saving ranking, one sample per rank.
+	if hot := r.TopKeys(16); len(hot) > 0 {
+		fmt.Fprintf(w, "# HELP dramhit_hotkey_count Estimated occurrence count of the rank-N hottest key (Space-Saving sketch; overestimates by at most the err label)\n")
+		fmt.Fprintf(w, "# TYPE dramhit_hotkey_count gauge\n")
+		for rank, it := range hot {
+			fmt.Fprintf(w, "dramhit_hotkey_count{rank=\"%d\",key=\"%d\",err=\"%d\"} %d\n",
+				rank+1, it.Key, it.Err, it.Count)
+		}
 	}
 
 	// Pull sources render as one labelled gauge family.
 	srcs := r.Sources()
 	if len(srcs) > 0 {
+		fmt.Fprintf(w, "# HELP dramhit_pull Pull-collected table-level metrics (fill, live entries, filter stats) by source\n")
 		fmt.Fprintf(w, "# TYPE dramhit_pull gauge\n")
 		for _, src := range srcs {
 			m := src.Collect()
@@ -186,11 +333,13 @@ func WriteMetrics(w io.Writer, r *Registry) {
 	}
 
 	if tr := r.Trace(); tr != nil {
+		fmt.Fprintf(w, "# HELP dramhit_trace_events_total Lifecycle trace events recorded since start\n")
 		fmt.Fprintf(w, "# TYPE dramhit_trace_events_total counter\n")
 		fmt.Fprintf(w, "dramhit_trace_events_total %d\n", tr.Recorded())
 	}
+	fmt.Fprintf(w, "# HELP dramhit_uptime_seconds Seconds since the registry was created\n")
 	fmt.Fprintf(w, "# TYPE dramhit_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "dramhit_uptime_seconds %f\n", r.TakeSnapshot().UptimeSeconds)
+	fmt.Fprintf(w, "dramhit_uptime_seconds %f\n", time.Since(r.start).Seconds())
 }
 
 func sanitizeLabel(s string) string {

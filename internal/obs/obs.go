@@ -106,6 +106,15 @@ type Worker struct {
 	_    pad
 	// Lat is the worker's latency histogram (nanoseconds by convention).
 	Lat Histogram
+	// Op are per-op-class latency histograms (nanoseconds), indexed by the
+	// OpGetHit..OpDeleteMiss classes. Always present so external drivers
+	// (loadgen) can record into them; the table hot paths only stamp
+	// timestamps when the registry has op latency enabled.
+	Op [NumOpClasses]Histogram
+	// Hot is the worker's hot-key sketch shard, non-nil iff the registry had
+	// hot-key tracking enabled when the worker was created. Single-writer,
+	// like the counters.
+	Hot *TopK
 }
 
 // Name returns the worker's registry name.
@@ -193,9 +202,16 @@ type Registry struct {
 	mu      sync.Mutex
 	workers []*Worker
 	sources []Source
+	heat    []heatSource
 	trace   *TraceRing
 	sampleN int
 	start   time.Time
+	// opLat turns on per-op-class latency stamping in the table hot paths
+	// (two clock reads per operation — priced like SetLatencyHook, opt-in).
+	opLat atomic.Bool
+	// hotCap, when > 0, gives every subsequently created Worker a TopK
+	// hot-key shard of that capacity.
+	hotCap atomic.Int64
 }
 
 // DefaultTraceCap is the default lifecycle-trace ring capacity (events).
@@ -227,10 +243,53 @@ func NewWith(traceCap, sampleN int) *Registry {
 // not be unique; the scraper labels each shard with its own name.
 func (r *Registry) Worker(name string) *Worker {
 	w := &Worker{name: name}
+	if c := int(r.hotCap.Load()); c > 0 {
+		w.Hot = NewTopK(c)
+	}
 	r.mu.Lock()
 	r.workers = append(r.workers, w)
 	r.mu.Unlock()
 	return w
+}
+
+// DefaultHotKeyCap is the default per-worker hot-key sketch budget.
+const DefaultHotKeyCap = 1024
+
+// EnableHotKeys arms hot-key tracking: every Worker created after this call
+// carries a TopK shard of the given capacity (0 = DefaultHotKeyCap) that the
+// table hot paths feed at submit time. Call before creating handles.
+func (r *Registry) EnableHotKeys(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultHotKeyCap
+	}
+	r.hotCap.Store(int64(capacity))
+}
+
+// HotKeysEnabled reports whether hot-key tracking is armed.
+func (r *Registry) HotKeysEnabled() bool { return r.hotCap.Load() > 0 }
+
+// EnableOpLatency arms per-op-class latency: handles created after this call
+// stamp a start timestamp per operation and record completion latency into
+// their Worker's Op histograms. Costs two clock reads per operation on the
+// instrumented paths — opt-in, like SetLatencyHook.
+func (r *Registry) EnableOpLatency() { r.opLat.Store(true) }
+
+// OpLatencyEnabled reports whether per-op latency stamping is armed.
+func (r *Registry) OpLatencyEnabled() bool { return r.opLat.Load() }
+
+// TopKeys merges every worker's hot-key shard and returns the top k keys by
+// estimated count (k ≤ 0 keeps all monitored keys).
+func (r *Registry) TopKeys(k int) []TopKItem {
+	var shards [][]TopKItem
+	for _, w := range r.Workers() {
+		if w.Hot != nil && w.Hot.Count() > 0 {
+			shards = append(shards, w.Hot.Snapshot())
+		}
+	}
+	if len(shards) == 0 {
+		return nil
+	}
+	return MergeTopK(k, shards...)
 }
 
 // AddSource registers a pull-collected metric set.
@@ -277,6 +336,9 @@ type WorkerSnapshot struct {
 	Counters map[string]uint64 `json:"counters"`
 	Gauges   map[string]uint64 `json:"gauges"`
 	Latency  HistSnapshot      `json:"latency_ns"`
+	// OpLatency holds per-op-class latency summaries for classes with
+	// recorded samples (key: OpClassNames value).
+	OpLatency map[string]HistSnapshot `json:"op_latency_ns,omitempty"`
 }
 
 // Snapshot is the registry's frozen state: per-worker shards, summed
@@ -287,7 +349,11 @@ type Snapshot struct {
 	Workers       []WorkerSnapshot              `json:"workers"`
 	Sources       map[string]map[string]float64 `json:"sources"`
 	Latency       HistSnapshot                  `json:"latency_ns"`
-	TraceEvents   uint64                        `json:"trace_events"`
+	// OpLatency merges every worker's per-op-class histograms (classes with
+	// samples only); HotKeys is the merged top-16 hot-key ranking.
+	OpLatency   map[string]HistSnapshot `json:"op_latency_ns,omitempty"`
+	HotKeys     []TopKItem              `json:"hot_keys,omitempty"`
+	TraceEvents uint64                  `json:"trace_events"`
 }
 
 // TakeSnapshot freezes the registry's current state (counters keep moving;
@@ -299,6 +365,7 @@ func (r *Registry) TakeSnapshot() Snapshot {
 		Sources:       map[string]map[string]float64{},
 	}
 	var lat Histogram
+	opLat := make([]*Histogram, NumOpClasses)
 	for _, w := range r.Workers() {
 		ws := WorkerSnapshot{
 			Name:     w.name,
@@ -315,9 +382,32 @@ func (r *Registry) TakeSnapshot() Snapshot {
 			ws.Gauges[GaugeNames[g]] = w.Gauge(g)
 		}
 		lat.Merge(&w.Lat)
+		for c := 0; c < NumOpClasses; c++ {
+			if w.Op[c].Count() == 0 {
+				continue
+			}
+			if ws.OpLatency == nil {
+				ws.OpLatency = map[string]HistSnapshot{}
+			}
+			ws.OpLatency[OpClassNames[c]] = w.Op[c].Snapshot()
+			if opLat[c] == nil {
+				opLat[c] = &Histogram{}
+			}
+			opLat[c].Merge(&w.Op[c])
+		}
 		s.Workers = append(s.Workers, ws)
 	}
 	s.Latency = lat.Snapshot()
+	for c, h := range opLat {
+		if h == nil {
+			continue
+		}
+		if s.OpLatency == nil {
+			s.OpLatency = map[string]HistSnapshot{}
+		}
+		s.OpLatency[OpClassNames[c]] = h.Snapshot()
+	}
+	s.HotKeys = r.TopKeys(16)
 	for _, src := range r.Sources() {
 		s.Sources[src.Name] = src.Collect()
 	}

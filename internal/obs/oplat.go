@@ -1,0 +1,44 @@
+package obs
+
+import "dramhit/internal/table"
+
+// Op classes split per-op latency by operation kind and outcome, so the tail
+// of a miss-heavy Get stream is not averaged away by fast hits, and Deletes
+// that actually removed an entry are distinguishable from no-ops. Puts and
+// Upserts have no hit/miss outcome split: an overwrite and an insert follow
+// the same probe path.
+const (
+	OpGetHit = iota
+	OpGetMiss
+	OpPut
+	OpUpsert
+	OpDeleteHit
+	OpDeleteMiss
+
+	NumOpClasses
+)
+
+// OpClassNames maps op classes to their metric label values.
+var OpClassNames = [NumOpClasses]string{
+	"get_hit", "get_miss", "put", "upsert", "delete_hit", "delete_miss",
+}
+
+// OpClass maps a table opcode and its outcome to the op class.
+func OpClass(op table.Op, hit bool) int {
+	switch op {
+	case table.Get:
+		if hit {
+			return OpGetHit
+		}
+		return OpGetMiss
+	case table.Put:
+		return OpPut
+	case table.Upsert:
+		return OpUpsert
+	default:
+		if hit {
+			return OpDeleteHit
+		}
+		return OpDeleteMiss
+	}
+}

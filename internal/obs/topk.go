@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TopK is a filtered Space-Saving hot-key sketch (Metwally et al., with the
+// error-filter admission of Homem & Carvalho): a fixed budget of capacity
+// monitored keys with per-key count and overestimation-error bounds, plus a
+// hashed array of error cells in front of the eviction path. Tail keys — the
+// overwhelming majority of distinct arrivals on a zipfian stream — bump one
+// writer-private cell and return, instead of churning the heap and the key
+// index; a key is admitted only once its cell outgrows the current minimum.
+// Offer is O(1) for monitored hits and filtered misses, O(log capacity) only
+// on admission, allocation-free, and single-writer: each hot path owns its
+// own shard (Worker.Hot) and the scraper merges shards with MergeTopK. The
+// estimate bound Count-Err ≤ true ≤ Count holds for every monitored key
+// (evicted counts fold back into the victim's cell, so a returning key
+// resumes from at least its evicted estimate).
+//
+// Entry state (keys/counts/errs) lives in atomic arrays indexed by a stable
+// entry id, so a concurrent Snapshot never races the writer; like the trace
+// ring, a snapshot overlapping an eviction can see one entry with fields
+// from two keys (each individually valid) — bounded tearing, acceptable for
+// a diagnostic. The heap order and the key index are writer-private.
+type TopK struct {
+	capacity int
+	n        atomic.Uint64 // total keys offered
+	used     atomic.Int64  // entries in use (monotone up to capacity)
+
+	// Entry-indexed state, read concurrently by Snapshot.
+	keys   []atomic.Uint64
+	counts []atomic.Uint64
+	errs   []atomic.Uint64
+
+	// Writer-private min-heap over entries (by count) and open-addressing
+	// key index (slot -> entry+1; 0 = empty) with backward-shift deletion.
+	heap  []int32
+	pos   []int32
+	idx   []int32
+	mask  uint64
+	usedW int // writer-private mirror of used (no atomic load per sift)
+
+	// Writer-private error-filter cells, same geometry as idx: cell h bounds
+	// the count any unmonitored key hashing to h may have accumulated.
+	filter []uint64
+
+	tick uint64 // writer-private decimation counter for OfferSampled
+}
+
+// SampleShift sets OfferSampled's decimation: it feeds 1 in 1<<SampleShift
+// offers, weighted by 1<<SampleShift so reported counts stay in stream units.
+// At 32× the skip path is a counter bump and a branch, which keeps an
+// always-on sketch feed around a nanosecond per operation on average while a
+// zipfian head still lands hundreds of samples per hot key (at θ=0.99 the
+// rank-16 key is ~0.5% of the stream — ~300 samples over a 2M-op window).
+const SampleShift = 5
+
+// TopKItem is one monitored key in a sketch snapshot: the estimated count
+// and its maximum overestimation (true count is in [Count-Err, Count]).
+type TopKItem struct {
+	Key   uint64 `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// NewTopK creates a sketch monitoring up to capacity keys (minimum 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	tsize := 8
+	for tsize < 4*capacity {
+		tsize <<= 1
+	}
+	return &TopK{
+		capacity: capacity,
+		keys:     make([]atomic.Uint64, capacity),
+		counts:   make([]atomic.Uint64, capacity),
+		errs:     make([]atomic.Uint64, capacity),
+		heap:     make([]int32, capacity),
+		pos:      make([]int32, capacity),
+		idx:      make([]int32, tsize),
+		mask:     uint64(tsize - 1),
+		filter:   make([]uint64, tsize),
+	}
+}
+
+// Cap returns the monitored-key budget.
+func (t *TopK) Cap() int { return t.capacity }
+
+// Count returns the total number of keys offered.
+func (t *TopK) Count() uint64 { return t.n.Load() }
+
+// mix64 is a SplitMix64-style finalizer: the sketch index needs its own
+// scramble because raw keys (sequential YCSB keyspaces) are not uniform.
+func mix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Offer feeds one key occurrence. Single-writer; allocation-free.
+func (t *TopK) Offer(key uint64) { t.OfferWeighted(key, 1) }
+
+// OfferSampled feeds 1 in 1<<SampleShift calls, weighted back up so counts
+// stay in stream units. This is the always-on table-side feed: the skipped
+// calls cost a private counter bump, so the amortized price fits inside the
+// introspection budget on a sub-200ns pipeline. Ranking quality is
+// unaffected for the skewed streams a hot-key view exists to diagnose; the
+// Count/Err fields become sampled estimates rather than deterministic
+// bounds (Offer keeps the exact semantics for direct feeds).
+func (t *TopK) OfferSampled(key uint64) {
+	t.tick++
+	if t.tick&(1<<SampleShift-1) != 0 {
+		return
+	}
+	t.OfferWeighted(key, 1<<SampleShift)
+}
+
+// OfferWeighted feeds one key occurrence with weight w (a w-sized batch of
+// identical keys). Single-writer; allocation-free.
+func (t *TopK) OfferWeighted(key uint64, w uint64) {
+	t.n.Add(w)
+	home := mix64(key) & t.mask
+	h := home
+	for {
+		e := t.idx[h]
+		if e == 0 {
+			break
+		}
+		if t.keys[e-1].Load() == key {
+			t.counts[e-1].Add(w)
+			t.siftDown(int(t.pos[e-1]))
+			return
+		}
+		h = (h + 1) & t.mask
+	}
+	used := t.usedW
+	if used < t.capacity {
+		e := used
+		t.keys[e].Store(key)
+		t.counts[e].Store(w)
+		t.errs[e].Store(0)
+		t.heap[used] = int32(e)
+		t.pos[e] = int32(used)
+		t.usedW = used + 1
+		t.used.Store(int64(used + 1))
+		t.idx[h] = int32(e + 1)
+		t.siftUp(used)
+		return
+	}
+	// Budget full: consult the newcomer's error cell before touching the
+	// monitored set. While the cell stays at or below the current minimum
+	// the key cannot displace anything — bump the cell and return, leaving
+	// the heap and the index untouched (the common case for tail keys).
+	root := int(t.heap[0])
+	min := t.counts[root].Load()
+	a := t.filter[home] + w
+	if a <= min {
+		t.filter[home] = a
+		return
+	}
+	// The cell outgrew the minimum: evict the root, folding its count back
+	// into its own cell (a returning key must resume from at least its
+	// evicted estimate, or Count ≥ true breaks), and admit the newcomer
+	// with its cell value as count and error bound.
+	old := t.keys[root].Load()
+	t.idxDelete(old)
+	if oc := t.counts[root].Load(); oc > t.filter[mix64(old)&t.mask] {
+		t.filter[mix64(old)&t.mask] = oc
+	}
+	t.keys[root].Store(key)
+	t.errs[root].Store(a - w)
+	t.counts[root].Store(a)
+	t.idxInsert(key, int32(root+1))
+	t.siftDown(0)
+}
+
+func (t *TopK) cnt(i int) uint64 { return t.counts[t.heap[i]].Load() }
+
+func (t *TopK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i]] = int32(i)
+	t.pos[t.heap[j]] = int32(j)
+}
+
+func (t *TopK) siftDown(i int) {
+	n := t.usedW
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && t.cnt(r) < t.cnt(l) {
+			m = r
+		}
+		if t.cnt(i) <= t.cnt(m) {
+			return
+		}
+		t.swap(i, m)
+		i = m
+	}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.cnt(p) <= t.cnt(i) {
+			return
+		}
+		t.swap(i, p)
+		i = p
+	}
+}
+
+func (t *TopK) idxInsert(key uint64, ref int32) {
+	h := mix64(key) & t.mask
+	for t.idx[h] != 0 {
+		h = (h + 1) & t.mask
+	}
+	t.idx[h] = ref
+}
+
+// idxDelete removes key from the open-addressing index with backward-shift
+// compaction, so lookup never needs tombstones.
+func (t *TopK) idxDelete(key uint64) {
+	i := mix64(key) & t.mask
+	for {
+		e := t.idx[i]
+		if e == 0 {
+			return
+		}
+		if t.keys[e-1].Load() == key {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	free := i
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		e := t.idx[j]
+		if e == 0 {
+			break
+		}
+		home := mix64(t.keys[e-1].Load()) & t.mask
+		// Shift e into the hole unless its home lies cyclically inside
+		// (free, j] — then the hole is outside e's probe run.
+		if (j-home)&t.mask >= (j-free)&t.mask {
+			t.idx[free] = e
+			free = j
+		}
+	}
+	t.idx[free] = 0
+}
+
+// Snapshot returns the monitored keys sorted by estimated count descending.
+// Safe to call concurrently with Offer (bounded tearing, see type comment).
+func (t *TopK) Snapshot() []TopKItem {
+	used := int(t.used.Load())
+	out := make([]TopKItem, 0, used)
+	for e := 0; e < used; e++ {
+		out = append(out, TopKItem{
+			Key:   t.keys[e].Load(),
+			Count: t.counts[e].Load(),
+			Err:   t.errs[e].Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// MergeTopK merges per-shard sketch snapshots into one ranking: counts and
+// error bounds add per key (each shard saw a disjoint sub-stream, so the
+// merged Count-Err ≤ true ≤ Count bound still holds for keys monitored in
+// every shard that saw them). The result is sorted by count descending and
+// trimmed to k entries (k ≤ 0 keeps all).
+func MergeTopK(k int, shards ...[]TopKItem) []TopKItem {
+	sum := map[uint64]*TopKItem{}
+	for _, sh := range shards {
+		for _, it := range sh {
+			if m, ok := sum[it.Key]; ok {
+				m.Count += it.Count
+				m.Err += it.Err
+			} else {
+				cp := it
+				sum[it.Key] = &cp
+			}
+		}
+	}
+	out := make([]TopKItem, 0, len(sum))
+	for _, it := range sum {
+		out = append(out, *it)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -26,6 +26,10 @@ const (
 	// (0 = pipelined, 1 = direct), Key the packed decision word, Arg the
 	// controller epoch that published it.
 	EvGovern
+	// EvReshard records a shardmap re-sharding window phase (split or
+	// merge). Like EvResize, Op carries the Resize* phase code, Key the
+	// chunk index (install: total chunks), Arg progress in permille.
+	EvReshard
 )
 
 // Resize-phase codes carried in Event.Op for EvResize events (the Op field
@@ -59,6 +63,8 @@ func (k EventKind) String() string {
 		return "resize"
 	case EvGovern:
 		return "govern"
+	case EvReshard:
+		return "reshard"
 	}
 	return "invalid"
 }

@@ -1,0 +1,338 @@
+// Package promtext is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), used two ways: the obs metrics-format test parses
+// every /metrics render under it so new series cannot drift out of scrape
+// compatibility, and cmd/dramhit-top consumes live endpoints through it.
+//
+// "Strict" means the parser enforces what a real Prometheus scraper
+// assumes rather than what it happens to tolerate: metric and label names
+// match the spec grammar, label values are properly quoted and escaped,
+// every sample belongs to a # TYPE-declared family, # HELP/# TYPE precede
+// their family's samples and appear at most once, families are contiguous
+// (no interleaving), and histogram families only emit _bucket/_sum/_count
+// suffixed samples.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the sample's full metric name (for histogram families this
+	// includes the _bucket/_sum/_count suffix).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its # HELP/# TYPE metadata and samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// validTypes are the exposition-format metric types.
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Parse reads an exposition-format document and returns its families in
+// document order. Any grammar or structure violation is an error naming the
+// offending line.
+func Parse(r io.Reader) ([]Family, error) {
+	p := parser{byName: map[string]*Family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		if err := p.line(strings.TrimRight(sc.Text(), " \t")); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.families, nil
+}
+
+type parser struct {
+	families []Family
+	byName   map[string]*Family
+	// cur is the family the document is currently emitting; once another
+	// family starts, returning to cur is a contiguity violation.
+	cur    string
+	closed map[string]bool
+}
+
+// familyOf maps a sample name to its family name: histogram/summary series
+// drop the _bucket/_sum/_count suffix when the base family is declared.
+func (p *parser) familyOf(sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suf)
+		if !ok {
+			continue
+		}
+		if f, exists := p.byName[base]; exists && (f.Type == "histogram" || f.Type == "summary") {
+			return base
+		}
+	}
+	return sample
+}
+
+func (p *parser) enter(name string) (*Family, error) {
+	if p.closed == nil {
+		p.closed = map[string]bool{}
+	}
+	if p.cur != name {
+		if p.cur != "" {
+			p.closed[p.cur] = true
+		}
+		if p.closed[name] {
+			return nil, fmt.Errorf("family %q is not contiguous (reopened after another family started)", name)
+		}
+		p.cur = name
+	}
+	f, ok := p.byName[name]
+	if !ok {
+		p.families = append(p.families, Family{Name: name})
+		f = &p.families[len(p.families)-1]
+		p.byName[name] = f
+		// Appending may relocate earlier Family values; refresh the index.
+		for i := range p.families {
+			p.byName[p.families[i].Name] = &p.families[i]
+		}
+	}
+	return p.byName[name], nil
+}
+
+func (p *parser) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return p.comment(s)
+	}
+	return p.sample(s)
+}
+
+func (p *parser) comment(s string) error {
+	fields := strings.SplitN(s, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", s)
+		}
+		name := fields[2]
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		f, err := p.enter(name)
+		if err != nil {
+			return err
+		}
+		if f.Help != "" {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("HELP for %q after its samples", name)
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+		if f.Help == "" {
+			return fmt.Errorf("empty HELP text for %q", name)
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", s)
+		}
+		name, typ := fields[2], fields[3]
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("invalid metric type %q for %q", typ, name)
+		}
+		f, err := p.enter(name)
+		if err != nil {
+			return err
+		}
+		if f.Type != "" {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+func (p *parser) sample(s string) error {
+	name, rest, err := splitName(s)
+	if err != nil {
+		return err
+	}
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		rest, err = parseLabels(rest, labels)
+		if err != nil {
+			return fmt.Errorf("sample %q: %w", name, err)
+		}
+	}
+	valueFields := strings.Fields(rest)
+	if len(valueFields) < 1 || len(valueFields) > 2 {
+		return fmt.Errorf("sample %q: expected value [timestamp], got %q", name, rest)
+	}
+	value, err := parseValue(valueFields[0])
+	if err != nil {
+		return fmt.Errorf("sample %q: %w", name, err)
+	}
+	if len(valueFields) == 2 {
+		if _, err := strconv.ParseInt(valueFields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %q: invalid timestamp %q", name, valueFields[1])
+		}
+	}
+	fam := p.familyOf(name)
+	f, err := p.enter(fam)
+	if err != nil {
+		return err
+	}
+	if f.Type == "" {
+		return fmt.Errorf("sample %q has no preceding # TYPE", name)
+	}
+	if (f.Type == "histogram" || f.Type == "summary") && name == fam {
+		ok := f.Type == "summary" // summaries may emit bare quantile samples
+		if !ok {
+			return fmt.Errorf("histogram %q emits bare sample (want _bucket/_sum/_count)", fam)
+		}
+	}
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	return nil
+}
+
+func splitName(s string) (name, rest string, err error) {
+	end := strings.IndexAny(s, "{ ")
+	if end < 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", s)
+	}
+	name = s[:end]
+	if !nameRE.MatchString(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, strings.TrimLeft(s[end:], " "), nil
+}
+
+// parseLabels consumes a {name="value",...} block and returns the remainder.
+func parseLabels(s string, out map[string]string) (rest string, err error) {
+	s = s[1:] // consume {
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return strings.TrimLeft(s[1:], " "), nil
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return "", fmt.Errorf("malformed label block near %q", s)
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !labelRE.MatchString(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = strings.TrimLeft(s[eq+1:], " ")
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("label %q value not quoted", lname)
+		}
+		val, n, err := unquote(s)
+		if err != nil {
+			return "", fmt.Errorf("label %q: %w", lname, err)
+		}
+		if _, dup := out[lname]; dup {
+			return "", fmt.Errorf("duplicate label %q", lname)
+		}
+		out[lname] = val
+		s = strings.TrimLeft(s[n:], " ")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return "", fmt.Errorf("expected ',' or '}' near %q", s)
+		}
+	}
+}
+
+// unquote decodes a double-quoted label value with the exposition-format
+// escapes (\\, \", \n) and returns the decoded value plus the number of
+// input bytes consumed including both quotes.
+func unquote(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in %q", s)
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value in %q", s)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const good = `# HELP demo_ops_total Operations completed
+# TYPE demo_ops_total counter
+demo_ops_total{worker="w0"} 12
+demo_ops_total{worker="w1"} 34
+# HELP demo_lat_ns Latency
+# TYPE demo_lat_ns histogram
+demo_lat_ns_bucket{worker="w0",le="63"} 3
+demo_lat_ns_bucket{worker="w0",le="+Inf"} 5
+demo_lat_ns_sum{worker="w0"} 900
+demo_lat_ns_count{worker="w0"} 5
+# TYPE demo_fill gauge
+demo_fill 0.75
+`
+
+func TestParseGood(t *testing.T) {
+	fams, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	ops := Find(fams, "demo_ops_total")
+	if ops == nil || ops.Type != "counter" || ops.Help != "Operations completed" {
+		t.Fatalf("ops family = %+v", ops)
+	}
+	if len(ops.Samples) != 2 || ops.Samples[1].Labels["worker"] != "w1" || ops.Samples[1].Value != 34 {
+		t.Fatalf("ops samples = %+v", ops.Samples)
+	}
+	lat := Find(fams, "demo_lat_ns")
+	if lat == nil || lat.Type != "histogram" || len(lat.Samples) != 4 {
+		t.Fatalf("lat family = %+v", lat)
+	}
+	if !math.IsInf(mustLabelVal(t, lat.Samples[1]), 1) {
+		t.Fatalf("le=+Inf label did not parse: %+v", lat.Samples[1])
+	}
+	fill := Find(fams, "demo_fill")
+	if fill == nil || fill.Samples[0].Value != 0.75 {
+		t.Fatalf("fill = %+v", fill)
+	}
+}
+
+func mustLabelVal(t *testing.T, s Sample) float64 {
+	t.Helper()
+	le := s.Labels["le"]
+	if le == "+Inf" {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+func TestParseEscapes(t *testing.T) {
+	in := "# TYPE m gauge\n" + `m{l="a\"b\\c\nd"} 1` + "\n"
+	fams, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Labels["l"]; got != "a\"b\\c\nd" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "no_type 1\n",
+		"bad metric name":       "# TYPE 1bad counter\n1bad 1\n",
+		"bad type":              "# TYPE m histo\nm 1\n",
+		"duplicate TYPE":        "# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+		"duplicate HELP":        "# HELP m a\n# HELP m b\n# TYPE m gauge\nm 1\n",
+		"TYPE after samples":    "# TYPE m gauge\nm 1\n# TYPE m gauge\n",
+		"unquoted label":        "# TYPE m gauge\nm{l=1} 1\n",
+		"bad label name":        "# TYPE m gauge\nm{0l=\"x\"} 1\n",
+		"duplicate label":       "# TYPE m gauge\nm{a=\"1\",a=\"2\"} 1\n",
+		"unterminated label":    "# TYPE m gauge\nm{a=\"1} 1\n",
+		"bad value":             "# TYPE m gauge\nm abc\n",
+		"bare histogram sample": "# TYPE m histogram\nm 1\n",
+		"interleaved families":  "# TYPE a gauge\na 1\n# TYPE b gauge\nb 1\na 2\n",
+		"empty HELP":            "# HELP m\n# TYPE m gauge\nm 1\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParseTimestamps(t *testing.T) {
+	in := "# TYPE m gauge\nm 1 1712345678\n"
+	if _, err := Parse(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	bad := "# TYPE m gauge\nm 1 not_a_ts\n"
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad timestamp parsed without error")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"dramhit/internal/folklore"
+	"dramhit/internal/obs"
 	"dramhit/internal/table"
 )
 
@@ -74,6 +75,11 @@ type resharding struct {
 	cursor  atomic.Uint64   // next chunk offered to helpers
 	state   []atomic.Uint32 // per-chunk unclaimed/busy/done
 	done    atomic.Uint64   // completed chunks; == nchunks ⇒ ready to swap
+
+	// traceID ties the window's install/chunk/swap EvReshard events into one
+	// flight-recorder span (rendered as an async "reshard" span by the Chrome
+	// trace export). 0 when no ring is attached.
+	traceID uint64
 }
 
 // covers reports whether sh is a source of this window.
@@ -107,6 +113,18 @@ func (m *Map) finishWindow(g *resharding) {
 	}
 	g.state = make([]atomic.Uint32, g.nchunks)
 	g.dstTbl = func(key uint64) *folklore.Table { return g.dst(m.sel(key)).tbl }
+	if m.trace != nil {
+		g.traceID = m.trace.NextID()
+	}
+}
+
+// traceWindow records one EvReshard lifecycle event for the window; phase is
+// a Resize* code (install/chunk/swap — the same vocabulary growt's in-table
+// resize uses, so one trace query covers both migration machineries).
+func (m *Map) traceWindow(g *resharding, phase uint8, key uint64, arg uint32) {
+	if m.trace != nil {
+		m.trace.Record(g.traceID, obs.EvReshard, phase, key, arg)
+	}
 }
 
 // installSplit opens a split window on src, observed under generation seen.
@@ -159,6 +177,7 @@ func (m *Map) installSplit(seen *dirState, src *shard) {
 	// The window directory still routes to src — covered operations switch
 	// to the window protocol, everyone else is untouched.
 	m.st.Store(&dirState{depth: seen.depth, dir: seen.dir, mig: g})
+	m.traceWindow(g, obs.ResizeInstall, g.size, uint32(g.nchunks))
 	m.gate.Unlock()
 }
 
@@ -194,6 +213,7 @@ func (m *Map) installMerge(seen *dirState, a, b *shard) {
 	}
 	m.moveReserved(seen, g)
 	m.st.Store(&dirState{depth: seen.depth, dir: seen.dir, mig: g})
+	m.traceWindow(g, obs.ResizeInstall, g.size, uint32(g.nchunks))
 	m.gate.Unlock()
 }
 
@@ -367,8 +387,9 @@ func (m *Map) migrateChunk(g *resharding, c uint64) {
 		base += sz
 	}
 	g.state[c].Store(chunkDone)
-	g.done.Add(1)
+	done := g.done.Add(1)
 	m.helped.Add(1)
+	m.traceWindow(g, obs.ResizeChunk, c, uint32(done*1000/g.nchunks))
 	if m.splitHist != nil {
 		m.splitHist.Record(uint64(time.Since(t0).Nanoseconds()))
 	}
@@ -387,6 +408,7 @@ func (m *Map) maybeSwap(st *dirState) {
 		} else {
 			m.splits.Add(1)
 		}
+		m.traceWindow(g, obs.ResizeSwap, g.size, 1000)
 	}
 }
 

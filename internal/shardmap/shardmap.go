@@ -42,6 +42,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dramhit/internal/folklore"
 	"dramhit/internal/hashfn"
@@ -138,6 +139,12 @@ type Map struct {
 
 	observing bool
 	splitHist *obs.Histogram // per-chunk scatter ns; nil unless observing
+	trace     *obs.TraceRing // re-sharding window spans; nil unless observing
+
+	// obsw/opLat arm per-op-class latency timing (set by Observe when the
+	// registry enabled it); one shared Worker, as in folklore.
+	obsw  *obs.Worker
+	opLat bool
 
 	// noHelp disables one-chunk-per-op helping so the property tests can
 	// step a window manually; relocation (correctness) is unaffected. Set
@@ -221,8 +228,33 @@ func (m *Map) newShard(bits uint, pfx, slots uint64) *shard {
 	return sh
 }
 
+// opStart/opEnd time one operation into the shared Worker's per-op-class
+// histogram when Observe armed latency recording (see folklore). The span
+// includes any helping chunk scatter the operation performed inside a
+// re-sharding window — that tail is the cost the incremental protocol
+// bounds, so it belongs in the distribution.
+func (m *Map) opStart() int64 {
+	if m.opLat {
+		return time.Now().UnixNano()
+	}
+	return 0
+}
+
+func (m *Map) opEnd(start int64, op table.Op, hit bool) {
+	if start != 0 {
+		m.obsw.Op[obs.OpClass(op, hit)].Record(uint64(time.Now().UnixNano() - start))
+	}
+}
+
 // Get implements table.Map.
 func (m *Map) Get(key uint64) (uint64, bool) {
+	start := m.opStart()
+	v, ok := m.get(key)
+	m.opEnd(start, table.Get, ok)
+	return v, ok
+}
+
+func (m *Map) get(key uint64) (uint64, bool) {
 	h := m.sel(key)
 	m.gate.RLock()
 	st := m.st.Load()
@@ -257,6 +289,13 @@ func (m *Map) Get(key uint64) (uint64, bool) {
 // Put implements table.Map. It reports false only when the key's shard has
 // reached the local-depth cap and cannot split further — genuine fullness.
 func (m *Map) Put(key, value uint64) bool {
+	start := m.opStart()
+	ok := m.put(key, value)
+	m.opEnd(start, table.Put, ok)
+	return ok
+}
+
+func (m *Map) put(key, value uint64) bool {
 	h := m.sel(key)
 	for {
 		m.gate.RLock()
@@ -296,6 +335,13 @@ func (m *Map) Put(key, value uint64) bool {
 
 // Upsert implements table.Map.
 func (m *Map) Upsert(key, delta uint64) (uint64, bool) {
+	start := m.opStart()
+	v, ok := m.upsert(key, delta)
+	m.opEnd(start, table.Upsert, ok)
+	return v, ok
+}
+
+func (m *Map) upsert(key, delta uint64) (uint64, bool) {
 	h := m.sel(key)
 	for {
 		m.gate.RLock()
@@ -340,6 +386,13 @@ func (m *Map) Upsert(key, delta uint64) (uint64, bool) {
 
 // Delete implements table.Map.
 func (m *Map) Delete(key uint64) bool {
+	start := m.opStart()
+	hit := m.del(key)
+	m.opEnd(start, table.Delete, hit)
+	return hit
+}
+
+func (m *Map) del(key uint64) bool {
 	h := m.sel(key)
 	m.gate.RLock()
 	st := m.st.Load()
@@ -532,10 +585,71 @@ func (m *Map) ShardStats() []ShardStat {
 func (m *Map) Observe(reg *obs.Registry) {
 	m.observing = true
 	m.splitHist = &reg.Worker("shard_split_chunk").Lat
+	m.trace = reg.Trace()
+	if reg.OpLatencyEnabled() {
+		m.obsw = reg.Worker("shardmap")
+		m.opLat = true
+	}
 	m.st.Load().distinct(func(sh *shard) {
 		sh.ops = obs.NewShardedCounter(16)
 	})
 	reg.AddSource("shardmap", m.metrics)
+	reg.AddHeatmapSource("shardmap", m.heatmap)
+}
+
+// heatmap builds the router's "shards" heatmap: one region per distinct
+// shard in prefix order (value = that shard's fill), the local-depth and
+// per-shard-fill distributions, and the router gauges a scrape needs to
+// tell skew from mid-reshard transients. Selector independence (pinned in
+// internal/hashfn) means a flat Regions row here with a hot key in TopKeys
+// is the signature of single-key skew, not routing skew.
+func (m *Map) heatmap() obs.Heatmap {
+	m.gate.RLock()
+	st := m.st.Load()
+	var regions []float64
+	bits := obs.DistBuilder{}
+	fills := obs.DistBuilder{}
+	var live, slots uint64
+	var usedf float64
+	st.distinct(func(sh *shard) {
+		f := sh.tbl.Fill()
+		regions = append(regions, f)
+		bits.Add(uint64(sh.bits))
+		fills.Add(uint64(f * 100))
+		live += uint64(sh.tbl.Len())
+		slots += uint64(sh.tbl.Cap())
+		usedf += f * float64(sh.tbl.Cap())
+	})
+	var done, total uint64
+	if st.mig != nil {
+		done, total = st.mig.done.Load(), st.mig.nchunks
+	}
+	m.gate.RUnlock()
+	hm := obs.Heatmap{
+		Kind:    "shards",
+		Regions: regions,
+		Dists: []obs.HeatDist{
+			fills.Build("shard_fill_pct"),
+			bits.Build("shard_local_depth"),
+		},
+		Gauges: map[string]float64{
+			"shards":     float64(len(regions)),
+			"depth":      float64(st.depth),
+			"live":       float64(live),
+			"slots":      float64(slots),
+			"splits":     float64(m.splits.Load()),
+			"merges":     float64(m.merges.Load()),
+			"resharding": 0,
+		},
+	}
+	if slots != 0 {
+		hm.Gauges["fill"] = usedf / float64(slots)
+	}
+	if total != 0 {
+		hm.Gauges["resharding"] = 1
+		hm.Gauges["migration_progress"] = float64(done) / float64(total)
+	}
+	return hm
 }
 
 func (m *Map) metrics() map[string]float64 {

@@ -165,6 +165,52 @@ func (t *BucketTable) Arena() *arena.Arena { return t.ar }
 // the prefetch target before the operation runs).
 func (t *BucketTable) HashOf(key []byte) uint64 { return t.hash(key) }
 
+// ScanBuckets walks the current index generation for scrape-time
+// introspection (the /heatmap collectors). For every bucket it invokes
+// bucket (if non-nil) with the lane occupancy — live and tombstoned lane
+// counts — and the stash chain's shape: live nodes and total nodes walked
+// (tombstones included, since a reader traverses them too). For every live
+// record it invokes record (if non-nil) with the number of index loads a
+// reader performs to reach it: 1 for a lane hit (the one-line probe), 1+n
+// for the n-th node of the stash chain (bucket line plus n node hops).
+// The walk reads live state with atomic loads and tolerates concurrent
+// mutation; counts are a consistent-enough snapshot, like the trace ring.
+func (t *BucketTable) ScanBuckets(
+	bucket func(bi uint64, liveLanes, tombLanes, stashLive, stashLen int),
+	record func(bi uint64, loads int),
+) {
+	st := t.state.Load()
+	for bi := uint64(0); bi < st.nb; bi++ {
+		b := bi * BucketWords
+		var live, tomb int
+		for lane := 0; lane < BucketLanes; lane++ {
+			switch w := atomic.LoadUint64(&st.words[b+uint64(lane)+1]); w {
+			case 0:
+			case slotTombstone:
+				tomb++
+			default:
+				live++
+				if record != nil {
+					record(bi, 1)
+				}
+			}
+		}
+		var stashLive, stashLen int
+		for n := st.stash[bi].Load(); n != nil; n = n.next {
+			stashLen++
+			if w := n.word.Load(); w != 0 && w != slotTombstone {
+				stashLive++
+				if record != nil {
+					record(bi, 1+stashLen)
+				}
+			}
+		}
+		if bucket != nil {
+			bucket(bi, live, tomb, stashLive, stashLen)
+		}
+	}
+}
+
 // Prefetch touches the bucket line for hash hv on the current state — the
 // model's analogue of issuing a prefetch for the one line a probe needs.
 func (t *BucketTable) Prefetch(hv uint64) {
