@@ -71,6 +71,10 @@ func main() {
 	layoutFlag := flag.String("layout", "flat", "physical slot layout (dramhit and dramhit-p backends): flat | bucket")
 	valueSize := flag.Int("valuesize", 0, "run as a byte-string KV workload with values up to this many bytes (requires -layout bucket); 0 keeps the uint64 workload")
 	valueTheta := flag.Float64("valuetheta", 0, "zipf skew of per-write value sizes over [1,valuesize]; 0 = every value exactly -valuesize bytes")
+	socketAddr := flag.String("socket", "", "socket client mode: drive a live dramhit-server as a RESP client at this address instead of an in-process table")
+	connsFlag := flag.Int("conns", 64, "socket mode: concurrent client TCP connections")
+	pipelineFlag := flag.Int("pipeline", 16, "socket mode: max pipelined requests per connection")
+	rateFlag := flag.Float64("rate", 0, "socket mode: open-loop target ops/sec across all connections (0 = closed loop)")
 	flag.Parse()
 
 	mix, err := ycsb.ByName(*workloadName)
@@ -82,6 +86,23 @@ func main() {
 	}
 	if *theta >= 1 {
 		fail(fmt.Errorf("-theta must be negative (default) or in [0,1), got %v", *theta))
+	}
+	if *socketAddr != "" {
+		// Socket client mode: loadgen is the network side of the table —
+		// see socket.go. The in-process table flags do not apply.
+		if *connsFlag < 1 {
+			fail(fmt.Errorf("-conns must be >= 1, got %d", *connsFlag))
+		}
+		if *pipelineFlag < 1 {
+			fail(fmt.Errorf("-pipeline must be >= 1, got %d", *pipelineFlag))
+		}
+		runSocket(socketRun{
+			addr: *socketAddr, mix: mix, records: *records, ops: *ops,
+			conns: *connsFlag, pipeline: *pipelineFlag, rate: *rateFlag,
+			miss: *missRatio, theta: *theta, valueSize: *valueSize,
+			jsonPath: *jsonPath, metrics: *metrics,
+		})
+		return
 	}
 	combining, err := dramhit.ParseCombining(*combiningFlag)
 	if err != nil {

@@ -201,6 +201,11 @@ type Handle = idramhit.Handle
 // Stats carries per-handle observability counters.
 type Stats = idramhit.Stats
 
+// ByteCompletion reports one finished byte-string request to the callback a
+// Handle.OnByteComplete armed — the completion record of the network-facing
+// byte pipeline (SubmitBytes/FlushBytes, bucket layout only).
+type ByteCompletion = idramhit.ByteCompletion
+
 // DefaultPrefetchWindow is the default pipeline depth.
 const DefaultPrefetchWindow = idramhit.DefaultPrefetchWindow
 

@@ -63,6 +63,30 @@ func ExampleHandle_Submit() {
 	// id=300 value=0 found=false
 }
 
+// ExampleHandle_SubmitBytes shows the network-facing byte pipeline on the
+// bucket layout: byte-string requests complete in submission order through a
+// callback, so a protocol server can append each reply straight to its
+// connection write buffer — no per-op channels, no reorder buffer.
+func ExampleHandle_SubmitBytes() {
+	t := dramhit.New(dramhit.Config{Slots: 1 << 12, Layout: dramhit.LayoutBucket})
+	h := t.NewHandle()
+
+	h.OnByteComplete(func(c dramhit.ByteCompletion) {
+		fmt.Printf("id=%d op=%v found=%v value=%q\n", c.ID, c.Op, c.Found, c.Value)
+	})
+
+	h.SubmitBytes(dramhit.Put, 1, []byte("user1"), []byte("alice"))
+	h.SubmitBytes(dramhit.Get, 2, []byte("user1"), nil)
+	h.SubmitBytes(dramhit.Get, 3, []byte("user2"), nil) // absent
+	h.SubmitBytes(dramhit.Delete, 4, []byte("user1"), nil)
+	h.FlushBytes() // completions fire FIFO, in submission order
+	// Output:
+	// id=1 op=put found=false value=""
+	// id=2 op=get found=true value="alice"
+	// id=3 op=get found=false value=""
+	// id=4 op=delete found=true value=""
+}
+
 // ExampleNewPartitioned shows delegated counting with DRAMHiT-P.
 func ExampleNewPartitioned() {
 	p := dramhit.NewPartitioned(dramhit.PartitionedConfig{

@@ -1,24 +1,32 @@
 // kvcache: a read-heavy key-value cache in front of a slow backing store —
 // the "request load balancing / key-value store" workload class from the
-// paper's introduction.
+// paper's introduction — served over the network by dramhit-server.
 //
-// Several worker goroutines serve zipfian-skewed lookups, each with its own
-// DRAMHiT handle, batching requests so the prefetch pipeline overlaps the
-// misses; cache misses fall through to the (simulated) backing store and are
-// installed with Put. Reads take no atomic operations, so the hot keys stay
-// cached in the shared state across all cores.
+// The cache loop itself lives in the server now (cmd/dramhit-server parses
+// wire batches into the table's prefetch pipeline); this example is the thin
+// client side: workers speak plain RESP over TCP, pipelining zipfian GETs so
+// the server sees wire batches it can drain under one prefetch window, and
+// on a miss fetch from the (simulated) slow tier and install the value with
+// a pipelined SET. Any Redis client would do the same job.
 //
 // Run with: go run ./examples/kvcache
+// Or point it at an external server: go run ./cmd/dramhit-server -resp :6380
+// in one terminal, go run ./examples/kvcache -addr 127.0.0.1:6380 in another.
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"dramhit"
+	"dramhit/internal/kvserver"
 )
 
 const (
@@ -26,14 +34,90 @@ const (
 	keySpace   = 200_000
 	workers    = 4
 	requests   = 100_000
-	batchSize  = 64
+	batchSize  = 64 // pipelined GETs per wire batch
 )
 
 // backingStore stands in for the slow tier (a database, a remote service).
 func backingStore(key uint64) uint64 { return key*31 + 7 }
 
+// client is one worker's connection: pipelined RESP over a buffered pair.
+type client struct {
+	nc net.Conn
+	br *bufio.Reader
+	wb []byte
+}
+
+func dial(addr string) (*client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{nc: nc, br: bufio.NewReaderSize(nc, 1<<16)}, nil
+}
+
+func (c *client) appendCmd(args ...[]byte) {
+	c.wb = append(c.wb, '*')
+	c.wb = strconv.AppendInt(c.wb, int64(len(args)), 10)
+	c.wb = append(c.wb, '\r', '\n')
+	for _, a := range args {
+		c.wb = append(c.wb, '$')
+		c.wb = strconv.AppendInt(c.wb, int64(len(a)), 10)
+		c.wb = append(c.wb, '\r', '\n')
+		c.wb = append(c.wb, a...)
+		c.wb = append(c.wb, '\r', '\n')
+	}
+}
+
+// flush writes the pipelined batch and returns one reply per command: the
+// bulk payload for a GET hit, nil for a nil reply (miss), the line tail for
+// simple-string and integer replies.
+func (c *client) flush(n int) ([][]byte, error) {
+	if _, err := c.nc.Write(c.wb); err != nil {
+		return nil, err
+	}
+	c.wb = c.wb[:0]
+	replies := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.br.ReadSlice('\n')
+		if err != nil {
+			return nil, err
+		}
+		switch line[0] {
+		case '+', ':':
+			replies = append(replies, []byte(string(line[1:len(line)-2])))
+		case '-':
+			return nil, fmt.Errorf("server error: %s", line[1:len(line)-2])
+		case '$':
+			sz, _ := strconv.Atoi(string(line[1 : len(line)-2]))
+			if sz < 0 {
+				replies = append(replies, nil) // miss
+				continue
+			}
+			body := make([]byte, sz+2)
+			if _, err := io.ReadFull(c.br, body); err != nil {
+				return nil, err
+			}
+			replies = append(replies, body[:sz])
+		default:
+			return nil, fmt.Errorf("unexpected reply %q", line)
+		}
+	}
+	return replies, nil
+}
+
 func main() {
-	cache := dramhit.New(dramhit.Config{Slots: cacheSlots})
+	addr := flag.String("addr", "", "dramhit-server RESP address (empty boots one in-process)")
+	flag.Parse()
+
+	if *addr == "" {
+		srv, err := kvserver.New(kvserver.Config{RespAddr: "127.0.0.1:0", Slots: cacheSlots})
+		if err != nil {
+			panic(err)
+		}
+		defer srv.Close()
+		*addr = srv.RespAddr()
+		fmt.Printf("kvcache: in-process dramhit-server on %s\n", *addr)
+	}
 
 	var hits, misses atomic.Int64
 	var wg sync.WaitGroup
@@ -42,58 +126,51 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			h := cache.NewHandle()
+			c, err := dial(*addr)
+			if err != nil {
+				panic(err)
+			}
+			defer c.nc.Close()
 			// Zipf-skewed request stream: most traffic hammers few keys.
 			rng := rand.New(rand.NewSource(int64(w + 1)))
 			zipf := rand.NewZipf(rng, 1.2, 1, keySpace-1)
 
-			reqs := make([]dramhit.Request, 0, batchSize)
-			resps := make([]dramhit.Response, batchSize*2)
-			keys := make([]uint64, batchSize) // ID -> key for miss handling
-
-			serveBatch := func() {
-				if len(reqs) == 0 {
-					return
+			keys := make([]uint64, 0, batchSize)
+			var kb, vb []byte
+			for sent := 0; sent < requests/workers; {
+				keys = keys[:0]
+				for len(keys) < batchSize && sent+len(keys) < requests/workers {
+					keys = append(keys, zipf.Uint64()+1)
 				}
-				pending := reqs
-				collect := func(rs []dramhit.Response) {
-					for _, r := range rs {
-						if r.Found {
-							hits.Add(1)
-							continue
-						}
-						// Miss: fetch from the slow tier, install.
-						misses.Add(1)
-						k := keys[r.ID]
-						v := backingStore(k)
-						h.Submit([]dramhit.Request{{Op: dramhit.Put, Key: k, Value: v}}, nil)
+				for _, k := range keys {
+					kb = strconv.AppendUint(kb[:0], k, 10)
+					c.appendCmd([]byte("GET"), kb)
+				}
+				replies, err := c.flush(len(keys))
+				if err != nil {
+					panic(err)
+				}
+				// Misses fall through to the slow tier and install with SET.
+				nmiss := 0
+				for i, r := range replies {
+					if r != nil {
+						hits.Add(1)
+						continue
+					}
+					misses.Add(1)
+					k := keys[i]
+					kb = strconv.AppendUint(kb[:0], k, 10)
+					vb = strconv.AppendUint(vb[:0], backingStore(k), 10)
+					c.appendCmd([]byte("SET"), kb, vb)
+					nmiss++
+				}
+				if nmiss > 0 {
+					if _, err := c.flush(nmiss); err != nil {
+						panic(err)
 					}
 				}
-				for len(pending) > 0 {
-					nreq, nresp := h.Submit(pending, resps)
-					collect(resps[:nresp])
-					pending = pending[nreq:]
-				}
-				for {
-					nresp, done := h.Flush(resps)
-					collect(resps[:nresp])
-					if done {
-						break
-					}
-				}
-				reqs = reqs[:0]
+				sent += len(keys)
 			}
-
-			for i := 0; i < requests/workers; i++ {
-				key := zipf.Uint64() + 1
-				id := uint64(len(reqs))
-				keys[id] = key
-				reqs = append(reqs, dramhit.Request{Op: dramhit.Get, Key: key, ID: id})
-				if len(reqs) == batchSize {
-					serveBatch()
-				}
-			}
-			serveBatch()
 		}(w)
 	}
 	wg.Wait()
@@ -103,14 +180,23 @@ func main() {
 	fmt.Printf("kvcache: %d requests from %d workers in %v (%.2f Mops)\n",
 		total, workers, elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds()/1e6)
-	fmt.Printf("hit rate %.1f%% (%d hits, %d misses), %d distinct keys cached\n",
-		100*float64(hits.Load())/float64(total), hits.Load(), misses.Load(), cache.Len())
+	fmt.Printf("hit rate %.1f%% (%d hits, %d misses)\n",
+		100*float64(hits.Load())/float64(total), hits.Load(), misses.Load())
 
-	// Spot-check correctness through a synchronous view.
-	s := cache.NewSync()
+	// Spot-check correctness through a fresh connection.
+	c, err := dial(*addr)
+	if err != nil {
+		panic(err)
+	}
+	defer c.nc.Close()
 	for k := uint64(1); k <= 5; k++ {
-		if v, ok := s.Get(k); ok && v != backingStore(k) {
-			panic(fmt.Sprintf("cache corruption: key %d has %d", k, v))
+		c.appendCmd([]byte("GET"), []byte(strconv.FormatUint(k, 10)))
+		replies, err := c.flush(1)
+		if err != nil {
+			panic(err)
+		}
+		if r := replies[0]; r != nil && string(r) != strconv.FormatUint(backingStore(k), 10) {
+			panic(fmt.Sprintf("cache corruption: key %d has %q", k, r))
 		}
 	}
 	fmt.Println("spot check passed")

@@ -422,6 +422,15 @@ type Handle struct {
 	// latency in nanoseconds (used by the Figure 9 latency experiment).
 	onComplete func(req table.Request, lat time.Duration)
 
+	// Byte pipeline (netbatch.go): the ring of in-flight byte-string
+	// requests whose home bucket lines were prefetched at SubmitBytes, and
+	// the completion callback that replaces per-op response channels on the
+	// network path. Nil until OnByteComplete arms it (bucket layout only).
+	byteQ  []bytePending
+	bhead  int
+	btail  int
+	onByte func(ByteCompletion)
+
 	// Governor plumbing (all nil/zero when the table has no governor — the
 	// hot path then pays exactly one predictable nil check in Submit). The
 	// handle caches the governor's packed decision word and re-decodes only

@@ -1,0 +1,213 @@
+package dramhit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dramhit/internal/table"
+)
+
+// TestByteGatekeeping pins the byte pipeline's programmer-error panics:
+// submit before arming, Upsert ops, and re-arming with requests in flight.
+func TestByteGatekeeping(t *testing.T) {
+	h := newBucketTable(256).NewHandle()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SubmitBytes before OnByteComplete", func() {
+		h.SubmitBytes(table.Get, 0, []byte("k"), nil)
+	})
+	h.OnByteComplete(func(ByteCompletion) {})
+	mustPanic("SubmitBytes(Upsert)", func() {
+		h.SubmitBytes(table.Upsert, 0, []byte("k"), []byte("v"))
+	})
+	h.SubmitBytes(table.Put, 0, []byte("k"), []byte("v"))
+	mustPanic("OnByteComplete with requests in flight", func() {
+		h.OnByteComplete(func(ByteCompletion) {})
+	})
+	h.FlushBytes()
+	// Re-arming at an empty pipeline is legal.
+	h.OnByteComplete(func(ByteCompletion) {})
+}
+
+// TestBytePipelineFIFO pins the property the network servers are built on:
+// completions arrive in exact submission order, even when submissions
+// trigger window-full drains mid-batch.
+func TestBytePipelineFIFO(t *testing.T) {
+	h := newBucketTable(4096).NewHandle()
+	var order []uint64
+	h.OnByteComplete(func(c ByteCompletion) { order = append(order, c.ID) })
+	const n = 500 // many multiples of the window
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%04d", i%97)) // duplicates included
+	}
+	for i, k := range keys {
+		if i%3 == 0 {
+			h.SubmitBytes(table.Put, uint64(i), k, []byte("v"))
+		} else {
+			h.SubmitBytes(table.Get, uint64(i), k, nil)
+		}
+	}
+	h.FlushBytes()
+	if len(order) != n {
+		t.Fatalf("completions = %d, want %d", len(order), n)
+	}
+	for i, id := range order {
+		if id != uint64(i) {
+			t.Fatalf("completion %d carries id %d: not FIFO", i, id)
+		}
+	}
+	if h.PendingBytes() != 0 {
+		t.Fatalf("PendingBytes = %d after flush", h.PendingBytes())
+	}
+}
+
+// TestBytePipelineOracle drives a random op sequence through the async byte
+// pipeline and checks every completion against a reference map mutated in
+// the same submission order — valid precisely because completions are FIFO
+// and resolve against table state at drain time, which equals submission
+// order state for single-handle use.
+func TestBytePipelineOracle(t *testing.T) {
+	h := newBucketTable(1 << 14).NewHandle()
+	rng := rand.New(rand.NewSource(7))
+	ref := map[string]string{}
+	type exp struct {
+		op    table.Op
+		key   string
+		val   string // expected Get value
+		found bool
+	}
+	var queue []exp
+	ncomplete := 0
+	h.OnByteComplete(func(c ByteCompletion) {
+		e := queue[ncomplete]
+		ncomplete++
+		if c.ID != uint64(ncomplete-1) {
+			t.Fatalf("completion id %d at position %d", c.ID, ncomplete-1)
+		}
+		if c.Op != e.op || c.Found != e.found {
+			t.Fatalf("op %d on %q: completion (%v, found=%v), want (%v, found=%v)",
+				ncomplete-1, e.key, c.Op, c.Found, e.op, e.found)
+		}
+		if e.op == table.Get && e.found && string(c.Value) != e.val {
+			t.Fatalf("Get %q = %q, want %q", e.key, c.Value, e.val)
+		}
+	})
+
+	const ops = 6000
+	keyOf := func(i int) string { return fmt.Sprintf("oracle-key-%03d", i) }
+	for i := 0; i < ops; i++ {
+		k := keyOf(rng.Intn(200)) // hot keyspace: plenty of same-key pipelining
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // Get
+			v, ok := ref[k]
+			queue = append(queue, exp{op: table.Get, key: k, val: v, found: ok})
+			h.SubmitBytes(table.Get, uint64(i), []byte(k), nil)
+		case 4, 5, 6, 7: // Put
+			_, existed := ref[k]
+			v := fmt.Sprintf("val-%d", i)
+			ref[k] = v
+			queue = append(queue, exp{op: table.Put, key: k, found: existed})
+			h.SubmitBytes(table.Put, uint64(i), []byte(k), []byte(v))
+		default: // Delete
+			_, existed := ref[k]
+			delete(ref, k)
+			queue = append(queue, exp{op: table.Delete, key: k, found: existed})
+			h.SubmitBytes(table.Delete, uint64(i), []byte(k), nil)
+		}
+		if rng.Intn(64) == 0 {
+			h.FlushBytes()
+		}
+	}
+	h.FlushBytes()
+	if ncomplete != ops {
+		t.Fatalf("completed %d of %d ops", ncomplete, ops)
+	}
+}
+
+// TestBytePipelineMatchesSyncAPI replays one workload through the async
+// pipeline and the synchronous byte API on twin tables: every result and
+// the execution-model-invariant stats must agree (the async path is the
+// same engine call, just prefetch-scheduled).
+func TestBytePipelineMatchesSyncAPI(t *testing.T) {
+	ta, ts := newBucketTable(1<<13), newBucketTable(1<<13)
+	ha, hs := ta.NewHandle(), ts.NewHandle()
+
+	type res struct {
+		val   string
+		found bool
+	}
+	var async []res
+	ha.OnByteComplete(func(c ByteCompletion) {
+		async = append(async, res{string(c.Value), c.Found})
+	})
+	var sync []res
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		k := []byte(fmt.Sprintf("twin-%03d", rng.Intn(300)))
+		switch rng.Intn(8) {
+		case 0, 1, 2: // Get
+			ha.SubmitBytes(table.Get, uint64(i), k, nil)
+			v, ok := hs.GetBytes(k)
+			sync = append(sync, res{string(v), ok})
+		case 3, 4, 5: // Put
+			v := []byte(fmt.Sprintf("v%d", i))
+			ha.SubmitBytes(table.Put, uint64(i), k, v)
+			sync = append(sync, res{"", hs.PutBytes(k, v)})
+		default: // Delete
+			ha.SubmitBytes(table.Delete, uint64(i), k, nil)
+			sync = append(sync, res{"", hs.DeleteBytes(k)})
+		}
+	}
+	ha.FlushBytes()
+	if len(async) != len(sync) {
+		t.Fatalf("async completed %d, sync %d", len(async), len(sync))
+	}
+	for i := range async {
+		af, sf := async[i], sync[i]
+		if af.found != sf.found || af.val != sf.val {
+			t.Fatalf("op %d diverged: async (%q, %v) vs sync (%q, %v)",
+				i, af.val, af.found, sf.val, sf.found)
+		}
+	}
+	sa, ss := ha.Stats().Core(), hs.Stats().Core()
+	// Lines differ by design (the async path counts its prefetches); zero it.
+	sa.Lines, ss.Lines = 0, 0
+	if sa != ss {
+		t.Fatalf("stats diverged:\nasync %+v\nsync  %+v", sa, ss)
+	}
+	if ta.Len() != ts.Len() {
+		t.Fatalf("table lengths diverged: %d vs %d", ta.Len(), ts.Len())
+	}
+}
+
+// TestBytePipelineZeroAllocSteadyState: a warm pipeline must not allocate
+// per op — the ring, the engine handle, and the callback path are all
+// allocation-free (completions alias arena records).
+func TestBytePipelineZeroAllocSteadyState(t *testing.T) {
+	h := newBucketTable(4096).NewHandle()
+	var sink int
+	h.OnByteComplete(func(c ByteCompletion) { sink += len(c.Value) })
+	key, val := []byte("steady-key"), []byte("steady-val")
+	h.SubmitBytes(table.Put, 0, key, val)
+	h.FlushBytes()
+	run := func() {
+		for i := 0; i < 64; i++ {
+			h.SubmitBytes(table.Get, uint64(i), key, nil)
+		}
+		h.FlushBytes()
+	}
+	run() // warm
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("steady-state byte pipeline allocates %v/run", allocs)
+	}
+}

@@ -308,6 +308,14 @@ type ReadHandle struct {
 	hot   *obs.TopK
 	opLat bool
 
+	// Byte-lookup pipeline (netbatch.go): in-flight byte-string Gets whose
+	// home bucket lines were prefetched at SubmitGetBytes, completed in FIFO
+	// order through onBGet. Nil until OnGetBytesComplete arms it.
+	bq     []bGetPending
+	bqhead int
+	bqtail int
+	onBGet func(id uint64, value []byte, found bool)
+
 	// Governor plumbing (nil/zero on an ungoverned table): the handle polls
 	// the shared decision word every govPollEvery Submits, feeds its counter
 	// deltas as sensors, and actuates adopted decisions only while the

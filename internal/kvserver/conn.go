@@ -1,0 +1,284 @@
+package kvserver
+
+import (
+	"net"
+	"time"
+
+	idramhit "dramhit/internal/dramhit"
+	"dramhit/internal/mctext"
+	"dramhit/internal/obs"
+	"dramhit/internal/resp"
+	"dramhit/internal/table"
+)
+
+// Reply kinds: what the completion callback appends for each submitted
+// request. The meta queue is strictly FIFO-parallel to submissions, which
+// is sound because the byte pipeline completes in submission order.
+const (
+	kRespGet = iota
+	kRespSet
+	kRespDel
+	kMcGet     // one key of a memcached get: VALUE block on hit, nothing on miss
+	kMcGetLast // last key: as kMcGet, then END
+	kMcSet
+	kMcSetQuiet
+	kMcDel
+	kMcDelQuiet
+)
+
+// pmeta carries the per-request reply context from submit to completion.
+type pmeta struct {
+	key   []byte // mc VALUE lines echo the key; aliases the parser arena
+	start int64  // latency stamp (0 when metrics are off)
+	kind  uint8
+}
+
+// conn is the per-connection state shared by both protocol loops: one table
+// handle (single-goroutine, like the connection), the reply write buffer,
+// a batch-stable scratch arena for encoded values, and the meta queue.
+type conn struct {
+	s *Server
+	c net.Conn
+	h *idramhit.Handle
+	w *obs.Worker // pool shard (shared, atomic); nil when metrics are off
+
+	wbuf []byte  // replies accumulated for the current wire batch
+	vbuf []byte  // encoded flags+payload records, stable until batch flush
+	meta []pmeta // submit-order reply contexts
+	mi   int     // completion cursor into meta
+
+	async bool // BackendDramhit: pipeline; else synchronous per-op calls
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	cn := &conn{
+		s:     s,
+		c:     c,
+		h:     s.tbl.NewHandle(),
+		async: s.cfg.Backend == BackendDramhit,
+	}
+	if s.pool != nil {
+		cn.w = s.pool[int(s.connSeq.Add(1))%len(s.pool)]
+	}
+	if cn.async {
+		cn.h.OnByteComplete(cn.complete)
+	}
+	return cn
+}
+
+// record layout: 4-byte little-endian flags, then the payload.
+
+func appendRecord(dst []byte, flags uint32, payload []byte) []byte {
+	dst = append(dst, byte(flags), byte(flags>>8), byte(flags>>16), byte(flags>>24))
+	return append(dst, payload...)
+}
+
+// splitRecord is defensive about short records (a raced mc incr can store a
+// bare re-encode): anything under 4 bytes reads as flags 0, payload whole.
+func splitRecord(rec []byte) (flags uint32, payload []byte) {
+	if len(rec) < 4 {
+		return 0, rec
+	}
+	return uint32(rec[0]) | uint32(rec[1])<<8 | uint32(rec[2])<<16 | uint32(rec[3])<<24,
+		rec[4:]
+}
+
+// parseUint parses a non-empty decimal uint64, rejecting junk and overflow.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
+// submit routes one Get/Put/Delete through the configured backend. Under
+// dramhit it enters the async byte pipeline (reply appended at completion,
+// possibly after more submissions); under folklore it executes and replies
+// immediately. key/val must stay valid until the batch flush (they alias
+// the parser arena and vbuf, both of which are released at flushWrite).
+func (cn *conn) submit(op table.Op, kind uint8, key, val []byte) {
+	m := pmeta{kind: kind, key: key}
+	if cn.w != nil {
+		m.start = time.Now().UnixNano()
+	}
+	cn.meta = append(cn.meta, m)
+	if cn.async {
+		cn.h.SubmitBytes(op, uint64(len(cn.meta)-1), key, val)
+		return
+	}
+	var v []byte
+	var found bool
+	switch op {
+	case table.Get:
+		v, found = cn.h.GetBytes(key)
+	case table.Put:
+		found = cn.h.PutBytes(key, val)
+	default:
+		found = cn.h.DeleteBytes(key)
+	}
+	cn.complete(idramhit.ByteCompletion{ID: uint64(len(cn.meta) - 1), Op: op, Value: v, Found: found})
+}
+
+// complete consumes the next meta entry and appends its wire reply. It is
+// the byte pipeline's completion callback (and the folklore path calls it
+// inline with a synthesized completion).
+func (cn *conn) complete(cc idramhit.ByteCompletion) {
+	m := &cn.meta[cn.mi]
+	cn.mi++
+	switch m.kind {
+	case kRespGet:
+		if cc.Found {
+			_, payload := splitRecord(cc.Value)
+			cn.wbuf = resp.AppendBulk(cn.wbuf, payload)
+		} else {
+			cn.wbuf = resp.AppendNil(cn.wbuf)
+		}
+	case kRespSet:
+		cn.wbuf = resp.AppendSimple(cn.wbuf, "OK")
+	case kRespDel:
+		n := int64(0)
+		if cc.Found {
+			n = 1
+		}
+		cn.wbuf = resp.AppendInt(cn.wbuf, n)
+	case kMcGet, kMcGetLast:
+		if cc.Found {
+			flags, payload := splitRecord(cc.Value)
+			cn.wbuf = mctext.AppendValue(cn.wbuf, m.key, flags, payload)
+		}
+		if m.kind == kMcGetLast {
+			cn.wbuf = mctext.AppendEnd(cn.wbuf)
+		}
+	case kMcSet:
+		cn.wbuf = mctext.AppendLine(cn.wbuf, "STORED")
+	case kMcDel:
+		if cc.Found {
+			cn.wbuf = mctext.AppendLine(cn.wbuf, "DELETED")
+		} else {
+			cn.wbuf = mctext.AppendLine(cn.wbuf, "NOT_FOUND")
+		}
+	default: // kMcSetQuiet, kMcDelQuiet: noreply
+	}
+	if cn.w != nil {
+		cn.countOp(cc.Op, cc.Found, m.start)
+	}
+}
+
+// countOp records the request into the connection's pool shard: completion
+// counters plus parse-to-completion latency in the per-op-class histogram.
+// The shard is shared across connections; counters and histograms are
+// atomic, so plain Add/Record compose.
+func (cn *conn) countOp(op table.Op, found bool, start int64) {
+	hit := found
+	switch op {
+	case table.Get:
+		cn.w.Inc(obs.CGets)
+	case table.Put:
+		cn.w.Inc(obs.CPuts)
+		hit = true
+	case table.Upsert:
+		cn.w.Inc(obs.CUpserts)
+		hit = true
+	default:
+		cn.w.Inc(obs.CDeletes)
+	}
+	if found && (op == table.Get || op == table.Delete) {
+		cn.w.Inc(obs.CHits)
+	}
+	if start != 0 {
+		cn.w.Op[obs.OpClass(op, hit)].Record(uint64(time.Now().UnixNano() - start))
+	}
+}
+
+// barrier drains the async pipeline so a synchronous reply (PING, INCR, a
+// protocol error) is appended after every earlier request's reply — the
+// total order the wire demands.
+func (cn *conn) barrier() {
+	if cn.async && cn.h.PendingBytes() > 0 {
+		cn.h.FlushBytes()
+	}
+}
+
+// flushWrite ends the wire batch: drains the pipeline, writes the
+// accumulated replies in one syscall, and resets the batch-lifetime
+// buffers. After it returns, nothing references the parser arena.
+func (cn *conn) flushWrite() error {
+	cn.barrier()
+	cn.meta = cn.meta[:0]
+	cn.mi = 0
+	cn.vbuf = cn.vbuf[:0]
+	if len(cn.wbuf) == 0 {
+		return nil
+	}
+	_, err := cn.c.Write(cn.wbuf)
+	cn.wbuf = cn.wbuf[:0]
+	return err
+}
+
+// wbufHighWater caps reply accumulation mid-batch: a client that pipelines
+// without reading would otherwise grow wbuf unboundedly. Crossing it forces
+// an early batch flush (and parser arena release at the call site).
+const wbufHighWater = 64 << 10
+
+// upsertNumeric is the shared INCR/DECR core: atomically applies delta
+// (subtracting when negative is set, clamped at zero memcached-style) to
+// the record's numeric payload, preserving flags. snap is the caller's
+// pre-read of the record (both protocols decide existence/numericness from
+// it); if the record vanishes mid-Mutate the snapshot seeds the re-create,
+// which linearizes the increment just before the racing delete.
+func (cn *conn) upsertNumeric(key []byte, snap []byte, delta uint64, negative bool) (uint64, bool) {
+	snapFlags, snapPay := splitRecord(snap)
+	cur, ok := parseUint(snapPay)
+	if !ok {
+		return 0, false
+	}
+	var out uint64
+	var scratch [28]byte // 4 flags + 20 digits; engine copies during Mutate
+	cn.h.UpsertBytes(key, func(old []byte, present bool) []byte {
+		flags, cur2 := snapFlags, cur
+		if present {
+			f, pay := splitRecord(old)
+			if n, ok2 := parseUint(pay); ok2 {
+				flags, cur2 = f, n
+			}
+		}
+		switch {
+		case !negative:
+			out = cur2 + delta // wraps at 2^64, like memcached
+		case delta > cur2:
+			out = 0 // memcached decr clamps at zero
+		default:
+			out = cur2 - delta
+		}
+		b := scratch[:0]
+		b = appendRecord(b, flags, nil)
+		b = appendUintDec(b, out)
+		return b
+	})
+	return out, true
+}
+
+func appendUintDec(b []byte, n uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,264 @@
+// Package kvserver is the network front-end over the DRAMHiT table: a TCP
+// server speaking RESP (GET/SET/DEL/INCR/PING) and the memcached text
+// protocol (get/gets/set/delete/incr/decr, noreply) against one shared
+// bucket-layout table.
+//
+// The design point is that network batching composes with the table's
+// prefetch-window batching. Each connection is one goroutine owning one
+// table handle; every fully-buffered request on the wire is parsed and
+// submitted into the handle's byte pipeline (SubmitBytes — home bucket line
+// prefetched at parse time), and only when the connection's input drains
+// does the handle FlushBytes. Completions fire in submission order, so each
+// reply is appended to the connection's write buffer straight from the
+// completion callback: a client that pipelines N requests gets its N
+// replies computed under one prefetch window and written in one syscall,
+// with no per-op channels and no reorder buffer anywhere.
+//
+// Both protocols share one keyspace. A stored record is a 4-byte
+// little-endian flags word (memcached metadata; RESP writes zero) followed
+// by the payload, so values round-trip across protocols.
+package kvserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	idramhit "dramhit/internal/dramhit"
+	"dramhit/internal/obs"
+	"dramhit/internal/table"
+)
+
+// Backend selects the execution model serving requests.
+type Backend int
+
+const (
+	// BackendDramhit pipelines each wire batch through the handle's async
+	// byte pipeline: bucket lines prefetched at submit, resolved at flush.
+	BackendDramhit Backend = iota
+	// BackendFolklore answers each request with one synchronous engine call
+	// as it is parsed — the folklore execution model on DRAMHiT's kernel
+	// (the same degraded mode the governor's direct actuation uses). The
+	// server-ab experiment measures the gap between the two.
+	BackendFolklore
+)
+
+// ParseBackend maps "dramhit" (or "") and "folklore" to Backend values.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "dramhit":
+		return BackendDramhit, nil
+	case "folklore":
+		return BackendFolklore, nil
+	}
+	return 0, fmt.Errorf("kvserver: unknown backend %q (want dramhit or folklore)", s)
+}
+
+func (b Backend) String() string {
+	if b == BackendFolklore {
+		return "folklore"
+	}
+	return "dramhit"
+}
+
+// Config parameterizes a server.
+type Config struct {
+	// RespAddr is the RESP listener address (e.g. ":6379", "127.0.0.1:0");
+	// empty disables the RESP listener.
+	RespAddr string
+	// McAddr is the memcached-text listener address; empty disables it.
+	McAddr string
+	// Slots sizes the table (0 selects a small default; the bucket layout
+	// resizes itself, so this is a starting point, not a capacity cap).
+	Slots uint64
+	// Window is the per-connection prefetch-window depth (0 = table default).
+	Window int
+	// Backend selects pipelined (dramhit) or synchronous (folklore) serving.
+	Backend Backend
+	// Obs, when non-nil, exports the serving metrics: per-op-class latency
+	// histograms (parse-to-completion) under a small pool of "server-w<i>"
+	// workers, and connection/table gauges under the "server" pull source.
+	// The table itself is created unobserved — per-connection handles would
+	// otherwise grow the registry without bound under connection churn.
+	Obs *obs.Registry
+	// ObsWorkers sizes the shared worker pool (0 = 8). Connections hash onto
+	// pool shards; Worker histograms and counters are atomic, so sharing is
+	// safe — the pool only bounds metric cardinality.
+	ObsWorkers int
+}
+
+// Server is a running KV front-end. Create with New, stop with Close.
+type Server struct {
+	cfg Config
+	tbl *idramhit.Table
+
+	respLn net.Listener
+	mcLn   net.Listener
+
+	pool []*obs.Worker // nil when Config.Obs is nil
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+
+	closed  atomic.Bool
+	connSeq atomic.Uint64
+
+	curResp, totResp atomic.Int64
+	curMc, totMc     atomic.Int64
+}
+
+// New builds the table, binds the configured listeners, and starts serving.
+// At least one of RespAddr/McAddr must be set.
+func New(cfg Config) (*Server, error) {
+	if cfg.RespAddr == "" && cfg.McAddr == "" {
+		return nil, fmt.Errorf("kvserver: no listener configured")
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 1 << 16
+	}
+	s := &Server{
+		cfg: cfg,
+		tbl: idramhit.New(idramhit.Config{
+			Slots:          cfg.Slots,
+			PrefetchWindow: cfg.Window,
+			Layout:         table.LayoutBucket,
+		}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Obs != nil {
+		n := cfg.ObsWorkers
+		if n <= 0 {
+			n = 8
+		}
+		s.pool = make([]*obs.Worker, n)
+		for i := range s.pool {
+			s.pool[i] = cfg.Obs.Worker(fmt.Sprintf("server-w%d", i))
+		}
+		cfg.Obs.AddSource("server", s.collect)
+	}
+	if cfg.RespAddr != "" {
+		ln, err := net.Listen("tcp", cfg.RespAddr)
+		if err != nil {
+			return nil, err
+		}
+		s.respLn = ln
+	}
+	if cfg.McAddr != "" {
+		ln, err := net.Listen("tcp", cfg.McAddr)
+		if err != nil {
+			if s.respLn != nil {
+				s.respLn.Close()
+			}
+			return nil, err
+		}
+		s.mcLn = ln
+	}
+	if s.respLn != nil {
+		s.wg.Add(1)
+		go s.acceptLoop(s.respLn, protoResp)
+	}
+	if s.mcLn != nil {
+		s.wg.Add(1)
+		go s.acceptLoop(s.mcLn, protoMc)
+	}
+	return s, nil
+}
+
+// RespAddr returns the bound RESP listener address ("" if disabled).
+func (s *Server) RespAddr() string {
+	if s.respLn == nil {
+		return ""
+	}
+	return s.respLn.Addr().String()
+}
+
+// McAddr returns the bound memcached listener address ("" if disabled).
+func (s *Server) McAddr() string {
+	if s.mcLn == nil {
+		return ""
+	}
+	return s.mcLn.Addr().String()
+}
+
+// Table exposes the underlying table (tests inspect it directly).
+func (s *Server) Table() *idramhit.Table { return s.tbl }
+
+// collect is the "server" pull source: connection gauges plus table size.
+func (s *Server) collect() map[string]float64 {
+	return map[string]float64{
+		"conns_resp_open":     float64(s.curResp.Load()),
+		"conns_resp_total":    float64(s.totResp.Load()),
+		"conns_mc_open":       float64(s.curMc.Load()),
+		"conns_mc_total":      float64(s.totMc.Load()),
+		"table_entries":       float64(s.tbl.Len()),
+		"backend_is_folklore": float64(s.cfg.Backend),
+	}
+}
+
+type proto int
+
+const (
+	protoResp proto = iota
+	protoMc
+)
+
+func (s *Server) acceptLoop(ln net.Listener, p proto) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Close) or fatal; either way stop
+		}
+		if s.closed.Load() {
+			c.Close()
+			return
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(c, p)
+	}
+}
+
+func (s *Server) serveConn(c net.Conn, p proto) {
+	defer s.wg.Done()
+	cur, tot := &s.curResp, &s.totResp
+	if p == protoMc {
+		cur, tot = &s.curMc, &s.totMc
+	}
+	cur.Add(1)
+	tot.Add(1)
+	cn := newConn(s, c)
+	if p == protoResp {
+		cn.serveRESP()
+	} else {
+		cn.serveMc()
+	}
+	cur.Add(-1)
+	c.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Close stops the listeners, severs every open connection, and waits for
+// the connection goroutines to drain. Safe to call once.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	if s.respLn != nil {
+		s.respLn.Close()
+	}
+	if s.mcLn != nil {
+		s.mcLn.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close() // unblocks handler goroutines parked in Read
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,257 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"dramhit/internal/obs"
+)
+
+// respEnc appends one multibulk command in client framing.
+func respEnc(b []byte, args ...string) []byte {
+	b = append(b, '*')
+	b = strconv.AppendInt(b, int64(len(args)), 10)
+	b = append(b, '\r', '\n')
+	for _, a := range args {
+		b = append(b, '$')
+		b = strconv.AppendInt(b, int64(len(a)), 10)
+		b = append(b, '\r', '\n')
+		b = append(b, a...)
+		b = append(b, '\r', '\n')
+	}
+	return b
+}
+
+// readReply parses one RESP reply into a canonical string: "+OK", ":3",
+// "-ERR ...", "$<data>", or "nil".
+func readReply(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 3 {
+		return "", fmt.Errorf("short reply line %q", line)
+	}
+	body := line[1 : len(line)-2]
+	switch line[0] {
+	case '+', ':':
+		return line[:1] + body, nil
+	case '-':
+		return "-" + body, nil
+	case '$':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return "", fmt.Errorf("bad bulk header %q", line)
+		}
+		if n < 0 {
+			return "nil", nil
+		}
+		data := make([]byte, n+2)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return "", err
+		}
+		return "$" + string(data[:n]), nil
+	}
+	return "", fmt.Errorf("unexpected reply type %q", line)
+}
+
+// TestOracleRandomOps drives random pipelined batches over a live RESP
+// connection and checks every reply against a reference map mutated in the
+// same order — including pipelined same-key sequences (SET/GET/DEL of one
+// key inside one wire batch), which exercise the FIFO completion contract
+// end to end. Runs against both backends.
+func TestOracleRandomOps(t *testing.T) {
+	for _, be := range []Backend{BackendDramhit, BackendFolklore} {
+		t.Run(be.String(), func(t *testing.T) {
+			srv := startServer(t, be)
+			c, err := net.Dial("tcp", srv.RespAddr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			br := bufio.NewReader(c)
+
+			rng := rand.New(rand.NewSource(99))
+			ref := map[string]string{}
+			key := func() string { return fmt.Sprintf("k%02d", rng.Intn(40)) }
+
+			for round := 0; round < 150; round++ {
+				nops := 1 + rng.Intn(32)
+				var wire []byte
+				var want []string
+				for i := 0; i < nops; i++ {
+					k := key()
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3: // GET
+						wire = respEnc(wire, "GET", k)
+						if v, ok := ref[k]; ok {
+							want = append(want, "$"+v)
+						} else {
+							want = append(want, "nil")
+						}
+					case 4, 5, 6: // SET
+						v := fmt.Sprintf("val-%d-%d", round, i)
+						wire = respEnc(wire, "SET", k, v)
+						ref[k] = v
+						want = append(want, "+OK")
+					case 7: // DEL
+						wire = respEnc(wire, "DEL", k)
+						if _, ok := ref[k]; ok {
+							want = append(want, ":1")
+						} else {
+							want = append(want, ":0")
+						}
+						delete(ref, k)
+					case 8: // INCR (numeric iff the ref value parses)
+						wire = respEnc(wire, "INCR", k)
+						if v, ok := ref[k]; !ok {
+							ref[k] = "1"
+							want = append(want, ":1")
+						} else if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+							ref[k] = strconv.FormatUint(n+1, 10)
+							want = append(want, ":"+ref[k])
+						} else {
+							want = append(want, "-err")
+						}
+					default: // PING keeps a non-table op inside the batch
+						wire = respEnc(wire, "PING")
+						want = append(want, "+PONG")
+					}
+				}
+				if _, err := c.Write(wire); err != nil {
+					t.Fatal(err)
+				}
+				c.SetReadDeadline(time.Now().Add(5 * time.Second))
+				for i, w := range want {
+					got, err := readReply(br)
+					if err != nil {
+						t.Fatalf("round %d reply %d: %v", round, i, err)
+					}
+					if w == "-err" {
+						if got[0] != '-' {
+							t.Fatalf("round %d reply %d: got %q, want an error", round, i, got)
+						}
+						continue
+					}
+					if got != w {
+						t.Fatalf("round %d reply %d: got %q, want %q", round, i, got, w)
+					}
+				}
+			}
+			if srv.Table().Len() != len(ref) {
+				t.Fatalf("table has %d entries, reference %d", srv.Table().Len(), len(ref))
+			}
+		})
+	}
+}
+
+// TestObsSurface checks the serving metrics: per-op-class latency recorded
+// into the pool workers and the "server" pull source's connection gauges.
+func TestObsSurface(t *testing.T) {
+	reg := obs.New()
+	srv := startServer(t, BackendDramhit, func(c *Config) { c.Obs = reg; c.ObsWorkers = 2 })
+	c, err := net.Dial("tcp", srv.RespAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []byte
+	wire = respEnc(wire, "SET", "k", "v")
+	wire = respEnc(wire, "GET", "k")
+	wire = respEnc(wire, "GET", "missing")
+	wire = respEnc(wire, "DEL", "k")
+	wire = respEnc(wire, "INCR", "n")
+	c.Write(wire)
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 5; i++ {
+		if _, err := readReply(br); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	classes := map[int]uint64{}
+	var puts, gets uint64
+	for _, w := range reg.Workers() {
+		for cls := 0; cls < obs.NumOpClasses; cls++ {
+			classes[cls] += w.Op[cls].Count()
+		}
+		puts += w.Counter(obs.CPuts)
+		gets += w.Counter(obs.CGets)
+	}
+	for _, cls := range []int{obs.OpGetHit, obs.OpGetMiss, obs.OpPut, obs.OpUpsert, obs.OpDeleteHit} {
+		if classes[cls] == 0 {
+			t.Errorf("op class %s recorded no latency samples", obs.OpClassNames[cls])
+		}
+	}
+	if puts != 1 || gets != 2 {
+		t.Errorf("pool counters: puts=%d gets=%d, want 1/2", puts, gets)
+	}
+
+	var src func() map[string]float64
+	for _, s := range reg.Sources() {
+		if s.Name == "server" {
+			src = s.Collect
+		}
+	}
+	if src == nil {
+		t.Fatal(`no "server" pull source registered`)
+	}
+	m := src()
+	if m["conns_resp_open"] != 1 || m["conns_resp_total"] != 1 {
+		t.Errorf("conn gauges: %+v", m)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for src()["conns_resp_open"] != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("conns_resp_open never returned to 0 after disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrossProtocol pins the shared-keyspace record format: a value set via
+// memcached (with flags) reads back via RESP as the bare payload, and a
+// RESP-set value reads via memcached with flags 0.
+func TestCrossProtocol(t *testing.T) {
+	srv := startServer(t, BackendDramhit)
+
+	mc, err := net.Dial("tcp", srv.McAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	mc.Write([]byte("set shared 42 0 5\r\nhello\r\n"))
+	mcbr := bufio.NewReader(mc)
+	mc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if line, _ := mcbr.ReadString('\n'); line != "STORED\r\n" {
+		t.Fatalf("mc set: %q", line)
+	}
+
+	rc, err := net.Dial("tcp", srv.RespAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	rc.Write(respEnc(nil, "GET", "shared"))
+	rbr := bufio.NewReader(rc)
+	rc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if got, _ := readReply(rbr); got != "$hello" {
+		t.Fatalf("RESP read of mc-set key: %q", got)
+	}
+
+	rc.Write(respEnc(nil, "SET", "shared2", "world"))
+	if got, _ := readReply(rbr); got != "+OK" {
+		t.Fatalf("RESP set: %q", got)
+	}
+	mc.Write([]byte("get shared2\r\n"))
+	if line, _ := mcbr.ReadString('\n'); line != "VALUE shared2 0 5\r\n" {
+		t.Fatalf("mc read of RESP-set key: %q", line)
+	}
+}

@@ -1,0 +1,2 @@
+bogus nonsense
+version

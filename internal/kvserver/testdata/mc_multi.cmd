@@ -1,0 +1,8 @@
+set a 1 0 2
+AA
+set b 2 0 2
+BB
+get a b missing
+delete a
+delete a
+get a b

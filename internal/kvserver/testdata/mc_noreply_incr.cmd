@@ -1,0 +1,8 @@
+set n 0 0 1 noreply
+5
+incr n 37
+decr n 100
+incr missing 1
+set s 0 0 3 noreply
+abc
+incr s 1

@@ -1,0 +1,3 @@
+set k 7 0 5
+hello
+get k

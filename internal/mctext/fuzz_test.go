@@ -1,0 +1,91 @@
+package mctext
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// chunkReader yields one byte per Read (see internal/resp's twin).
+type chunkReader struct{ b []byte }
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.b) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = c.b[0]
+	c.b = c.b[1:]
+	return 1, nil
+}
+
+// summarize flattens a request for cross-parse comparison.
+func summarize(req Request) []byte {
+	var s []byte
+	s = append(s, byte(req.Verb))
+	for _, k := range req.Keys {
+		s = append(s, k...)
+		s = append(s, 0)
+	}
+	s = append(s, req.Key...)
+	s = append(s, 0)
+	s = append(s, req.Data...)
+	if req.NoReply {
+		s = append(s, 1)
+	}
+	return s
+}
+
+// FuzzMemcachedParse: arbitrary bytes must never panic the parser or make it
+// retain more than it read, and whole-buffer vs byte-at-a-time parses must
+// agree. ErrBadCommand is resynchronizable, so parsing continues across it
+// exactly as the server's connection loop does.
+func FuzzMemcachedParse(f *testing.F) {
+	f.Add([]byte("set k 0 0 5\r\nhello\r\nget k\r\n"))
+	f.Add([]byte("get a b c\r\ngets a\r\n"))
+	f.Add([]byte("set k 1 2 3 noreply\r\nabc\r\ndelete k noreply\r\n"))
+	f.Add([]byte("incr k 1\r\ndecr k 18446744073709551615\r\n"))
+	// Split-read shapes, oversized lengths, bare \n.
+	f.Add([]byte("set k 0 0 1048577\r\n"))
+	f.Add([]byte("set k 0 0 99999999999999999999\r\nx\r\n"))
+	f.Add([]byte("get k\nset k 0 0 2\nhi\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("set k 0 0 4\r\nab"))
+	f.Add([]byte("version\r\nquit\r\n"))
+	f.Add(bytes.Repeat([]byte{0}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		parse := func(r *Reader) (reqs [][]byte, clean bool) {
+			retained := 0
+			for {
+				req, err := r.ReadRequest()
+				if err == ErrBadCommand {
+					reqs = append(reqs, []byte{0xFF}) // marker, keep going
+					continue
+				}
+				if err != nil {
+					return reqs, err == io.EOF
+				}
+				s := summarize(req)
+				retained += len(s)
+				if retained > len(data)+64 {
+					t.Fatalf("parser retained %d bytes from %d input bytes", retained, len(data))
+				}
+				reqs = append(reqs, s)
+			}
+		}
+		whole, wholeClean := parse(NewReader(bytes.NewReader(data)))
+		split, splitClean := parse(NewReader(bufio.NewReaderSize(&chunkReader{b: data}, 4096)))
+		if len(whole) != len(split) || wholeClean != splitClean {
+			t.Fatalf("parses disagree: %d/%v vs %d/%v requests", len(whole), wholeClean, len(split), splitClean)
+		}
+		for i := range whole {
+			if !bytes.Equal(whole[i], split[i]) {
+				t.Fatalf("request %d differs across read boundaries", i)
+			}
+		}
+	})
+}

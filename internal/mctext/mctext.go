@@ -1,0 +1,395 @@
+// Package mctext implements the server side of the memcached text protocol
+// subset a hash-table front end needs: retrieval (get/gets), storage (set),
+// deletion (delete) and arithmetic (incr/decr), with noreply support.
+//
+// Like internal/resp, the reader is incremental (frames straddle Read
+// boundaries), allocation-bounded (the <bytes> field of a storage command is
+// validated against MaxData before any buffer is sized from it), and
+// arena-backed (parsed keys and data stay valid across ReadRequest calls
+// until Release, so pipelined commands batch into one table flush).
+//
+// Protocol reference: the memcached source distribution's doc/protocol.txt.
+// Error replies follow it: "ERROR\r\n" for an unknown command,
+// "CLIENT_ERROR <msg>\r\n" for a malformed known command.
+package mctext
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// Limits. Real memcached caps keys at 250 bytes and values at 1 MB by
+// default; the same numbers are kept here so fixtures captured against a
+// real server transfer.
+const (
+	// MaxKey bounds one key's byte length.
+	MaxKey = 250
+	// MaxData bounds a storage command's data block.
+	MaxData = 1 << 20
+	// MaxLine bounds one command line.
+	MaxLine = 8 << 10
+	// MaxKeys bounds the key count of one get request.
+	MaxKeys = 256
+)
+
+// Errors for protocol violations. ErrBadCommand maps to "ERROR" (unknown
+// verb, connection can continue); the others are client errors that leave
+// framing undefined, so the server replies CLIENT_ERROR and closes.
+var (
+	ErrBadCommand  = errors.New("mctext: unknown command")
+	ErrBadLine     = errors.New("mctext: malformed command line")
+	ErrKeyTooLong  = errors.New("mctext: key exceeds limit")
+	ErrDataTooLong = errors.New("mctext: data block exceeds limit")
+	ErrLineTooLong = errors.New("mctext: command line exceeds limit")
+	ErrBadData     = errors.New("mctext: data block not terminated")
+)
+
+// Verb is the parsed command kind.
+type Verb uint8
+
+// The supported verbs.
+const (
+	Get Verb = iota
+	Gets
+	Set
+	Delete
+	Incr
+	Decr
+	Version
+	Quit
+)
+
+// Request is one parsed client request. Keys, Key and Data alias the
+// Reader's arena: valid until Release.
+type Request struct {
+	Verb Verb
+	// Keys holds the key list of a get/gets; Key the single key otherwise.
+	Keys [][]byte
+	Key  []byte
+	// Flags and Exptime are stored verbatim (set); Data is the value block.
+	Flags   uint32
+	Exptime int64
+	Data    []byte
+	// Delta is the incr/decr operand.
+	Delta uint64
+	// NoReply suppresses the success reply (set/delete/incr/decr).
+	NoReply bool
+}
+
+// Reader incrementally parses requests from a stream.
+type Reader struct {
+	br    *bufio.Reader
+	arena []byte
+	keys  [][]byte
+	offs  []int
+	lens  []int
+}
+
+// NewReader wraps r (see resp.NewReader for the bufio note).
+func NewReader(r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Reader{br: br}
+}
+
+// Release invalidates every Request returned since the previous Release and
+// reclaims the arena.
+func (r *Reader) Release() {
+	r.arena = r.arena[:0]
+	r.keys = r.keys[:0]
+}
+
+// Buffered reports whether further request bytes are already buffered.
+func (r *Reader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// readLine returns the next line without its (CR)LF terminator. The slice
+// aliases the bufio buffer.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		for err == bufio.ErrBufferFull {
+			_, err = r.br.ReadSlice('\n')
+		}
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		return nil, ErrLineTooLong
+	}
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(line) > MaxLine {
+		return nil, ErrLineTooLong
+	}
+	line = line[:len(line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// fields splits a line on single spaces (memcached is strict: fields are
+// space-separated, empty fields are protocol errors, but a tolerant split
+// keeps the parser total). The subslices alias line.
+func fields(line []byte, out [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		if i > start {
+			out = append(out, line[start:i])
+		}
+	}
+	return out
+}
+
+// hold copies b into the arena, returning a stable reference (recorded as
+// offset+len until the arena stops moving for this request).
+func (r *Reader) hold(b []byte) {
+	r.offs = append(r.offs, len(r.arena))
+	r.lens = append(r.lens, len(b))
+	r.arena = append(r.arena, b...)
+}
+
+// take materializes the i-th held span of the current request.
+func (r *Reader) take(i int) []byte {
+	return r.arena[r.offs[i] : r.offs[i]+r.lens[i]]
+}
+
+func parseUint(b []byte, bits int) (uint64, error) {
+	if len(b) == 0 {
+		return 0, ErrBadLine
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, ErrBadLine
+		}
+		d := uint64(c - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, ErrBadLine
+		}
+		n = n*10 + d
+	}
+	if bits < 64 && n >= 1<<uint(bits) {
+		return 0, ErrBadLine
+	}
+	return n, nil
+}
+
+// verbOf resolves a verb token without allocating.
+func verbOf(b []byte) (Verb, bool) {
+	switch string(b) { // does not allocate: compiler-recognized comparison
+	case "get":
+		return Get, true
+	case "gets":
+		return Gets, true
+	case "set":
+		return Set, true
+	case "delete":
+		return Delete, true
+	case "incr":
+		return Incr, true
+	case "decr":
+		return Decr, true
+	case "version":
+		return Version, true
+	case "quit":
+		return Quit, true
+	}
+	return 0, false
+}
+
+// ReadRequest parses the next request. Unknown verbs return ErrBadCommand
+// with the line consumed, so the server can reply "ERROR" and continue —
+// matching real memcached, which resynchronizes on the next line.
+func (r *Reader) ReadRequest() (Request, error) {
+	r.offs = r.offs[:0]
+	r.lens = r.lens[:0]
+	line, err := r.readLine()
+	if err != nil {
+		return Request{}, err
+	}
+	var fbuf [8][]byte
+	fs := fields(line, fbuf[:0])
+	if len(fs) == 0 {
+		return Request{}, ErrBadCommand // empty line: not resynchronizable input
+	}
+	verb, ok := verbOf(fs[0])
+	if !ok {
+		return Request{}, ErrBadCommand
+	}
+	req := Request{Verb: verb}
+	switch verb {
+	case Get, Gets:
+		if len(fs) < 2 {
+			return Request{}, ErrBadLine
+		}
+		if len(fs)-1 > MaxKeys {
+			return Request{}, ErrBadLine
+		}
+		for _, k := range fs[1:] {
+			if len(k) > MaxKey {
+				return Request{}, ErrKeyTooLong
+			}
+			r.hold(k)
+		}
+		base := len(r.keys)
+		for i := range fs[1:] {
+			r.keys = append(r.keys, r.take(i))
+		}
+		req.Keys = r.keys[base:]
+		return req, nil
+
+	case Set:
+		// set <key> <flags> <exptime> <bytes> [noreply]
+		if len(fs) < 5 || len(fs) > 6 {
+			return Request{}, ErrBadLine
+		}
+		if len(fs[1]) > MaxKey {
+			return Request{}, ErrKeyTooLong
+		}
+		flags, err := parseUint(fs[2], 32)
+		if err != nil {
+			return Request{}, err
+		}
+		exp, err := parseUint(fs[3], 63)
+		if err != nil {
+			return Request{}, err
+		}
+		nbytes, err := parseUint(fs[4], 63)
+		if err != nil {
+			return Request{}, err
+		}
+		if nbytes > MaxData {
+			return Request{}, ErrDataTooLong
+		}
+		if len(fs) == 6 {
+			if string(fs[5]) != "noreply" {
+				return Request{}, ErrBadLine
+			}
+			req.NoReply = true
+		}
+		req.Flags = uint32(flags)
+		req.Exptime = int64(exp)
+		r.hold(fs[1])
+		// Data block: <bytes> bytes then CRLF. Reserve validated length in
+		// the arena and read directly into it.
+		off := len(r.arena)
+		r.arena = append(r.arena, make([]byte, nbytes)...)
+		if _, err := io.ReadFull(r.br, r.arena[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Request{}, err
+		}
+		term, err := r.readLine()
+		if err != nil {
+			return Request{}, err
+		}
+		if len(term) != 0 {
+			return Request{}, ErrBadData
+		}
+		req.Key = r.take(0)
+		req.Data = r.arena[off : off+int(nbytes)]
+		return req, nil
+
+	case Delete:
+		// delete <key> [noreply]
+		if len(fs) < 2 || len(fs) > 3 {
+			return Request{}, ErrBadLine
+		}
+		if len(fs[1]) > MaxKey {
+			return Request{}, ErrKeyTooLong
+		}
+		if len(fs) == 3 {
+			if string(fs[2]) != "noreply" {
+				return Request{}, ErrBadLine
+			}
+			req.NoReply = true
+		}
+		r.hold(fs[1])
+		req.Key = r.take(0)
+		return req, nil
+
+	case Incr, Decr:
+		// incr <key> <delta> [noreply]
+		if len(fs) < 3 || len(fs) > 4 {
+			return Request{}, ErrBadLine
+		}
+		if len(fs[1]) > MaxKey {
+			return Request{}, ErrKeyTooLong
+		}
+		delta, err := parseUint(fs[2], 64)
+		if err != nil {
+			return Request{}, err
+		}
+		if len(fs) == 4 {
+			if string(fs[3]) != "noreply" {
+				return Request{}, ErrBadLine
+			}
+			req.NoReply = true
+		}
+		req.Delta = delta
+		r.hold(fs[1])
+		req.Key = r.take(0)
+		return req, nil
+
+	default: // Version, Quit
+		if len(fs) != 1 {
+			return Request{}, ErrBadLine
+		}
+		return req, nil
+	}
+}
+
+// Reply append helpers.
+
+// AppendValue appends one retrieval hit:
+// VALUE <key> <flags> <bytes>\r\n<data>\r\n. The END terminator is appended
+// separately (AppendEnd) after the last hit of the get.
+func AppendValue(dst, key []byte, flags uint32, data []byte) []byte {
+	dst = append(dst, "VALUE "...)
+	dst = append(dst, key...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(flags), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(len(data)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, data...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendEnd appends END\r\n.
+func AppendEnd(dst []byte) []byte { return append(dst, "END\r\n"...) }
+
+// AppendLine appends s\r\n (STORED, DELETED, NOT_FOUND, ERROR, VERSION ...).
+func AppendLine(dst []byte, s string) []byte {
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendUint appends an incr/decr result: <n>\r\n.
+func AppendUint(dst []byte, n uint64) []byte {
+	dst = strconv.AppendUint(dst, n, 10)
+	return append(dst, '\r', '\n')
+}
+
+// AppendClientError appends CLIENT_ERROR <msg>\r\n.
+func AppendClientError(dst []byte, msg string) []byte {
+	dst = append(dst, "CLIENT_ERROR "...)
+	dst = append(dst, msg...)
+	return append(dst, '\r', '\n')
+}

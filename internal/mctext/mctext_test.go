@@ -1,0 +1,155 @@
+package mctext
+
+import (
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+func reader(in string) *Reader { return NewReader(strings.NewReader(in)) }
+
+func TestSetGetDelete(t *testing.T) {
+	r := reader("set counter 7 0 5\r\nhello\r\nget counter other\r\ndelete counter\r\n")
+
+	req, err := r.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Verb != Set || string(req.Key) != "counter" || req.Flags != 7 ||
+		string(req.Data) != "hello" || req.NoReply {
+		t.Fatalf("set parsed as %+v", req)
+	}
+
+	req, err = r.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Verb != Get || len(req.Keys) != 2 ||
+		string(req.Keys[0]) != "counter" || string(req.Keys[1]) != "other" {
+		t.Fatalf("get parsed as %+v", req)
+	}
+
+	req, err = r.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Verb != Delete || string(req.Key) != "counter" {
+		t.Fatalf("delete parsed as %+v", req)
+	}
+}
+
+func TestNoreplyAndArithmetic(t *testing.T) {
+	r := reader("set k 0 0 1 noreply\r\nx\r\nincr k 41\r\ndecr k 1 noreply\r\nquit\r\n")
+	req, _ := r.ReadRequest()
+	if req.Verb != Set || !req.NoReply {
+		t.Fatalf("set noreply parsed as %+v", req)
+	}
+	req, _ = r.ReadRequest()
+	if req.Verb != Incr || req.Delta != 41 || req.NoReply || string(req.Key) != "k" {
+		t.Fatalf("incr parsed as %+v", req)
+	}
+	req, _ = r.ReadRequest()
+	if req.Verb != Decr || req.Delta != 1 || !req.NoReply {
+		t.Fatalf("decr parsed as %+v", req)
+	}
+	req, _ = r.ReadRequest()
+	if req.Verb != Quit {
+		t.Fatalf("quit parsed as %+v", req)
+	}
+}
+
+// TestDataBlockIsBinarySafe pins that the data block is length-delimited:
+// CRLFs and command-looking text inside it are data, not protocol.
+func TestDataBlockIsBinarySafe(t *testing.T) {
+	data := "get x\r\nset y\r\n\x00\xff"
+	r := reader("set k 0 0 " + itoa(len(data)) + "\r\n" + data + "\r\nget k\r\n")
+	req, err := r.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Data) != data {
+		t.Fatalf("data block mangled: %q", req.Data)
+	}
+	if req2, err := r.ReadRequest(); err != nil || req2.Verb != Get {
+		t.Fatalf("frame after binary data: %+v, %v", req2, err)
+	}
+}
+
+func TestSplitReads(t *testing.T) {
+	in := "set k 1 0 5\r\nworld\r\nget k\r\nincr k 2\r\n"
+	parse := func(r io.Reader) []Request {
+		rd := NewReader(r)
+		var out []Request
+		for {
+			req, err := rd.ReadRequest()
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, req)
+		}
+	}
+	whole := parse(strings.NewReader(in))
+	split := parse(iotest.OneByteReader(strings.NewReader(in)))
+	if len(whole) != 3 || len(split) != 3 {
+		t.Fatalf("whole=%d split=%d requests", len(whole), len(split))
+	}
+	if string(split[0].Data) != "world" || string(split[1].Keys[0]) != "k" || split[2].Delta != 2 {
+		t.Fatalf("split parse diverged: %+v", split)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]error{
+		"bogus foo\r\n":                   ErrBadCommand,
+		"flush_all\r\n":                   ErrBadCommand, // unsupported verb
+		"set k 0 0\r\n":                   ErrBadLine,    // missing <bytes>
+		"set k 0 0 x\r\n":                 ErrBadLine,    // junk <bytes>
+		"set k 0 0 2 yesreply\r\nxx\r\n":  ErrBadLine,
+		"set k 0 0 9999999999\r\n":        ErrDataTooLong,
+		"incr k\r\n":                      ErrBadLine,
+		"incr k 18446744073709551616\r\n": ErrBadLine, // overflow
+		"get\r\n":                         ErrBadLine,
+		"set " + strings.Repeat("k", 251) + " 0 0 1\r\nx\r\n": ErrKeyTooLong,
+		"set k 0 0 3\r\nxxxx\r\n":                             ErrBadData, // block longer than declared
+	}
+	for in, want := range cases {
+		_, err := reader(in).ReadRequest()
+		if !errors.Is(err, want) {
+			t.Errorf("%q: err = %v, want %v", in, err, want)
+		}
+	}
+}
+
+// TestErrorResync pins the memcached behavior the server relies on: an
+// unknown verb consumes exactly its line, so parsing can continue.
+func TestErrorResync(t *testing.T) {
+	r := reader("bogus\r\nversion\r\n")
+	if _, err := r.ReadRequest(); !errors.Is(err, ErrBadCommand) {
+		t.Fatalf("want ErrBadCommand, got %v", err)
+	}
+	req, err := r.ReadRequest()
+	if err != nil || req.Verb != Version {
+		t.Fatalf("resync failed: %+v, %v", req, err)
+	}
+}
+
+func TestAppendHelpers(t *testing.T) {
+	var b []byte
+	b = AppendValue(b, []byte("k"), 7, []byte("vv"))
+	b = AppendEnd(b)
+	b = AppendLine(b, "STORED")
+	b = AppendUint(b, 42)
+	b = AppendClientError(b, "bad data chunk")
+	want := "VALUE k 7 2\r\nvv\r\nEND\r\nSTORED\r\n42\r\nCLIENT_ERROR bad data chunk\r\n"
+	if string(b) != want {
+		t.Fatalf("got %q, want %q", b, want)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

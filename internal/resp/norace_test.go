@@ -1,0 +1,5 @@
+//go:build !race
+
+package resp
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package resp
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so zero-alloc pins only hold uninstrumented.
+const raceEnabled = true

@@ -1,0 +1,354 @@
+// Package resp implements the server side of the Redis serialization
+// protocol (RESP2) request path: an incremental command reader that accepts
+// both multibulk framing (`*N\r\n$len\r\n...`, what every client library and
+// redis-cli send) and the inline form (`GET key\r\n`, what a human typing
+// into netcat sends), plus allocation-free reply append helpers.
+//
+// The reader is written for a network front-end feeding a batched hash-table
+// pipeline, which imposes three requirements the obvious parser does not
+// meet:
+//
+//   - Split reads: a frame may straddle arbitrarily many Read calls (TCP
+//     segmentation does not respect protocol boundaries). The reader
+//     consumes from a bufio.Reader and never assumes a frame arrives whole.
+//   - Bounded allocation: a length header is a claim, not a fact. The reader
+//     rejects bulk lengths and argument counts above its limits before
+//     allocating anything, so `$999999999999\r\n` costs an error, not 1 TB.
+//   - Buffer stability: parsed arguments alias an internal arena that
+//     survives subsequent ReadCommand calls until Release, so a caller may
+//     batch several pipelined commands (holding their keys) before executing
+//     any of them.
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Protocol limits. They bound what a single command may make the server
+// allocate; real redis defaults are far larger, but a hash-table front end
+// has no business accepting 512 MB values.
+const (
+	// MaxArgs bounds the argument count of one command (multibulk `*N`).
+	MaxArgs = 1024
+	// MaxBulk bounds one argument's byte length (bulk `$N`).
+	MaxBulk = 8 << 20
+	// MaxInline bounds the byte length of one inline command line.
+	MaxInline = 64 << 10
+)
+
+// Errors the reader returns for protocol violations. All of them leave the
+// connection in an undefined framing state: the server should reply with an
+// error and close, which is what real redis does for malformed multibulk.
+var (
+	ErrTooManyArgs = errors.New("resp: multibulk argument count exceeds limit")
+	ErrBulkTooLong = errors.New("resp: bulk length exceeds limit")
+	ErrLineTooLong = errors.New("resp: inline command exceeds limit")
+	ErrBadFraming  = errors.New("resp: protocol error")
+)
+
+// Command is one parsed client command. Args[0] is the verb as sent (case
+// preserved); the slices alias the Reader's arena and stay valid until the
+// next Release.
+type Command struct {
+	Args [][]byte
+}
+
+// Reader incrementally parses client commands from a stream.
+type Reader struct {
+	br *bufio.Reader
+	// arena backs every argument returned since the last Release; args is
+	// the reusable header slice. Offsets (not subslice headers) are recorded
+	// during a command's parse because arena may reallocate mid-command.
+	arena []byte
+	args  [][]byte
+	offs  []int // start offsets into arena, one per arg, current command
+	lens  []int
+}
+
+// NewReader wraps r. Pass a *bufio.Reader to control buffer size; anything
+// else is wrapped in a default-size one.
+func NewReader(r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &Reader{br: br}
+}
+
+// Release invalidates every Command returned since the previous Release and
+// reclaims their arena space. Call it once per batch, after the replies are
+// rendered (argument bytes are dead by then).
+func (r *Reader) Release() {
+	r.arena = r.arena[:0]
+	r.args = r.args[:0]
+}
+
+// Buffered reports whether at least one byte of a further command is already
+// buffered — the "more pipelined input is here, keep batching" signal.
+func (r *Reader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// readLine reads up to and including CRLF (or a bare LF, which redis inline
+// parsing tolerates), returning the line without the terminator. The
+// returned slice aliases the bufio buffer — copy before the next read. Lines
+// longer than max fail with errLong without buffering the remainder.
+func (r *Reader) readLine(max int, errLong error) ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// Drain the oversized line so a caller that chooses to continue is
+		// at a frame boundary, then fail.
+		for err == bufio.ErrBufferFull {
+			_, err = r.br.ReadSlice('\n')
+		}
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		return nil, errLong
+	}
+	if err != nil {
+		// Data with no terminator is a partial frame cut by EOF.
+		if err == io.EOF && len(line) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(line) > max {
+		return nil, errLong
+	}
+	line = line[:len(line)-1] // strip \n
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// parseLen parses a decimal length after a type byte, rejecting junk,
+// overflow and empty input. Negative values are returned as-is (multibulk
+// and bulk use -1 for nil).
+func parseLen(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, ErrBadFraming
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+		if len(b) == 1 {
+			return 0, ErrBadFraming
+		}
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, ErrBadFraming
+		}
+		n = n*10 + int64(c-'0')
+		if n > 1<<40 { // far beyond any limit; stop before overflow
+			return 0, ErrBulkTooLong
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// hold copies b into the arena and records the argument. The returned
+// subslice headers are materialized in finish(), after the arena has stopped
+// moving for this command.
+func (r *Reader) hold(b []byte) {
+	r.offs = append(r.offs, len(r.arena))
+	r.lens = append(r.lens, len(b))
+	r.arena = append(r.arena, b...)
+}
+
+// finish materializes the held arguments of the current command.
+func (r *Reader) finish() Command {
+	base := len(r.args)
+	for i, off := range r.offs {
+		r.args = append(r.args, r.arena[off:off+r.lens[i]])
+	}
+	r.offs = r.offs[:0]
+	r.lens = r.lens[:0]
+	return Command{Args: r.args[base:]}
+}
+
+// ReadCommand parses the next command. io.EOF is returned only at a clean
+// frame boundary; a frame cut mid-parse returns io.ErrUnexpectedEOF.
+// Empty inline lines and empty multibulks (*0, *-1) are skipped iteratively
+// — a megabyte of bare newlines costs reads, not stack.
+func (r *Reader) ReadCommand() (Command, error) {
+	for {
+		cmd, again, err := r.readCommand()
+		if err != nil || !again {
+			return cmd, err
+		}
+	}
+}
+
+func (r *Reader) readCommand() (_ Command, again bool, _ error) {
+	r.offs = r.offs[:0]
+	r.lens = r.lens[:0]
+	first, err := r.br.ReadByte()
+	if err != nil {
+		return Command{}, false, err
+	}
+	if first != '*' {
+		// Inline command: whitespace-separated words on one line. An empty
+		// line is skipped (redis does the same), letting netcat users hit
+		// return harmlessly.
+		if err := r.br.UnreadByte(); err != nil {
+			return Command{}, false, err
+		}
+		line, err := r.readLine(MaxInline, ErrLineTooLong)
+		if err != nil {
+			return Command{}, false, err
+		}
+		for i := 0; i < len(line); {
+			for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+				i++
+			}
+			start := i
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			if i > start {
+				if len(r.offs) >= MaxArgs {
+					return Command{}, false, ErrTooManyArgs
+				}
+				r.hold(line[start:i])
+			}
+		}
+		if len(r.offs) == 0 {
+			return Command{}, true, nil // empty line: try the next one
+		}
+		return r.finish(), false, nil
+	}
+
+	// Multibulk: *N, then N bulk strings.
+	line, err := r.readLine(32, ErrBadFraming)
+	if err != nil {
+		return Command{}, false, eofMidFrame(err)
+	}
+	n, err := parseLen(line)
+	if err != nil {
+		return Command{}, false, err
+	}
+	if n < 0 || n == 0 {
+		// *0 and *-1 are no-ops from a client; skip to the next command.
+		if n < -1 {
+			return Command{}, false, ErrBadFraming
+		}
+		return Command{}, true, nil
+	}
+	if n > MaxArgs {
+		return Command{}, false, ErrTooManyArgs
+	}
+	for i := int64(0); i < n; i++ {
+		t, err := r.br.ReadByte()
+		if err != nil {
+			return Command{}, false, eofMidFrame(err)
+		}
+		if t != '$' {
+			return Command{}, false, fmt.Errorf("%w: expected '$', got %q", ErrBadFraming, t)
+		}
+		line, err := r.readLine(32, ErrBadFraming)
+		if err != nil {
+			return Command{}, false, eofMidFrame(err)
+		}
+		blen, err := parseLen(line)
+		if err != nil {
+			return Command{}, false, err
+		}
+		if blen < 0 {
+			return Command{}, false, ErrBadFraming // nil bulk inside a command
+		}
+		if blen > MaxBulk {
+			return Command{}, false, ErrBulkTooLong
+		}
+		// Reserve, then read directly into the arena: the length was
+		// validated, so this allocates at most MaxBulk.
+		off := len(r.arena)
+		r.arena = append(r.arena, make([]byte, blen)...)
+		if _, err := io.ReadFull(r.br, r.arena[off:]); err != nil {
+			return Command{}, false, eofMidFrame(err)
+		}
+		r.offs = append(r.offs, off)
+		r.lens = append(r.lens, int(blen))
+		// Trailing CRLF (LF alone tolerated).
+		c, err := r.br.ReadByte()
+		if err != nil {
+			return Command{}, false, eofMidFrame(err)
+		}
+		if c == '\r' {
+			if c, err = r.br.ReadByte(); err != nil {
+				return Command{}, false, eofMidFrame(err)
+			}
+		}
+		if c != '\n' {
+			return Command{}, false, fmt.Errorf("%w: bulk not terminated", ErrBadFraming)
+		}
+	}
+	return r.finish(), false, nil
+}
+
+// eofMidFrame converts a clean EOF inside a frame into ErrUnexpectedEOF so
+// callers can distinguish "connection closed between commands" from "closed
+// mid-command".
+func eofMidFrame(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Reply append helpers: each appends one RESP reply to dst and returns the
+// extended slice, so a connection can render a whole pipelined batch into
+// one write buffer without intermediate allocation.
+
+// AppendSimple appends +s\r\n.
+func AppendSimple(dst []byte, s string) []byte {
+	dst = append(dst, '+')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendError appends -msg\r\n.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, '-')
+	dst = append(dst, msg...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendInt appends :n\r\n.
+func AppendInt(dst []byte, n int64) []byte {
+	dst = append(dst, ':')
+	dst = strconv.AppendInt(dst, n, 10)
+	return append(dst, '\r', '\n')
+}
+
+// AppendBulk appends $len\r\nb\r\n.
+func AppendBulk(dst []byte, b []byte) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(b)), 10)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, b...)
+	return append(dst, '\r', '\n')
+}
+
+// AppendNil appends the nil bulk $-1\r\n.
+func AppendNil(dst []byte) []byte {
+	return append(dst, '$', '-', '1', '\r', '\n')
+}
+
+// AppendArrayHeader appends *n\r\n.
+func AppendArrayHeader(dst []byte, n int) []byte {
+	dst = append(dst, '*')
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	return append(dst, '\r', '\n')
+}

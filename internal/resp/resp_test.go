@@ -1,0 +1,223 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// read parses every command from in, returning arg-joined strings.
+func read(t *testing.T, r io.Reader) ([]string, error) {
+	t.Helper()
+	rd := NewReader(r)
+	var out []string
+	for {
+		cmd, err := rd.ReadCommand()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		parts := make([]string, len(cmd.Args))
+		for i, a := range cmd.Args {
+			parts[i] = string(a)
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+}
+
+func TestMultibulk(t *testing.T) {
+	in := "*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n"
+	got, err := read(t, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SET foo bar", "GET foo"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestInline(t *testing.T) {
+	for in, want := range map[string]string{
+		"PING\r\n":            "PING",
+		"GET  foo\n":          "GET foo", // bare LF, double space
+		"  SET foo bar  \r\n": "SET foo bar",
+		"\r\n\r\nPING\r\n":    "PING", // empty lines skipped
+	} {
+		got, err := read(t, strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("%q: got %q, want [%q]", in, got, want)
+		}
+	}
+}
+
+// TestSplitReads feeds frames one byte per Read call: the parser must
+// reassemble them identically to the whole-buffer parse.
+func TestSplitReads(t *testing.T) {
+	in := "*3\r\n$3\r\nSET\r\n$5\r\nhello\r\n$11\r\nworld value\r\nPING\r\n*2\r\n$3\r\nGET\r\n$5\r\nhello\r\n"
+	whole, err := read(t, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := read(t, iotest.OneByteReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != 3 || len(split) != 3 {
+		t.Fatalf("whole=%q split=%q", whole, split)
+	}
+	for i := range whole {
+		if whole[i] != split[i] {
+			t.Fatalf("split read diverged at %d: %q vs %q", i, whole[i], split[i])
+		}
+	}
+}
+
+// TestArenaStability pins the batching contract: args from several pipelined
+// commands all stay valid until Release.
+func TestArenaStability(t *testing.T) {
+	var in bytes.Buffer
+	for i := 0; i < 100; i++ {
+		in.WriteString("*3\r\n$3\r\nSET\r\n$4\r\nkey")
+		in.WriteByte(byte('0' + i%10))
+		in.WriteString("\r\n$5\r\nval0")
+		in.WriteByte(byte('0' + i%10))
+		in.WriteString("\r\n")
+	}
+	rd := NewReader(bytes.NewReader(in.Bytes()))
+	var cmds []Command
+	for {
+		cmd, err := rd.ReadCommand()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	if len(cmds) != 100 {
+		t.Fatalf("parsed %d commands", len(cmds))
+	}
+	for i, cmd := range cmds {
+		wantK := "key" + string(byte('0'+i%10))
+		wantV := "val0" + string(byte('0'+i%10))
+		if string(cmd.Args[0]) != "SET" || string(cmd.Args[1]) != wantK || string(cmd.Args[2]) != wantV {
+			t.Fatalf("cmd %d corrupted after batch parse: %q %q %q",
+				i, cmd.Args[0], cmd.Args[1], cmd.Args[2])
+		}
+	}
+	rd.Release()
+}
+
+func TestOversizedBulkRejectedBeforeAllocation(t *testing.T) {
+	// The bulk length claims 1 TB; the reader must fail without allocating.
+	in := "*2\r\n$3\r\nGET\r\n$1099511627776\r\nx\r\n"
+	var before, after int64
+	allocs := testing.AllocsPerRun(10, func() {
+		rd := NewReader(strings.NewReader(in))
+		_, err := rd.ReadCommand()
+		if !errors.Is(err, ErrBulkTooLong) {
+			t.Fatalf("err = %v, want ErrBulkTooLong", err)
+		}
+	})
+	_ = before
+	_ = after
+	// NewReader allocates its bufio.Reader and Reader struct; the point is
+	// that no 1 TB (or even MaxBulk) buffer was attempted. A loose bound on
+	// total allocations per parse proves it.
+	if allocs > 10 {
+		t.Fatalf("oversized bulk caused %v allocations", allocs)
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	if _, err := read(t, strings.NewReader("*98765\r\n")); !errors.Is(err, ErrTooManyArgs) {
+		t.Fatalf("err = %v, want ErrTooManyArgs", err)
+	}
+}
+
+func TestMidFrameEOF(t *testing.T) {
+	for _, in := range []string{
+		"*2\r\n$3\r\nGET\r\n", // missing second bulk
+		"*2\r\n$3\r\nGE",      // cut inside bulk data
+		"*2\r\n",              // header only
+		"$",                   // inline fragment, no terminator
+		"*1\r\n$5\r\nhi\r\n",  // bulk shorter than its header
+	} {
+		_, err := read(t, strings.NewReader(in))
+		if err == nil {
+			t.Fatalf("%q parsed cleanly", in)
+		}
+		if err == io.EOF {
+			t.Fatalf("%q: clean EOF for a cut frame", in)
+		}
+	}
+}
+
+func TestBadFraming(t *testing.T) {
+	for _, in := range []string{
+		"*1\r\n:5\r\n",     // wrong element type
+		"*x\r\n",           // junk count
+		"*1\r\n$x\r\n",     // junk length
+		"*1\r\n$-1\r\n",    // nil bulk inside command
+		"*1\r\n$2\r\nhiXX", // unterminated bulk
+	} {
+		_, err := read(t, strings.NewReader(in))
+		if err == nil || err == io.EOF {
+			t.Fatalf("%q: err = %v, want framing error", in, err)
+		}
+	}
+}
+
+func TestAppendHelpers(t *testing.T) {
+	var b []byte
+	b = AppendSimple(b, "OK")
+	b = AppendError(b, "ERR boom")
+	b = AppendInt(b, -42)
+	b = AppendBulk(b, []byte("hey"))
+	b = AppendNil(b)
+	b = AppendArrayHeader(b, 2)
+	want := "+OK\r\n-ERR boom\r\n:-42\r\n$3\r\nhey\r\n$-1\r\n*2\r\n"
+	if string(b) != want {
+		t.Fatalf("got %q, want %q", b, want)
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	// After warmup, parsing a pipelined batch and Releasing allocates
+	// nothing: arena and header slices are reused.
+	in := []byte("*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n")
+	src := bytes.NewReader(in)
+	br := bufio.NewReader(src)
+	rd := NewReader(br)
+	run := func() {
+		src.Reset(in)
+		br.Reset(src)
+		for {
+			if _, err := rd.ReadCommand(); err != nil {
+				if err != io.EOF {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		rd.Release()
+	}
+	run() // warm the arena
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Fatalf("steady-state parse allocates %v/run", allocs)
+	}
+}
