@@ -131,7 +131,10 @@ func serverCell(be kvserver.Backend, conns, totalOps int, loadedKeys, missKeys [
 			return func(i int) workload.SocketOp {
 				switch {
 				case i%32 == 31: // 3% INCR on a numeric counter keyspace
-					kb = append(kb[:0], fmt.Sprintf("ctr%d", i%64)...)
+					// Counter id from the INCR-stream index (i/32), not i
+					// itself: i%64 under i%32==31 only ever hits 31 or 63,
+					// collapsing the intended 64-key space to 2.
+					kb = append(kb[:0], fmt.Sprintf("ctr%d", (i/32)%64)...)
 					return workload.SocketOp{Op: tbl.Upsert, Key: kb}
 				case i%11 == 9: // 9% SET over the loaded space
 					k := loadedKeys[ranks.Next()]

@@ -226,10 +226,31 @@ func (cn *conn) flushWrite() error {
 	return err
 }
 
-// wbufHighWater caps reply accumulation mid-batch: a client that pipelines
-// without reading would otherwise grow wbuf unboundedly. Crossing it forces
-// an early batch flush (and parser arena release at the call site).
-const wbufHighWater = 64 << 10
+// Batch caps. Crossing any of them forces an early batch flush (and parser
+// arena release at the call site). wbufHighWater alone is not enough: a
+// write-heavy pipelined stream (memcached noreply sets, RESP SETs whose
+// reply is a 5-byte +OK) appends almost nothing to wbuf while the parser
+// arena, vbuf and meta grow by ~request size per request — without an
+// input-side cap that is a remotely triggerable OOM.
+const (
+	// wbufHighWater caps reply accumulation mid-batch (a client that
+	// pipelines without reading would otherwise grow wbuf unboundedly).
+	wbufHighWater = 64 << 10
+	// inputHighWater caps parse-side accumulation: parser arena plus the
+	// connection's encoded-value scratch (vbuf).
+	inputHighWater = 4 << 20
+	// batchMaxOps caps the meta queue (requests per wire batch).
+	batchMaxOps = 4096
+)
+
+// batchFull reports whether the current wire batch crossed a reply-side or
+// input-side cap and must flush before parsing more. arenaBytes is the
+// protocol reader's ArenaBytes().
+func (cn *conn) batchFull(arenaBytes int) bool {
+	return len(cn.wbuf) >= wbufHighWater ||
+		arenaBytes+len(cn.vbuf) >= inputHighWater ||
+		len(cn.meta) >= batchMaxOps
+}
 
 // upsertNumeric is the shared INCR/DECR core: atomically applies delta
 // (subtracting when negative is set, clamped at zero memcached-style) to

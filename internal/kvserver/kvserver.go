@@ -20,10 +20,13 @@
 package kvserver
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	idramhit "dramhit/internal/dramhit"
 	"dramhit/internal/obs"
@@ -206,21 +209,55 @@ const (
 
 func (s *Server) acceptLoop(ln net.Listener, p proto) {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			return // listener closed (Close) or fatal; either way stop
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return // listener closed by Close
+			}
+			// Transient failures (fd exhaustion, handshakes aborted before
+			// accept, timeouts) must not permanently kill the listener while
+			// the process keeps running and reporting healthy gauges: back
+			// off and retry; only unknown errors stop the loop.
+			if isTransientAccept(err) {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			return
 		}
+		delay = 0
+		// Register and re-check closed under one critical section: Close
+		// sweeps s.conns under s.mu after setting closed, so every accepted
+		// conn is either in the map for that sweep or closed right here —
+		// never registered after the sweep (which would leave Close blocked
+		// in wg.Wait until the client went away on its own).
+		s.mu.Lock()
 		if s.closed.Load() {
+			s.mu.Unlock()
 			c.Close()
 			return
 		}
-		s.mu.Lock()
 		s.conns[c] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.serveConn(c, p)
 	}
+}
+
+// isTransientAccept classifies Accept errors worth retrying.
+func isTransientAccept(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.EINTR)
 }
 
 func (s *Server) serveConn(c net.Conn, p proto) {
@@ -247,7 +284,13 @@ func (s *Server) serveConn(c net.Conn, p proto) {
 // Close stops the listeners, severs every open connection, and waits for
 // the connection goroutines to drain. Safe to call once.
 func (s *Server) Close() error {
+	// closed is set under s.mu so the sweep below and acceptLoop's
+	// register-or-close check are totally ordered: a conn registered before
+	// the sweep is swept; one registered after observes closed and is closed
+	// by acceptLoop itself.
+	s.mu.Lock()
 	s.closed.Store(true)
+	s.mu.Unlock()
 	if s.respLn != nil {
 		s.respLn.Close()
 	}

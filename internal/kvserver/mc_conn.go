@@ -40,7 +40,7 @@ func (cn *conn) serveMc() {
 			cn.flushWrite()
 			return
 		}
-		if len(cn.wbuf) >= wbufHighWater {
+		if cn.batchFull(r.ArenaBytes()) {
 			if cn.flushWrite() != nil {
 				return
 			}

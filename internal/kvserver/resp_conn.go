@@ -41,7 +41,7 @@ func (cn *conn) serveRESP() {
 			cn.flushWrite()
 			return
 		}
-		if len(cn.wbuf) >= wbufHighWater {
+		if cn.batchFull(r.ArenaBytes()) {
 			if cn.flushWrite() != nil {
 				return
 			}

@@ -78,7 +78,7 @@ func FuzzMemcachedParse(f *testing.F) {
 			}
 		}
 		whole, wholeClean := parse(NewReader(bytes.NewReader(data)))
-		split, splitClean := parse(NewReader(bufio.NewReaderSize(&chunkReader{b: data}, 4096)))
+		split, splitClean := parse(NewReader(bufio.NewReaderSize(&chunkReader{b: data}, MaxLine)))
 		if len(whole) != len(split) || wholeClean != splitClean {
 			t.Fatalf("parses disagree: %d/%v vs %d/%v requests", len(whole), wholeClean, len(split), splitClean)
 		}

@@ -28,10 +28,12 @@ const (
 	MaxKey = 250
 	// MaxData bounds a storage command's data block.
 	MaxData = 1 << 20
-	// MaxLine bounds one command line.
-	MaxLine = 8 << 10
 	// MaxKeys bounds the key count of one get request.
 	MaxKeys = 256
+	// MaxLine bounds one command line (terminator included). Sized so a
+	// protocol-legal get of MaxKeys keys at MaxKey bytes each fits; a smaller
+	// bound would sever clients real memcached accepts.
+	MaxLine = MaxKeys*(MaxKey+1) + 16
 )
 
 // Errors for protocol violations. ErrBadCommand maps to "ERROR" (unknown
@@ -87,11 +89,12 @@ type Reader struct {
 	lens  []int
 }
 
-// NewReader wraps r (see resp.NewReader for the bufio note).
+// NewReader wraps r (see resp.NewReader for the bufio note: the buffer is
+// sized to MaxLine so the declared line limit is reachable).
 func NewReader(r io.Reader) *Reader {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, MaxLine)
 	}
 	return &Reader{br: br}
 }
@@ -105,6 +108,10 @@ func (r *Reader) Release() {
 
 // Buffered reports whether further request bytes are already buffered.
 func (r *Reader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// ArenaBytes reports how many key/data bytes the arena holds since the last
+// Release (see resp.ArenaBytes — the parse-side batch-memory bound).
+func (r *Reader) ArenaBytes() int { return len(r.arena) }
 
 // readLine returns the next line without its (CR)LF terminator. The slice
 // aliases the bufio buffer.

@@ -90,11 +90,11 @@ func FuzzRESPParse(f *testing.F) {
 		// Byte-at-a-time parse must agree exactly: same commands, and a
 		// clean EOF on one side is a clean EOF on the other. (Error values
 		// themselves may differ in message, not in presence.)
-		// Same bufio capacity as the whole-buffer side: line-length limits
-		// are capacity-relative, so equal capacities make the two parses
-		// strictly comparable while Reads still deliver one byte each.
+		// Same bufio capacity as the whole-buffer side (NewReader sizes to
+		// MaxInline), so the two parses are strictly comparable while Reads
+		// still deliver one byte each.
 		split, splitErr := parseAll(t,
-			NewReader(bufio.NewReaderSize(&chunkReader{b: data, n: 1}, 4096)),
+			NewReader(bufio.NewReaderSize(&chunkReader{b: data, n: 1}, MaxInline)),
 			len(data)+16)
 		if len(whole) != len(split) {
 			t.Fatalf("whole parse found %d commands, split parse %d", len(whole), len(split))

@@ -70,11 +70,13 @@ type Reader struct {
 }
 
 // NewReader wraps r. Pass a *bufio.Reader to control buffer size; anything
-// else is wrapped in a default-size one.
+// else is wrapped in one sized to MaxInline, so the declared inline limit is
+// actually reachable — readLine turns bufio.ErrBufferFull into the too-long
+// error, so a smaller buffer would silently become the effective limit.
 func NewReader(r io.Reader) *Reader {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, MaxInline)
 	}
 	return &Reader{br: br}
 }
@@ -90,6 +92,13 @@ func (r *Reader) Release() {
 // Buffered reports whether at least one byte of a further command is already
 // buffered — the "more pipelined input is here, keep batching" signal.
 func (r *Reader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// ArenaBytes reports how many argument bytes the arena holds since the last
+// Release. Callers batching commands use it to bound parse-side memory: a
+// pipelined stream of large commands with tiny (or noreply) replies grows
+// the arena, not the reply buffer, so reply-side high-water marks alone
+// would never trigger a flush.
+func (r *Reader) ArenaBytes() int { return len(r.arena) }
 
 // readLine reads up to and including CRLF (or a bare LF, which redis inline
 // parsing tolerates), returning the line without the terminator. The
